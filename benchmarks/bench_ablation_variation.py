@@ -1,0 +1,49 @@
+"""Ablation (Section 3 manufacturability claim): undoped DG vs doped bulk.
+
+The paper's device-level argument — "the undoped channel region eliminates
+performance variations ... due to random dopant dispersion" — quantified as
+fabric configurability yield: Monte-Carlo over whole arrays of leaf cells,
+with the analytic Gaussian cross-check.
+"""
+
+import numpy as np
+
+from repro.arch.montecarlo import analytic_cell_yield, compare_device_options
+from repro.core.report import ExperimentReport
+from repro.devices.variation import bulk_rdf_sigma_vt, dg_geometric_sigma_vt
+
+
+def run_mc():
+    return compare_device_options(
+        n_arrays=300, blocks_per_array=64, length_nm=10.0,
+        rng=np.random.default_rng(42),
+    )
+
+
+def test_variation_ablation(benchmark):
+    dg, bulk = benchmark(run_mc)
+    rep = ExperimentReport("ablation", "RDF-free DG vs doped bulk at 10 nm")
+    rep.add("sigma_VT, undoped DG", "geometry-limited (small)",
+            f"{dg.sigma_vt * 1e3:.1f} mV")
+    rep.add("sigma_VT, doped bulk", "RDF-dominated (large at 10 nm)",
+            f"{bulk.sigma_vt * 1e3:.1f} mV",
+            verdict="match" if bulk.sigma_vt > 5 * dg.sigma_vt else "deviation")
+    rep.add("leaf-cell configurability yield",
+            "DG ~ 1, bulk degraded",
+            f"DG {dg.cell_yield:.4f} vs bulk {bulk.cell_yield:.4f}",
+            verdict="match" if dg.cell_yield > bulk.cell_yield else "deviation")
+    rep.add("6x6 block yield", "bulk collapses at block granularity",
+            f"DG {dg.block_yield:.4f} vs bulk {bulk.block_yield:.4f}",
+            verdict="match" if dg.block_yield > bulk.block_yield + 0.2 else "deviation")
+    ana_bulk = analytic_cell_yield(bulk.sigma_vt)
+    rep.add("Monte-Carlo vs analytic (bulk)", "agree",
+            f"{bulk.cell_yield:.4f} vs {ana_bulk:.4f}",
+            verdict="match" if abs(bulk.cell_yield - ana_bulk) < 0.02 else "deviation")
+    print()
+    print(rep.render())
+    print()
+    print("  sigma_VT vs gate length (bulk RDF / DG geometric), nm -> mV:")
+    for length in (50.0, 25.0, 10.0):
+        print(f"    {length:4.0f} nm: bulk {bulk_rdf_sigma_vt(length, length) * 1e3:6.1f}"
+              f"  dg {float(dg_geometric_sigma_vt(length)) * 1e3:5.2f}")
+    assert rep.all_match()

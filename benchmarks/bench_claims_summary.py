@@ -1,0 +1,31 @@
+"""E12: the paper's headline numeric claims, in one table.
+
+128 config bits per block; ~3 orders of magnitude area reduction;
+>1e9 cells/cm^2; <=100 mW configuration-plane static power; GALS clock
+saving.  All four reports must hold simultaneously.
+"""
+
+from repro.arch.compare import (
+    area_claims_report,
+    config_bits_report,
+    power_claim_report,
+)
+from repro.arch.power import config_plane_power_w
+
+
+def run_reports():
+    return [area_claims_report(), config_bits_report(), power_claim_report()]
+
+
+def test_claims_summary(benchmark):
+    reports = benchmark(run_reports)
+    print()
+    for rep in reports:
+        print(rep.render())
+        print()
+    # Power sweep: the 100 mW budget versus cell count.
+    print("  config-plane static power vs array size:")
+    for cells in (1e6, 1e8, 1e9, 2e9):
+        print(f"    {cells:.0e} cells: {config_plane_power_w(cells) * 1e3:8.2f} mW")
+    for rep in reports:
+        assert rep.all_match(), rep.render()

@@ -1,0 +1,59 @@
+"""E8 (Fig. 10): ripple-carry adder / accumulator datapath.
+
+Runs the fabric accumulator through an accumulation sequence, checks the
+five-term adder claim and the cells-per-bit budget, and reproduces the
+serial-versus-parallel crossover that motivates the paper's bit-serial
+aside.
+"""
+
+from repro.core.report import ExperimentReport
+from repro.datapath.accumulator import Accumulator
+from repro.datapath.adder import RippleCarryAdder
+from repro.datapath.bitserial import crossover_width
+from repro.synth.macros import full_adder_slice
+from repro.util.technology import node, nodes_descending
+
+
+def run_accumulator():
+    acc = Accumulator(4)
+    acc.reset()
+    values = [acc.accumulate(b) for b in (3, 5, 6, 1)]
+    return acc, values
+
+
+def test_fig10_accumulator(benchmark):
+    acc, values = benchmark(run_accumulator)
+    rep = ExperimentReport("E8 / Fig. 10", "adder + accumulator datapath")
+    expect = [3, 8, 14, 15]
+    rep.add("accumulation sequence (+3,+5,+6,+1)", str(expect), str(values),
+            verdict="match" if values == expect else "deviation")
+    fa = full_adder_slice()
+    n_terms = sum(
+        1 for r in range(6) if fa.cells[(0, 0)].row_kind(r) == "nand"
+    )
+    rep.add("full-adder product terms", "five terms (shared sum/carry)",
+            str(n_terms),
+            verdict="match" if n_terms == 5 else "deviation")
+    rep.add("ripple transport", "two horizontal connections between cells",
+            "cout/cout' on east lines 4/5 abutting next bit's cin/cin'")
+    rep.add("adder cells per bit", "one 6-NAND cell pair",
+            f"{RippleCarryAdder.CELLS_PER_BIT} cells "
+            "(pair + sum/ripple-forward cell)",
+            verdict="shape-match")
+    rep.add("accumulator cells per bit", "adder pair + register",
+            f"{acc.cells_per_bit():.0f} cells")
+
+    # Serial-vs-parallel crossover across scaling (Section 4 aside).
+    w_old = crossover_width(node("250nm"))
+    w_new = crossover_width(node("22nm"))
+    rep.add("bit-serial crossover width 250nm -> 22nm",
+            "serial wins earlier as wires worsen",
+            f"{w_old} -> {w_new} bits",
+            verdict="match" if w_new < w_old else "deviation")
+    print()
+    print(rep.render())
+    print()
+    print("  serial-vs-ripple crossover by node:")
+    for n in nodes_descending():
+        print(f"    {n.name:>6}: {crossover_width(n)} bits")
+    assert rep.all_match()

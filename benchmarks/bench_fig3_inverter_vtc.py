@@ -1,0 +1,50 @@
+"""E1 (Fig. 3): configurable-inverter voltage-transfer-curve family.
+
+Regenerates the five-bias VTC family and checks the figure's shape: the
+switching threshold sweeps across the logic range with back-gate bias,
+saturating into stuck-high (V_G2 <= -1.5 V) and stuck-low (>= +1.5 V).
+"""
+
+import numpy as np
+
+from repro.circuits.gates import ConfigurableInverter
+from repro.core.report import ExperimentReport
+
+BIASES = (-1.5, -0.5, 0.0, +0.5, +1.5)
+
+
+def run_family():
+    inv = ConfigurableInverter(vdd=1.0)
+    return inv.vtc_family(BIASES, n_points=401)
+
+
+def test_fig3_vtc_family(benchmark):
+    family = benchmark(run_family)
+
+    rep = ExperimentReport("E1 / Fig. 3", "configurable inverter VTC family")
+    curves = dict(zip(BIASES, family))
+    rep.add("V_G2 = -1.5 V", "output stays high",
+            "stuck high" if curves[-1.5].is_stuck_high else "SWITCHES",
+            verdict="match" if curves[-1.5].is_stuck_high else "deviation")
+    rep.add("V_G2 = +1.5 V", "output stays low",
+            "stuck low" if curves[+1.5].is_stuck_low else "SWITCHES",
+            verdict="match" if curves[+1.5].is_stuck_low else "deviation")
+    mids = [curves[b].threshold for b in (-0.5, 0.0, +0.5)]
+    ordered = mids[0] > mids[1] > mids[2]
+    rep.add("threshold vs bias", "moves monotonically across the range",
+            f"V_M = {mids[0]:.2f} / {mids[1]:.2f} / {mids[2]:.2f} V",
+            verdict="match" if ordered else "deviation")
+    rep.add("V_G2 = 0 V symmetry", "switches near VDD/2",
+            f"V_M = {mids[1]:.3f} V",
+            verdict="match" if abs(mids[1] - 0.5) < 0.1 else "deviation")
+    swing = curves[0.0].vout.max() - curves[0.0].vout.min()
+    rep.add("active-curve swing", "full rail", f"{swing:.3f} V",
+            verdict="match" if swing > 0.9 else "deviation")
+    print()
+    print(rep.render())
+    assert rep.all_match()
+
+    # Series for EXPERIMENTS.md: threshold sample grid.
+    vin = family[2].vin
+    assert len(vin) == 401
+    assert np.all(np.diff(family[2].vout) <= 1e-9)

@@ -1,0 +1,40 @@
+"""E2 (Fig. 4): configurable 2-NAND function table.
+
+Regenerates the five-row configuration table {NAND, NOT A, NOT B, 1, 0}
+from the analog gate model (the paper's printed single-input rows are the
+complemented functions; overbars were lost in the text).
+"""
+
+from repro.circuits.gates import ConfigurableNAND2
+from repro.core.report import ExperimentReport
+
+TABLE = [
+    # (bias_a, bias_b, expected classification, paper row)
+    (0.0, 0.0, "NAND", "(A.B)'"),
+    (0.0, +2.0, "NOT_A", "A' (table row 'A')"),
+    (+2.0, 0.0, "NOT_B", "B' (table row 'B')"),
+    (-2.0, -2.0, "ONE", "1"),
+    (+2.0, +2.0, "ZERO", "0"),
+]
+
+
+def run_table():
+    gate = ConfigurableNAND2(vdd=1.0)
+    return [(ba, bb, gate.classify(ba, bb)) for ba, bb, _, _ in TABLE]
+
+
+def test_fig4_configuration_table(benchmark):
+    results = benchmark(run_table)
+    rep = ExperimentReport("E2 / Fig. 4", "configurable 2-NAND function set")
+    for (ba, bb, got), (_, _, want, label) in zip(results, TABLE):
+        rep.add(
+            f"V_G=({ba:+.0f},{bb:+.0f}) V",
+            label,
+            got,
+            verdict="match" if got == want else "deviation",
+        )
+    rep.note("paper's single-letter rows are the complemented inputs; "
+             "NAND(A, 1) = NOT A")
+    print()
+    print(rep.render())
+    assert rep.all_match()

@@ -1,0 +1,42 @@
+"""E3 (Fig. 5): inverting / non-inverting / open 3-state driver table.
+
+Regenerates the three-mode configuration table from the driver model and
+verifies both logic polarities plus high impedance.  See EXPERIMENTS.md
+for the one modelling deviation (the non-inverting mode spends a second
+complementary stage).
+"""
+
+from repro.circuits.gates import TristateDriver
+from repro.core.report import ExperimentReport
+
+
+def run_modes():
+    drv = TristateDriver(vdd=1.0)
+    out = {}
+    for vg1, vg2 in [(0.0, -2.0), (+2.0, 0.0), (-2.0, -2.0)]:
+        mode = drv.mode_for_biases(vg1, vg2)
+        out[(vg1, vg2)] = (mode, drv.drive(0, mode), drv.drive(1, mode))
+    return out
+
+
+def test_fig5_driver_modes(benchmark):
+    modes = benchmark(run_modes)
+    rep = ExperimentReport("E3 / Fig. 5", "configurable 3-state driver table")
+    inv = modes[(0.0, -2.0)]
+    rep.add("row 1: inverting", "Out = IN'",
+            f"mode={inv[0]}, 0->{inv[1]}, 1->{inv[2]}",
+            verdict="match" if inv[:1] == ("INVERTING",) and inv[1] == 1 and inv[2] == 0 else "deviation")
+    buf = modes[(+2.0, 0.0)]
+    rep.add("row 2: non-inverting", "Out = IN",
+            f"mode={buf[0]}, 0->{buf[1]}, 1->{buf[2]}",
+            verdict="match" if buf[0] == "NON_INVERTING" and buf[1] == 0 and buf[2] == 1 else "deviation")
+    opn = modes[(-2.0, -2.0)]
+    rep.add("row 3: open circuit", "Out = O/C",
+            f"mode={opn[0]}, drives nothing" if opn[1] is None else f"drives {opn[1]}",
+            verdict="match" if opn[0] == "OPEN" and opn[1] is None else "deviation")
+    rep.note("non-inverting mode realised as two cascaded inverting stages "
+             "(Fig. 5's exact 4-transistor reorganisation is not recoverable "
+             "from the figure); table semantics reproduced exactly")
+    print()
+    print(rep.render())
+    assert rep.all_match()

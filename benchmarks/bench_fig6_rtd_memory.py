@@ -1,0 +1,50 @@
+"""E4 (Fig. 6): RTD leaf-cell memory — stable states and write/settle.
+
+Regenerates the storage analysis behind the configuration mechanism: the
+bipolar tunnelling-SRAM latch holds exactly three states mapping onto the
+-2/0/+2 V back-gate levels, every write settles into the intended basin,
+hold currents sit in the Roadmap's 10-50 pA window, and the cited
+nine-state Seabaugh cell emerges from an eight-peak stack.
+"""
+
+from repro.core.report import ExperimentReport
+from repro.devices.rtd import RTD
+from repro.devices.rtd_sram import BackGateDriver, ResistiveRTDMemory, TunnellingSRAM
+
+
+def run_analysis():
+    cell = TunnellingSRAM()
+    drv = BackGateDriver(cell)
+    nine = ResistiveRTDMemory(8)
+    return cell, drv, nine
+
+
+def test_fig6_storage_cell(benchmark):
+    cell, drv, nine = benchmark(run_analysis)
+    rep = ExperimentReport("E4 / Fig. 6", "RTD configuration memory")
+    rep.add("stable states (trit cell)", "3 (multi-valued RAM [34])",
+            str(cell.n_states),
+            verdict="match" if cell.n_states == 3 else "deviation")
+    volts = [round(p.voltage, 2) for p in cell.stable_points()]
+    rep.add("stored levels", "map onto -2/0/+2 V via layer thickness",
+            f"{volts} V, calib err {drv.calibration_error():.3f} V",
+            verdict="match" if drv.calibration_error() < 0.25 else "deviation")
+    holds = [cell.hold_current(k) * 1e12 for k in range(cell.n_states)]
+    in_window = max(holds) <= 50.0
+    rep.add("hold current", "RTD peaks 10-50 pA (Roadmap [40])",
+            f"{max(holds):.1f} pA worst state",
+            verdict="match" if in_window else "deviation")
+    ok_writes = all(cell.settle(cell.write(k)) == k for k in range(cell.n_states))
+    rep.add("write-then-settle", "returns written state",
+            "all states" if ok_writes else "FAILS",
+            verdict="match" if ok_writes else "deviation")
+    rep.add("nine-state cell (Seabaugh [36])", "9 states",
+            str(nine.n_states),
+            verdict="match" if nine.n_states == 9 else "deviation")
+    pvcr = RTD().measured_pvcr()
+    rep.add("peak-to-valley ratio", "adequate at room temperature [37,38]",
+            f"{pvcr:.1f}",
+            verdict="match" if pvcr > 3 else "deviation")
+    print()
+    print(rep.render())
+    assert rep.all_match()

@@ -1,0 +1,50 @@
+"""Ablation (Section 4/5 future-work): multiplier organisation trade study.
+
+Validates the shift-add multiplier on the fabric accumulator, then sweeps
+the area-time trade between array, shift-add and bit-serial organisations
+across technology nodes — the "serial vs parallel design styles" question
+the paper's conclusion poses.
+"""
+
+from repro.core.report import ExperimentReport
+from repro.datapath.multiplier import ShiftAddMultiplier, style_comparison
+from repro.util.technology import node, nodes_descending
+
+
+def run_multiplier():
+    mul = ShiftAddMultiplier(3)
+    cases = [(3, 5), (7, 7), (6, 4)]
+    return mul, [(a, b, mul.multiply(a, b)) for a, b in cases]
+
+
+def test_multiplier_styles(benchmark):
+    mul, results = benchmark(run_multiplier)
+    rep = ExperimentReport("ablation", "multiplier organisations")
+    ok = all(got == a * b for a, b, got in results)
+    rep.add("shift-add products on fabric", "exact", f"{results}",
+            verdict="match" if ok else "deviation")
+    rep.add("fabric cells (3x3 shift-add)", "one accumulator",
+            str(mul.cells_used()))
+
+    n65 = node("65nm")
+    costs = {c.style: c for c in style_comparison(16, n65)}
+    rep.add("16x16 area ordering", "serial < shift-add < array",
+            " < ".join(sorted(costs, key=lambda s: costs[s].cells)),
+            verdict="match"
+            if costs["bit-serial"].cells < costs["shift-add"].cells < costs["array"].cells
+            else "deviation")
+    rep.add("16x16 latency ordering", "array fastest",
+            min(costs.values(), key=lambda c: c.latency_ps).style,
+            verdict="match"
+            if min(costs.values(), key=lambda c: c.latency_ps).style == "array"
+            else "deviation")
+    print()
+    print(rep.render())
+    print()
+    print("  area-time (cells, ns) for 16x16 by node:")
+    for tech in nodes_descending():
+        row = {c.style: c for c in style_comparison(16, tech)}
+        print(f"    {tech.name:>6}: "
+              + "  ".join(f"{s}=({c.cells}, {c.latency_ps / 1e3:.2f})"
+                          for s, c in row.items()))
+    assert rep.all_match()

@@ -1,0 +1,40 @@
+"""E11 (Section 2.1): interconnect-delay scaling study.
+
+Regenerates the section's quantitative anchors across the 250 nm -> 22 nm
+ladder: interconnect fraction of FPGA path delay, the O(lambda^1/2)
+frequency-scaling estimate, the widening gap to custom silicon, and the
+Liu & Pai driver-sizing wall.
+"""
+
+from repro.arch.compare import scaling_report
+from repro.arch.scaling import scaling_series
+from repro.util.technology import nodes_descending
+
+
+def run_series():
+    return scaling_series()
+
+
+def test_sec2_scaling(benchmark):
+    series = benchmark(run_series)
+    rep = scaling_report()
+    print()
+    print(rep.render())
+    print()
+    print("  node    fpga_MHz  custom_MHz  poly_MHz  fpga_wire_frac")
+    for n, f, c, p in zip(
+        nodes_descending(), series["fpga"], series["custom"], series["polymorphic"]
+    ):
+        print(
+            f"  {n.name:>6}  {f.frequency_mhz:8.0f}  {c.frequency_mhz:10.0f}"
+            f"  {p.frequency_mhz:8.0f}  {f.wire_fraction:14.2f}"
+        )
+    assert rep.all_match()
+    # Shape assertions: the gap to custom widens monotonically overall.
+    gaps = [
+        c.frequency_mhz / f.frequency_mhz
+        for c, f in zip(series["custom"], series["fpga"])
+    ]
+    assert gaps[-1] > gaps[0]
+    fracs = [f.wire_fraction for f in series["fpga"]]
+    assert fracs[-1] > fracs[0]

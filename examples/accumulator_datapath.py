@@ -1,0 +1,47 @@
+"""The Fig. 10 datapath: an 8-bit accumulator summing a data stream.
+
+Every bit is the paper's five-term full-adder slice with the ripple carry
+crossing between cells on two abutted lines; an edge-triggered flip-flop
+pair per bit stores the running total.
+
+Run:  python examples/accumulator_datapath.py
+"""
+
+from repro.datapath.accumulator import Accumulator
+from repro.datapath.adder import RippleCarryAdder
+from repro.datapath.bitserial import bit_serial_timing, crossover_width, ripple_timing
+from repro.util.technology import node, nodes_descending
+
+
+def main() -> None:
+    print("== 8-bit fabric accumulator ==")
+    acc = Accumulator(8)
+    acc.reset()
+    stream = [17, 42, 99, 3, 64, 21]
+    total = 0
+    for value in stream:
+        total = (total + value) % 256
+        got = acc.accumulate(value)
+        marker = "ok" if got == total else "MISMATCH"
+        print(f"  +{value:3d} -> ACC = {got:3d} (expect {total:3d}) {marker}")
+
+    print(f"\n  cells per accumulated bit: {acc.cells_per_bit():.0f} "
+          f"(adder slice 3 + register pair 2)")
+    print(f"  adder product terms per bit: {RippleCarryAdder.TERMS_PER_BIT} "
+          "(the paper's five shared terms)")
+
+    print("\n== serial vs parallel (Section 4 aside) ==")
+    n = node("65nm")
+    for bits in (8, 16, 32, 64):
+        rip = ripple_timing(bits, n).total_ps
+        ser = bit_serial_timing(bits, n).total_ps
+        winner = "serial" if ser < rip else "ripple"
+        print(f"  {bits:3d} bits @65nm: ripple {rip:8.0f} ps, "
+              f"serial {ser:8.0f} ps -> {winner}")
+    print("\n  crossover width by node (serial wins above):")
+    for tech in nodes_descending():
+        print(f"    {tech.name:>6}: {crossover_width(tech)} bits")
+
+
+if __name__ == "__main__":
+    main()

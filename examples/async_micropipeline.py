@@ -1,0 +1,52 @@
+"""The Fig. 11/12 pipeline: an elastic FIFO moving a burst of data.
+
+A gate-level Sutherland micropipeline (Muller C-element control chain +
+event-controlled storage per bit) carries a packet stream with two-phase
+handshaking; the protocol checker audits every transfer.
+
+Run:  python examples/async_micropipeline.py
+"""
+
+import numpy as np
+
+from repro.asynclogic.handshake import check_two_phase, completed_transfers
+from repro.asynclogic.micropipeline import MicropipelineSim, PipelineModel
+from repro.sim.waveform import TraceSet
+
+
+def main() -> None:
+    print("== 4-stage micropipeline FIFO, 8-bit data ==")
+    pipe = MicropipelineSim(n_stages=4, data_width=8)
+    payload = [0x5A, 0x3C, 0xF0, 0x0F, 0x81, 0x7E]
+    accept_times = []
+    for word in payload:
+        t = pipe.push(word)
+        accept_times.append(t)
+        print(f"  pushed 0x{word:02X} (accepted at t={t})")
+    pipe.drain(4000)
+    print(f"  last word at output: 0x{pipe.output_value():02X}")
+    print(f"  tokens delivered:    {pipe.output_tokens()}")
+
+    traces = TraceSet(pipe.sim)
+    violations = check_two_phase(traces["req_in"], traces["c[0]"])
+    transfers = completed_transfers(traces["req_in"], traces["c[0]"])
+    print(f"  handshake audit:     {transfers} transfers, "
+          f"{len(violations)} protocol violations")
+
+    gaps = np.diff(accept_times[2:])
+    print(f"  steady-state cycle:  {gaps.mean():.1f} time units "
+          f"(depth-independent: the elastic FIFO property)")
+
+    print("\n== token-flow model: throughput vs depth ==")
+    for depth in (2, 4, 8, 16):
+        m = PipelineModel(n_stages=depth, forward_ps=100, reverse_ps=60)
+        print(f"  {depth:2d} stages: {m.throughput_per_ns:.3f} tokens/ns, "
+              f"empty latency {m.empty_latency_ps:.0f} ps, "
+              f"peak occupancy {m.max_occupancy:.1f}")
+    m = PipelineModel(n_stages=4, forward_ps=100, reverse_ps=60)
+    print(f"\n  vs synchronous pipeline clocked at worst-case 250 ps: "
+          f"{m.against_synchronous(250.0):.2f}x throughput")
+
+
+if __name__ == "__main__":
+    main()

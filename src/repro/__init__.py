@@ -1,0 +1,37 @@
+"""repro — behavioural reproduction of Beckett, *A Polymorphic Hardware
+Platform* (IPDPS 2003).
+
+The package models a very fine-grained reconfigurable fabric whose leaf cell
+— a complementary double-gate MOSFET pair with an RTD multi-valued
+configuration memory on its back gate — can act as logic, state, or
+interconnect.  Layers, bottom up:
+
+* :mod:`repro.devices`   — compact DG-MOSFET / RTD / tunnelling-SRAM models
+* :mod:`repro.circuits`  — DC solvers and the configurable gate structures
+* :mod:`repro.fabric`    — the polymorphic NAND-array cell and its tiling
+* :mod:`repro.sim`       — event-driven 4-valued logic simulator
+* :mod:`repro.synth`     — minimisation, NAND mapping, async-FSM synthesis,
+  place & route, macro library
+* :mod:`repro.asynclogic`— C-elements, micropipelines, GALS wrappers
+* :mod:`repro.datapath`  — adder / accumulator / bit-serial generators
+* :mod:`repro.arch`      — area, power, config-bit and scaling analytics
+* :mod:`repro.core`      — the high-level :class:`PolymorphicPlatform` API
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "devices",
+    "circuits",
+    "fabric",
+    "sim",
+    "synth",
+    "asynclogic",
+    "datapath",
+    "arch",
+    "core",
+    "util",
+]

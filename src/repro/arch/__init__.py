@@ -1,0 +1,87 @@
+"""Architecture analytics: area, configuration bits, wires, scaling, power.
+
+The quantitative side of the reproduction — every in-text number of the
+paper's Sections 2-5 has a parametric model here, compared against the
+paper in :mod:`repro.arch.compare`.
+"""
+
+from repro.arch.area import (
+    AreaBreakdown,
+    CELL_PAIR_AREA_L2,
+    FPGA_LUT4_AREA_L2,
+    area_ratio,
+    density_cells_per_cm2,
+    fpga_area_l2,
+    polymorphic_area_l2,
+)
+from repro.arch.compare import (
+    area_claims_report,
+    config_bits_report,
+    power_claim_report,
+    scaling_report,
+)
+from repro.arch.configbits import (
+    CLBModel,
+    bits_for_design,
+    function_for_function_ratio,
+    polymorphic_bits_per_block,
+)
+from repro.arch.fpga_baseline import FpgaBaseline, FpgaCost
+from repro.arch.power import (
+    clock_power_saving,
+    clock_tree_power_w,
+    config_plane_power_w,
+    gals_clock_power_w,
+)
+from repro.arch.scaling import (
+    PathDelay,
+    custom_path,
+    fpga_path,
+    frequency_scaling_exponent,
+    polymorphic_path,
+    scaling_series,
+)
+from repro.arch.wires import (
+    driven_delay_ps,
+    local_hop_delay_ps,
+    optimal_repeater_segment_um,
+    repeated_delay_ps,
+    required_drive_wl,
+    unrepeated_delay_ps,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "CELL_PAIR_AREA_L2",
+    "FPGA_LUT4_AREA_L2",
+    "area_ratio",
+    "density_cells_per_cm2",
+    "fpga_area_l2",
+    "polymorphic_area_l2",
+    "area_claims_report",
+    "config_bits_report",
+    "power_claim_report",
+    "scaling_report",
+    "CLBModel",
+    "bits_for_design",
+    "function_for_function_ratio",
+    "polymorphic_bits_per_block",
+    "FpgaBaseline",
+    "FpgaCost",
+    "clock_power_saving",
+    "clock_tree_power_w",
+    "config_plane_power_w",
+    "gals_clock_power_w",
+    "PathDelay",
+    "custom_path",
+    "fpga_path",
+    "frequency_scaling_exponent",
+    "polymorphic_path",
+    "scaling_series",
+    "driven_delay_ps",
+    "local_hop_delay_ps",
+    "optimal_repeater_segment_um",
+    "repeated_delay_ps",
+    "required_drive_wl",
+    "unrepeated_delay_ps",
+]

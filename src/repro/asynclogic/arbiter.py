@@ -1,0 +1,107 @@
+"""Arbiters and synchronisers — the special functions FPGAs lack.
+
+Section 4.1: current programmable systems do not include "special
+functions such as arbiters and synchronizers".  The polymorphic fabric's
+analog substrate can build them (a mutual-exclusion element is a
+cross-coupled NAND pair plus a metastability filter); behaviourally we
+model:
+
+* :class:`MutexElement` — two-way mutual exclusion with an explicit
+  metastability model: near-simultaneous requests resolve randomly after
+  an exponentially-distributed resolution delay (deterministic given the
+  supplied generator);
+* :func:`synchronizer_mtbf` — the standard two-flop synchroniser MTBF
+  expression, quantifying the cost GALS wrappers pay at clock-domain
+  crossings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class MutexElement:
+    """Two-way mutual-exclusion element with metastability resolution.
+
+    Requests are level-signalled.  When both requests arrive within
+    ``contention_window`` time units, the winner is random and the grant
+    is delayed by an exponential resolution time with mean ``tau`` —
+    the standard first-order metastability model.
+    """
+
+    def __init__(
+        self,
+        contention_window: float = 1.0,
+        tau: float = 2.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if contention_window < 0 or tau <= 0:
+            raise ValueError("contention_window must be >= 0 and tau > 0")
+        self.contention_window = float(contention_window)
+        self.tau = float(tau)
+        self.rng = rng or np.random.default_rng(0)
+        self._granted: int | None = None
+
+    def request(self, t_a: float | None, t_b: float | None) -> tuple[int, float]:
+        """Arbitrate two request arrival times.
+
+        ``None`` means that side did not request.  Returns (winner, grant
+        time); winner is 0 or 1.  Raises when neither side requests.
+        """
+        if t_a is None and t_b is None:
+            raise ValueError("at least one side must request")
+        if t_b is None:
+            return 0, float(t_a)
+        if t_a is None:
+            return 1, float(t_b)
+        dt = abs(t_a - t_b)
+        if dt > self.contention_window:
+            winner = 0 if t_a < t_b else 1
+            return winner, float(min(t_a, t_b))
+        # Metastable: random winner, exponential resolution delay.
+        winner = int(self.rng.integers(0, 2))
+        resolve = float(self.rng.exponential(self.tau))
+        return winner, float(max(t_a, t_b) + resolve)
+
+    def release(self) -> None:
+        """Drop the current grant (level protocol bookkeeping)."""
+        self._granted = None
+
+
+def synchronizer_mtbf(
+    clock_hz: float,
+    data_rate_hz: float,
+    resolution_time_s: float,
+    tau_s: float,
+    window_s: float = 1e-10,
+) -> float:
+    """Mean time between synchroniser failures (seconds).
+
+    The classic expression  MTBF = e^(t_r / tau) / (f_clk * f_data * T_w).
+    Used by the GALS bench to pick the wrapper's synchroniser depth.
+    """
+    if min(clock_hz, data_rate_hz, tau_s, window_s) <= 0 or resolution_time_s < 0:
+        raise ValueError("all rates/times must be positive (resolution >= 0)")
+    return math.exp(resolution_time_s / tau_s) / (clock_hz * data_rate_hz * window_s)
+
+
+def flops_for_target_mtbf(
+    target_mtbf_s: float,
+    clock_hz: float,
+    data_rate_hz: float,
+    tau_s: float,
+    window_s: float = 1e-10,
+) -> int:
+    """Synchroniser depth (extra flops) needed to reach a target MTBF.
+
+    Each additional flop adds one clock period of resolution time.
+    """
+    if target_mtbf_s <= 0:
+        raise ValueError("target_mtbf_s must be positive")
+    period = 1.0 / clock_hz
+    for n in range(1, 16):
+        if synchronizer_mtbf(clock_hz, data_rate_hz, n * period, tau_s, window_s) >= target_mtbf_s:
+            return n
+    return 16

@@ -1,0 +1,117 @@
+"""Handshake protocol checkers (two-phase and four-phase).
+
+The paper's asynchronous structures (Section 4.1) use Sutherland's
+two-phase (transition-signalling) protocol: every *toggle* of request is
+an event answered by a *toggle* of acknowledge.  These checkers consume
+recorded waveforms and verify protocol conformance — the property-style
+instruments the micropipeline tests and benches rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.waveform import Waveform
+
+
+@dataclass(frozen=True, slots=True)
+class HandshakeViolation:
+    """A protocol violation found on a req/ack pair.
+
+    Attributes
+    ----------
+    time:
+        When the offending transition happened.
+    kind:
+        Violation class, e.g. ``"req-before-ack"``.
+    detail:
+        Human-readable explanation.
+    """
+
+    time: int
+    kind: str
+    detail: str
+
+
+def _toggle_times(wave: Waveform) -> list[int]:
+    """Times of all defined-level transitions (two-phase events)."""
+    return [e.time for e in wave.edges() if e.rising or e.falling]
+
+
+def check_two_phase(req: Waveform, ack: Waveform) -> list[HandshakeViolation]:
+    """Verify transition-signalling alternation: req, ack, req, ack, ...
+
+    Every request event must be answered by exactly one acknowledge event
+    before the next request is issued.  Returns all violations found.
+    """
+    req_t = _toggle_times(req)
+    ack_t = _toggle_times(ack)
+    out: list[HandshakeViolation] = []
+    # Merge the two event streams and require strict alternation
+    # starting with a request.
+    events = sorted([(t, "req") for t in req_t] + [(t, "ack") for t in ack_t])
+    expect = "req"
+    for t, kind in events:
+        if kind != expect:
+            out.append(
+                HandshakeViolation(
+                    time=t,
+                    kind=f"{kind}-out-of-turn",
+                    detail=f"expected a {expect} event at t={t}, saw {kind}",
+                )
+            )
+            # Resynchronise to keep subsequent reports meaningful.
+            expect = "ack" if kind == "req" else "req"
+        else:
+            expect = "ack" if kind == "req" else "req"
+    return out
+
+
+def two_phase_event_counts(req: Waveform, ack: Waveform) -> tuple[int, int]:
+    """(requests, acknowledges) seen on the pair."""
+    return len(_toggle_times(req)), len(_toggle_times(ack))
+
+
+def completed_transfers(req: Waveform, ack: Waveform) -> int:
+    """Number of fully acknowledged two-phase transfers."""
+    n_req, n_ack = two_phase_event_counts(req, ack)
+    return min(n_req, n_ack)
+
+
+def cycle_times(req: Waveform) -> list[int]:
+    """Intervals between successive request events (throughput metric)."""
+    t = _toggle_times(req)
+    return [b - a for a, b in zip(t, t[1:])]
+
+
+def check_four_phase(req: Waveform, ack: Waveform) -> list[HandshakeViolation]:
+    """Verify return-to-zero handshaking.
+
+    Legal order per transfer: req rises, ack rises, req falls, ack falls.
+    """
+    events = sorted(
+        [(e.time, "req+", e.rising) for e in req.edges() if e.rising or e.falling]
+        + [(e.time, "ack+", e.rising) for e in ack.edges() if e.rising or e.falling]
+    )
+    sequence = [
+        ("req+", True),
+        ("ack+", True),
+        ("req+", False),
+        ("ack+", False),
+    ]
+    out: list[HandshakeViolation] = []
+    idx = 0
+    for t, chan, rising in events:
+        want_chan, want_rising = sequence[idx % 4]
+        if (chan, rising) != (want_chan, want_rising):
+            want = f"{want_chan[:3]} {'rise' if want_rising else 'fall'}"
+            got = f"{chan[:3]} {'rise' if rising else 'fall'}"
+            out.append(
+                HandshakeViolation(
+                    time=t,
+                    kind="four-phase-order",
+                    detail=f"expected {want} at t={t}, saw {got}",
+                )
+            )
+        idx += 1
+    return out

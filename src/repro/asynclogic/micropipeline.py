@@ -1,0 +1,225 @@
+"""Sutherland micropipelines (paper Fig. 11).
+
+Two complementary models:
+
+* :class:`MicropipelineSim` — a gate-level build on the event simulator:
+  the Fig. 11 control chain of two-input Muller C-elements (one input
+  inverted, all elements cleared at power-on), matched delay buffers, and
+  one event-controlled storage element per data bit per stage.  Tokens are
+  injected by toggling the input request and are individually tracked.
+* :class:`PipelineModel` — the standard token-flow performance model of a
+  micropipeline (forward latency per stage, reverse latency per stage),
+  giving throughput/latency/occupancy curves for the Fig. 11 bench without
+  gate-level cost.
+
+The gate-level model is validated against the token model in the tests:
+measured cycle time matches the analytic ``forward + reverse`` latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.primitives import BufGate, CElementGate, EventLatchGate, NotGate
+from repro.sim.scheduler import Simulator
+from repro.sim.values import ONE, ZERO, is_defined
+
+
+class MicropipelineSim:
+    """Gate-level n-stage two-phase micropipeline FIFO."""
+
+    def __init__(
+        self,
+        n_stages: int,
+        data_width: int = 4,
+        c_delay: int = 2,
+        latch_delay: int = 2,
+        matched_delay: int = 4,
+    ) -> None:
+        if n_stages < 1:
+            raise ValueError(f"n_stages must be >= 1, got {n_stages}")
+        if data_width < 1:
+            raise ValueError(f"data_width must be >= 1, got {data_width}")
+        self.n_stages = int(n_stages)
+        self.data_width = int(data_width)
+        self.sim = Simulator()
+        sim = self.sim
+
+        #: External request / data-in; acknowledged on ack_in.
+        self.req_in = sim.net("req_in")
+        self.data_in = [sim.net(f"din[{b}]") for b in range(data_width)]
+
+        # Control chain: c[i] = C(delayed req from stage i-1, NOT c[i+1]).
+        # c[n] region is the sink: it acknowledges immediately.
+        self.c = [sim.net(f"c[{i}]") for i in range(n_stages)]
+        self.ack_out = sim.net("ack_out")  # sink-side acknowledge
+        stage_req = self.req_in
+        self.stage_reqs = []
+        for i in range(n_stages):
+            delayed = sim.net(f"rd[{i}]")
+            sim.add(BufGate(f"delay[{i}]", [stage_req], delayed, delay=matched_delay))
+            inv = sim.net(f"ai[{i}]")
+            nxt = self.c[i + 1] if i + 1 < n_stages else self.ack_out
+            sim.add(NotGate(f"ackinv[{i}]", [nxt], inv, delay=1))
+            sim.add(
+                CElementGate(
+                    f"c[{i}]", [delayed, inv], self.c[i], delay=c_delay, init=ZERO
+                )
+            )
+            self.stage_reqs.append(delayed)
+            stage_req = self.c[i]
+
+        #: The last stage's request is the FIFO's output request.
+        self.req_out = self.c[-1]
+
+        # Sink: acknowledge every output request immediately (a consumer
+        # that is never the bottleneck).  Tests may instead drive ack_out
+        # externally for back-pressure experiments.
+        self._auto_sink = sim.add(
+            BufGate("sink", [self.req_out], self.ack_out, delay=1)
+        )
+
+        # Data path: stage i latches din when c[i] toggles (capture) and
+        # releases when the next stage has taken it.
+        self.stage_data = []
+        prev = self.data_in
+        for i in range(n_stages):
+            nxt_ack = self.c[i + 1] if i + 1 < n_stages else self.ack_out
+            outs = []
+            for b in range(data_width):
+                out = sim.net(f"d[{i}][{b}]")
+                sim.add(
+                    EventLatchGate(
+                        f"lat[{i}][{b}]",
+                        [prev[b], self.c[i], nxt_ack],
+                        out,
+                        delay=latch_delay,
+                        init=ZERO,
+                    )
+                )
+                outs.append(out)
+            self.stage_data.append(outs)
+            prev = outs
+        self.data_out = prev
+
+        sim.trace("req_in", "ack_out", *(n.name for n in self.c))
+        self._req_phase = 0
+        self._ack_seen = 0
+        sim.drive(self.req_in, ZERO, at=0)
+        for b in range(data_width):
+            sim.drive(self.data_in[b], ZERO, at=0)
+        sim.run(until=20)
+
+    # ------------------------------------------------------------------
+    # Token-level operation
+    # ------------------------------------------------------------------
+    def _wait_ack(self, timeout: int) -> int:
+        """Run until ack_in (= c[0]) toggles to match the request phase."""
+        sim = self.sim
+        deadline = sim.now + timeout
+        # Two-phase: c[0] acknowledges the producer by matching req phase.
+        while sim.now < deadline:
+            sim.run(until=min(sim.now + 5, deadline))
+            v = self.c[0].value
+            if is_defined(v) and v == self._req_phase:
+                return sim.now
+        raise TimeoutError(
+            f"stage-0 acknowledge did not arrive within {timeout} units"
+        )
+
+    def push(self, value: int, timeout: int = 10_000) -> int:
+        """Send one token carrying ``value``; returns the accept time."""
+        if not 0 <= value < (1 << self.data_width):
+            raise ValueError(
+                f"value must fit in {self.data_width} bits, got {value!r}"
+            )
+        sim = self.sim
+        for b in range(self.data_width):
+            sim.drive(self.data_in[b], ONE if (value >> b) & 1 else ZERO)
+        self._req_phase ^= 1
+        sim.drive(self.req_in, self._req_phase)
+        return self._wait_ack(timeout)
+
+    def drain(self, dt: int = 2_000) -> None:
+        """Let in-flight tokens reach the output."""
+        self.sim.run(until=self.sim.now + dt)
+
+    def output_value(self) -> int:
+        """Integer currently on the FIFO output."""
+        total = 0
+        for b, net in enumerate(self.data_out):
+            if net.value == ONE:
+                total |= 1 << b
+            elif net.value != ZERO:
+                raise ValueError(f"output bit {b} undefined")
+        return total
+
+    def output_tokens(self) -> int:
+        """Tokens that have left the pipeline (output request toggles)."""
+        hist = self.sim.history(self.c[-1].name)
+        defined = [v for _, v in hist if is_defined(v)]
+        toggles = sum(1 for a, b in zip(defined, defined[1:]) if a != b)
+        return toggles
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineModel:
+    """Token-flow performance model of an n-stage micropipeline.
+
+    Attributes
+    ----------
+    n_stages:
+        FIFO depth.
+    forward_ps:
+        Per-stage forward latency (C-element + matched delay + latch).
+    reverse_ps:
+        Per-stage reverse (acknowledge/bubble) latency.
+    """
+
+    n_stages: int
+    forward_ps: float
+    reverse_ps: float
+
+    def __post_init__(self) -> None:
+        if self.n_stages < 1:
+            raise ValueError(f"n_stages must be >= 1, got {self.n_stages}")
+        if self.forward_ps <= 0 or self.reverse_ps <= 0:
+            raise ValueError("latencies must be positive")
+
+    @property
+    def cycle_ps(self) -> float:
+        """Steady-state interval between tokens at any stage."""
+        return self.forward_ps + self.reverse_ps
+
+    @property
+    def throughput_per_ns(self) -> float:
+        """Tokens per nanosecond at saturation."""
+        return 1e3 / self.cycle_ps
+
+    @property
+    def empty_latency_ps(self) -> float:
+        """Time for one token to traverse an empty pipeline."""
+        return self.n_stages * self.forward_ps
+
+    @property
+    def max_occupancy(self) -> float:
+        """Tokens the ring of stages can hold at speed (one per f+r window)."""
+        return self.n_stages * self.forward_ps / self.cycle_ps
+
+    def time_for_tokens(self, k: int) -> float:
+        """Time to emit k tokens from saturation start (ps)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return self.empty_latency_ps + (k - 1) * self.cycle_ps
+
+    def against_synchronous(self, clock_ps: float, stages: int | None = None) -> float:
+        """Throughput ratio micropipeline : clocked pipeline.
+
+        A synchronous pipeline emits one token per worst-case clock; the
+        micropipeline emits one per average cycle — the elasticity argument
+        of Sutherland that the paper leans on.
+        """
+        if clock_ps <= 0:
+            raise ValueError("clock_ps must be positive")
+        del stages
+        return clock_ps / self.cycle_ps

@@ -1,0 +1,35 @@
+"""Analog circuit substrate: DC solvers and the configurable gate structures.
+
+This layer regenerates the paper's circuit-level evidence (Figs. 3-5) from
+the compact device models.  It is intentionally small: the polymorphic
+fabric only ever uses static complementary topologies, so a full nodal
+simulator is unnecessary (see DESIGN.md).
+"""
+
+from repro.circuits.dc import (
+    bisect_balance,
+    gain_peak,
+    output_swing,
+    series_pair_current,
+    solve_output,
+    switching_threshold,
+)
+from repro.circuits.gates import (
+    ConfigurableInverter,
+    ConfigurableNAND2,
+    TristateDriver,
+    VTCResult,
+)
+
+__all__ = [
+    "bisect_balance",
+    "gain_peak",
+    "output_swing",
+    "series_pair_current",
+    "solve_output",
+    "switching_threshold",
+    "ConfigurableInverter",
+    "ConfigurableNAND2",
+    "TristateDriver",
+    "VTCResult",
+]

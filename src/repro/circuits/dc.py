@@ -1,0 +1,141 @@
+"""DC operating-point solvers for small complementary gate structures.
+
+The paper's Figs. 3-5 are DC transfer results of configurable CMOS-style
+gates built from double-gate pairs.  Rather than a general SPICE engine, the
+fabric only ever needs static CMOS topologies: a pull-up network between VDD
+and the output, a pull-down network between the output and ground.  The
+output voltage is then the unique balance point
+
+    I_pullup(VDD -> out) = I_pulldown(out -> 0)
+
+Both network currents are monotone in the output voltage (pull-up current
+falls as the output rises, pull-down current rises), so the balance point is
+found by a *vectorised bisection* over the whole input-sweep array at once —
+no Python loop over sweep samples, per the hpc-parallel guides.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+#: A network-current function: maps (v_out, aux...) -> current array.
+CurrentFn = Callable[[np.ndarray], np.ndarray]
+
+
+def bisect_balance(
+    f: Callable[[np.ndarray], np.ndarray],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    iterations: int = 80,
+) -> np.ndarray:
+    """Vectorised bisection for ``f(x) = 0`` with ``f`` decreasing in ``x``.
+
+    ``lo`` and ``hi`` are arrays bracketing the roots elementwise; ``f`` must
+    accept and return arrays of the same shape.  80 iterations drive the
+    interval below 1e-24 of the initial span — far past float64 resolution —
+    so the result is exact to machine precision for smooth ``f``.
+    """
+    lo = np.array(lo, dtype=float, copy=True)
+    hi = np.array(hi, dtype=float, copy=True)
+    if lo.shape != hi.shape:
+        raise ValueError(f"lo/hi shape mismatch: {lo.shape} vs {hi.shape}")
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        fm = f(mid)
+        go_up = fm > 0.0  # f decreasing: positive residual -> root above mid
+        lo = np.where(go_up, mid, lo)
+        hi = np.where(go_up, hi, mid)
+    return 0.5 * (lo + hi)
+
+
+def solve_output(
+    pullup_current: CurrentFn,
+    pulldown_current: CurrentFn,
+    vdd: float,
+    shape: tuple[int, ...],
+) -> np.ndarray:
+    """Solve the output node of a static complementary stage.
+
+    ``pullup_current(v_out)`` is the current delivered into the node by the
+    pull-up network and ``pulldown_current(v_out)`` the current removed by
+    the pull-down network, both already closed over the gate inputs.  The
+    residual ``pullup - pulldown`` is decreasing in ``v_out``.
+    """
+
+    def residual(v_out: np.ndarray) -> np.ndarray:
+        return pullup_current(v_out) - pulldown_current(v_out)
+
+    lo = np.zeros(shape)
+    hi = np.full(shape, vdd)
+    return bisect_balance(residual, lo, hi)
+
+
+def series_pair_current(
+    lower_ids: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    upper_ids: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    v_total: np.ndarray,
+    iterations: int = 60,
+) -> np.ndarray:
+    """Current through two stacked devices sharing an internal node.
+
+    ``lower_ids(v_internal_drop, v_internal)`` gives the lower device current
+    with its drain at the internal node; ``upper_ids(v_upper_drop,
+    v_internal)`` the upper device current with its source at the internal
+    node.  Both callables receive the *drop across that device* and the
+    internal node voltage (needed because the upper device's gate drive
+    depends on its source).  The internal node ``vm`` in [0, v_total] where
+    the two currents match is found by vectorised bisection: the residual
+    ``lower(vm) - upper(vm)`` rises with ``vm``.
+
+    Returns the matched stack current.
+    """
+    v_total = np.asarray(v_total, dtype=float)
+    lo = np.zeros_like(v_total)
+    hi = np.array(v_total, copy=True)
+
+    def residual(vm: np.ndarray) -> np.ndarray:
+        return lower_ids(vm, vm) - upper_ids(v_total - vm, vm)
+
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        r = residual(mid)
+        go_up = r < 0.0  # residual rising: negative -> root above mid
+        lo = np.where(go_up, mid, lo)
+        hi = np.where(go_up, hi, mid)
+    vm = 0.5 * (lo + hi)
+    return lower_ids(vm, vm)
+
+
+def switching_threshold(vin: np.ndarray, vout: np.ndarray, vdd: float) -> float:
+    """Input voltage where the transfer curve crosses VDD/2.
+
+    Returns ``nan`` when the curve never crosses (the stuck-high / stuck-low
+    configurations of Fig. 3), which the benches report as "no switching".
+    """
+    vin = np.asarray(vin, dtype=float)
+    vout = np.asarray(vout, dtype=float)
+    half = vdd / 2.0
+    above = vout > half
+    flips = np.nonzero(above[:-1] != above[1:])[0]
+    if flips.size == 0:
+        return float("nan")
+    k = int(flips[0])
+    # Linear interpolation of the crossing.
+    f = (half - vout[k]) / (vout[k + 1] - vout[k])
+    return float(vin[k] + f * (vin[k + 1] - vin[k]))
+
+
+def output_swing(vout: np.ndarray) -> tuple[float, float]:
+    """(min, max) of a transfer curve — logic-level integrity metric."""
+    vout = np.asarray(vout, dtype=float)
+    return float(vout.min()), float(vout.max())
+
+
+def gain_peak(vin: np.ndarray, vout: np.ndarray) -> float:
+    """Maximum |dVout/dVin| of a transfer curve (regeneration metric)."""
+    vin = np.asarray(vin, dtype=float)
+    vout = np.asarray(vout, dtype=float)
+    g = np.gradient(vout, vin)
+    return float(np.max(np.abs(g)))

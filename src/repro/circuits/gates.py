@@ -1,0 +1,280 @@
+"""Analog models of the paper's configurable gate structures (Figs. 3-5).
+
+Three circuits are reproduced at the DC level:
+
+* :class:`ConfigurableInverter` — Fig. 3: a complementary DG pair whose
+  shared back-gate bias V_G2 moves the switching threshold across the whole
+  logic range, saturating into stuck-high (V_G2 <= -1.5 V) and stuck-low
+  (V_G2 >= +1.5 V) configurations.
+* :class:`ConfigurableNAND2` — Fig. 4: a 2-NAND in which each input's
+  complementary pair has its own back-gate bias, yielding the enhanced
+  function set {NAND(A,B), NOT A, NOT B, constant 0, constant 1}.
+* :class:`TristateDriver` — Fig. 5: the inverting / non-inverting /
+  open-circuit output structure that terminates every NAND-array row.
+
+The back-gate sign convention follows :class:`repro.devices.DGMosfet`: one
+shared configuration node biases the NMOS and PMOS of a pair oppositely, so
+a single stored trit selects force-on / active / force-off for the *pair*.
+
+Note on Fig. 5 fidelity: the paper's four-transistor reorganised structure
+is not fully recoverable from the figure; we model the inverting and
+open-circuit modes with the classic back-gate-enabled tristate-inverter
+stack and obtain the non-inverting mode by cascading two inverting stages.
+The configuration *table* of Fig. 5 (Out in {NOT IN, IN, open}) is
+reproduced exactly; the transistor count for the non-inverting mode is
+doubled.  See EXPERIMENTS.md (E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.dc import (
+    series_pair_current,
+    solve_output,
+    switching_threshold,
+)
+from repro.devices.dgmosfet import DGMosfet, DGMosfetParams, Polarity
+
+
+@dataclass(frozen=True, slots=True)
+class VTCResult:
+    """A solved voltage-transfer curve.
+
+    Attributes
+    ----------
+    vin, vout:
+        Sweep arrays (V).
+    vdd:
+        Supply (V).
+    back_gate_bias:
+        The configuration bias the curve was solved at.
+    """
+
+    vin: np.ndarray
+    vout: np.ndarray
+    vdd: float
+    back_gate_bias: float
+
+    @property
+    def threshold(self) -> float:
+        """Input switching threshold (V), nan when stuck."""
+        return switching_threshold(self.vin, self.vout, self.vdd)
+
+    @property
+    def is_stuck_high(self) -> bool:
+        """True when the output never falls below VDD/2 (Fig. 3, V_G2 <= -1.5)."""
+        return bool(np.all(self.vout > self.vdd / 2.0))
+
+    @property
+    def is_stuck_low(self) -> bool:
+        """True when the output never rises above VDD/2 (Fig. 3, V_G2 >= +1.5)."""
+        return bool(np.all(self.vout < self.vdd / 2.0))
+
+    @property
+    def switches(self) -> bool:
+        """True when the curve crosses VDD/2 (an active logic configuration)."""
+        return not (self.is_stuck_high or self.is_stuck_low)
+
+
+class ConfigurableInverter:
+    """Complementary DG pair with a shared back-gate configuration node."""
+
+    def __init__(
+        self,
+        vdd: float = 1.0,
+        nmos: DGMosfet | None = None,
+        pmos: DGMosfet | None = None,
+    ) -> None:
+        if vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {vdd!r}")
+        self.vdd = float(vdd)
+        self.nmos = nmos or DGMosfet(DGMosfetParams(polarity=Polarity.NMOS))
+        self.pmos = pmos or DGMosfet(DGMosfetParams(polarity=Polarity.PMOS))
+
+    def vtc(self, back_gate_bias: float = 0.0, n_points: int = 401, vin_max: float | None = None) -> VTCResult:
+        """Solve the transfer curve at the given configuration bias.
+
+        ``vin_max`` defaults to 1.2 * VDD, matching the Fig. 3 sweep range.
+        """
+        vin = np.linspace(0.0, vin_max if vin_max is not None else 1.2 * self.vdd, n_points)
+        vdd = self.vdd
+
+        def pullup(v_out: np.ndarray) -> np.ndarray:
+            return np.asarray(self.pmos.ids(vdd - vin, vdd - v_out, back_gate_bias))
+
+        def pulldown(v_out: np.ndarray) -> np.ndarray:
+            return np.asarray(self.nmos.ids(vin, v_out, back_gate_bias))
+
+        vout = solve_output(pullup, pulldown, vdd, vin.shape)
+        return VTCResult(vin=vin, vout=vout, vdd=vdd, back_gate_bias=float(back_gate_bias))
+
+    def vtc_family(self, biases=(-1.5, -0.5, 0.0, +0.5, +1.5), n_points: int = 401) -> list[VTCResult]:
+        """The Fig. 3 curve family (default biases are the figure's five)."""
+        return [self.vtc(b, n_points=n_points) for b in biases]
+
+    def logic_output(self, vin_logical: int, back_gate_bias: float = 0.0) -> int | None:
+        """Digital abstraction: drive a rail input, threshold the output.
+
+        Returns 0/1, or ``None`` when the output is not a clean level
+        (within 25% of a rail) — used to build configuration tables.
+        """
+        v = self.vdd if vin_logical else 0.0
+        res = self.vtc(back_gate_bias, n_points=3, vin_max=self.vdd)
+        # Interpolate the solved VTC at the driven input.
+        vout = float(np.interp(v, res.vin, res.vout))
+        if vout > 0.75 * self.vdd:
+            return 1
+        if vout < 0.25 * self.vdd:
+            return 0
+        return None
+
+
+class ConfigurableNAND2:
+    """Two-input NAND with per-input back-gate configuration (Fig. 4).
+
+    Pull-down: series NMOS stack (input A lower, input B upper).
+    Pull-up: parallel PMOS pair.  Input A's pair is biased by ``bias_a``,
+    input B's by ``bias_b``; each bias is one of the -2 / 0 / +2 V levels.
+    """
+
+    def __init__(
+        self,
+        vdd: float = 1.0,
+        nmos: DGMosfet | None = None,
+        pmos: DGMosfet | None = None,
+    ) -> None:
+        if vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {vdd!r}")
+        self.vdd = float(vdd)
+        self.nmos = nmos or DGMosfet(DGMosfetParams(polarity=Polarity.NMOS))
+        self.pmos = pmos or DGMosfet(DGMosfetParams(polarity=Polarity.PMOS))
+
+    def solve(self, va, vb, bias_a: float = 0.0, bias_b: float = 0.0) -> np.ndarray:
+        """Output voltage for (arrays of) analog input voltages."""
+        va = np.asarray(va, dtype=float)
+        vb = np.asarray(vb, dtype=float)
+        va, vb = np.broadcast_arrays(va, vb)
+        vdd = self.vdd
+        nmos, pmos = self.nmos, self.pmos
+
+        def pulldown(v_out: np.ndarray) -> np.ndarray:
+            def lower(v_drop: np.ndarray, _vm: np.ndarray) -> np.ndarray:
+                return np.asarray(nmos.ids(va, v_drop, bias_a))
+
+            def upper(v_drop: np.ndarray, vm: np.ndarray) -> np.ndarray:
+                return np.asarray(nmos.ids(vb - vm, v_drop, bias_b))
+
+            return series_pair_current(lower, upper, v_out)
+
+        def pullup(v_out: np.ndarray) -> np.ndarray:
+            ia = np.asarray(pmos.ids(vdd - va, vdd - v_out, bias_a))
+            ib = np.asarray(pmos.ids(vdd - vb, vdd - v_out, bias_b))
+            return ia + ib
+
+        return solve_output(pullup, pulldown, vdd, va.shape)
+
+    def logic_table(self, bias_a: float, bias_b: float) -> dict[tuple[int, int], int | None]:
+        """Digital truth table under a configuration; None marks a bad level."""
+        table: dict[tuple[int, int], int | None] = {}
+        a_bits = np.array([0, 0, 1, 1])
+        b_bits = np.array([0, 1, 0, 1])
+        vout = self.solve(a_bits * self.vdd, b_bits * self.vdd, bias_a, bias_b)
+        for a, b, v in zip(a_bits, b_bits, vout):
+            if v > 0.75 * self.vdd:
+                bit: int | None = 1
+            elif v < 0.25 * self.vdd:
+                bit = 0
+            else:
+                bit = None
+            table[(int(a), int(b))] = bit
+        return table
+
+    def classify(self, bias_a: float, bias_b: float) -> str:
+        """Name the configured function, reproducing the Fig. 4 table rows.
+
+        Returns one of ``"NAND"``, ``"NOT_A"``, ``"NOT_B"``, ``"ONE"``,
+        ``"ZERO"`` or ``"OTHER"``.
+        """
+        t = self.logic_table(bias_a, bias_b)
+        if None in t.values():
+            return "OTHER"
+        bits = tuple(t[(a, b)] for a in (0, 1) for b in (0, 1))
+        named = {
+            (1, 1, 1, 0): "NAND",
+            (1, 1, 0, 0): "NOT_A",
+            (1, 0, 1, 0): "NOT_B",
+            (1, 1, 1, 1): "ONE",
+            (0, 0, 0, 0): "ZERO",
+        }
+        return named.get(bits, "OTHER")
+
+
+class TristateDriver:
+    """The Fig. 5 output structure: inverting / non-inverting / open.
+
+    Modes are selected by two stored trits, matching the three-row table of
+    Fig. 5.  The inverting mode is a back-gate-enabled tristate inverter
+    (enable devices forced on); open-circuit forces both enables off; the
+    non-inverting mode cascades a second inverting stage (see module note).
+    """
+
+    MODES = ("INVERTING", "NON_INVERTING", "OPEN")
+
+    def __init__(self, vdd: float = 1.0) -> None:
+        if vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {vdd!r}")
+        self.vdd = float(vdd)
+        self._inv = ConfigurableInverter(vdd=vdd)
+
+    def mode_for_biases(self, vg1: float, vg2: float) -> str:
+        """Decode the Fig. 5 configuration table.
+
+        (active, off)  -> INVERTING
+        (on, active)   -> NON_INVERTING (second stage active)
+        (off, off)     -> OPEN
+        Any other combination is reported as OPEN for safety (the fabric
+        never programs them).
+        """
+        def level(v: float) -> str:
+            if v <= -1.0:
+                return "off"
+            if v >= 1.0:
+                return "on"
+            return "active"
+
+        l1, l2 = level(vg1), level(vg2)
+        if l1 == "active" and l2 == "off":
+            return "INVERTING"
+        if l1 == "on" and l2 == "active":
+            return "NON_INVERTING"
+        return "OPEN"
+
+    def drive(self, vin_logical: int, mode: str) -> int | None:
+        """Digital output for a rail input in the given mode.
+
+        Returns ``None`` for high-impedance (the bus resolution layer in
+        :mod:`repro.sim` turns that into Z).
+        """
+        if mode not in self.MODES:
+            raise ValueError(f"unknown driver mode {mode!r}; expected one of {self.MODES}")
+        if mode == "OPEN":
+            return None
+        first = self._inv.logic_output(vin_logical, 0.0)
+        if first is None:
+            return None
+        if mode == "INVERTING":
+            return first
+        return self._inv.logic_output(first, 0.0)
+
+    def analog_vtc(self, mode: str, n_points: int = 201) -> VTCResult | None:
+        """DC transfer curve of the driver in an active mode; None when OPEN."""
+        if mode == "OPEN":
+            return None
+        res = self._inv.vtc(0.0, n_points=n_points, vin_max=self.vdd)
+        if mode == "INVERTING":
+            return res
+        vout2 = np.interp(res.vout, res.vin, res.vout)
+        return VTCResult(vin=res.vin, vout=vout2, vdd=self.vdd, back_gate_bias=0.0)

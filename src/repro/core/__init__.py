@@ -1,0 +1,6 @@
+"""Public high-level API: the platform object and experiment reporting."""
+
+from repro.core.platform import PlatformStats, PolymorphicPlatform
+from repro.core.report import ExperimentReport, Row
+
+__all__ = ["PlatformStats", "PolymorphicPlatform", "ExperimentReport", "Row"]

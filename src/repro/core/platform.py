@@ -1,0 +1,174 @@
+"""High-level platform API: place, compile, stimulate, observe.
+
+:class:`PolymorphicPlatform` owns a :class:`repro.fabric.array.CellArray`,
+offers macro placement and routing, compiles to the event simulator and
+wraps stimulus/observation.
+
+One modelling liberty is made explicit here: :meth:`connect` inserts an
+ideal buffered connection between two fabric wires *after* compilation.
+The physical fabric's drivers are bidirectionally configurable (the Fig. 8
+arrows show potential I/O in all four directions), so folded routes —
+an accumulator's sum feeding back to its own operand column, a serial
+adder's carry loop — exist in hardware as ordinary configured paths.  Our
+compiled model fixes dataflow to east/north to keep the wiring acyclic, so
+west/south fold-backs are modelled as explicit buffer gates, counted and
+reported as ``folded_routes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.array import CellArray, CompiledFabric
+from repro.sim.primitives import BufGate, NotGate
+from repro.sim.scheduler import Simulator
+from repro.sim.values import ONE, ZERO
+from repro.sim.waveform import TraceSet
+from repro.synth.macros import Macro, PlacedMacro, place
+
+
+@dataclass(frozen=True, slots=True)
+class PlatformStats:
+    """Resource usage snapshot of a compiled platform.
+
+    Attributes
+    ----------
+    n_cells_used:
+        Non-blank fabric cells.
+    n_gates:
+        Simulator gates the fabric lowered to.
+    n_leaf_devices:
+        Configured leaf cells (area proxy).
+    folded_routes:
+        Ideal west/south connections inserted via :meth:`connect`.
+    config_bits:
+        Total configuration storage (128 bits per cell, used or not —
+        exactly the paper's accounting).
+    """
+
+    n_cells_used: int
+    n_gates: int
+    n_leaf_devices: int
+    folded_routes: int
+    config_bits: int
+
+
+class PolymorphicPlatform:
+    """A configurable array plus its compiled simulation."""
+
+    def __init__(self, n_rows: int, n_cols: int) -> None:
+        self.array = CellArray(n_rows, n_cols)
+        self._fabric: CompiledFabric | None = None
+        self._folded = 0
+        self._placements: list[PlacedMacro] = []
+
+    # ------------------------------------------------------------------
+    # Configuration phase
+    # ------------------------------------------------------------------
+    def place(self, macro: Macro, row: int, col: int) -> PlacedMacro:
+        """Place a macro; only legal before compilation."""
+        self._require_uncompiled()
+        placed = place(macro, self.array, row, col)
+        self._placements.append(placed)
+        return placed
+
+    def load_bitstream(self, bits) -> None:
+        """Replace the whole configuration from a serialised bitstream."""
+        self._require_uncompiled()
+        clone = CellArray.from_bitstream(bits)
+        if (clone.n_rows, clone.n_cols) != (self.array.n_rows, self.array.n_cols):
+            raise ValueError(
+                f"bitstream shape {clone.n_rows}x{clone.n_cols} does not match "
+                f"platform {self.array.n_rows}x{self.array.n_cols}"
+            )
+        self.array = clone
+
+    def _require_uncompiled(self) -> None:
+        if self._fabric is not None:
+            raise RuntimeError(
+                "platform already compiled; configuration is frozen "
+                "(create a new platform to reconfigure)"
+            )
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledFabric:
+        """Lower the array onto a fresh simulator (idempotent)."""
+        if self._fabric is None:
+            self._fabric = self.array.compile_into(Simulator())
+        return self._fabric
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator (compiles on first access)."""
+        return self.compile().sim
+
+    def connect(self, src_wire: str, dst_wire: str, invert: bool = False) -> None:
+        """Insert an ideal folded route from one wire to another.
+
+        See the module docstring for why this exists.  The connection is a
+        1-delay buffer (or inverter) driving ``dst_wire``.
+        """
+        sim = self.sim
+        name = f"fold{self._folded}[{src_wire}->{dst_wire}]"
+        src, dst = sim.net(src_wire), sim.net(dst_wire)
+        gate_cls = NotGate if invert else BufGate
+        sim.add(gate_cls(name, [src], dst))
+        self._folded += 1
+
+    # ------------------------------------------------------------------
+    # Stimulus and observation
+    # ------------------------------------------------------------------
+    def drive(self, wire: str, value: int, at: int | None = None) -> None:
+        """Drive a fabric wire externally (testbench stimulus)."""
+        self.sim.drive(wire, value, at=at)
+
+    def drive_bit(self, wire: str, bit: int, at: int | None = None) -> None:
+        """Drive a wire with a Python 0/1."""
+        self.drive(wire, ONE if bit else ZERO, at=at)
+
+    def value(self, wire: str) -> int:
+        """Current 4-valued level on a wire."""
+        return self.sim.value(wire)
+
+    def bit(self, wire: str) -> int:
+        """Current value as a Python 0/1; raises on X/Z."""
+        v = self.value(wire)
+        if v == ONE:
+            return 1
+        if v == ZERO:
+            return 0
+        from repro.sim.values import format_value
+
+        raise ValueError(f"wire {wire!r} is {format_value(v)}, not a clean bit")
+
+    def run(self, until: int) -> None:
+        """Advance simulation time."""
+        self.sim.run(until=until)
+
+    def settle(self, dt: int = 100) -> None:
+        """Advance by ``dt`` — enough for small macros to quiesce."""
+        self.sim.run(until=self.sim.now + dt)
+
+    def trace(self, *wires: str) -> None:
+        """Record transitions on wires (before or after stimulus)."""
+        self.sim.trace(*wires)
+
+    def traces(self) -> TraceSet:
+        """All recorded waveforms."""
+        return TraceSet(self.sim)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> PlatformStats:
+        """Resource usage of the compiled design."""
+        fabric = self.compile()
+        return PlatformStats(
+            n_cells_used=self.array.used_cells(),
+            n_gates=fabric.n_gates,
+            n_leaf_devices=self.array.leaf_count(),
+            folded_routes=self._folded,
+            config_bits=self.array.n_rows * self.array.n_cols * 128,
+        )

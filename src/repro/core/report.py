@@ -1,0 +1,80 @@
+"""Experiment report tables: the benches' common output format.
+
+Every benchmark regenerates one of the paper's figures or in-text claims
+and prints a small table of paper-value versus measured-value rows.  This
+module keeps the formatting in one place so ``bench_output.txt`` and
+EXPERIMENTS.md stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Row:
+    """One comparison row.
+
+    Attributes
+    ----------
+    quantity:
+        What is being compared (e.g. "config bits per block").
+    paper:
+        The paper's stated value, as printed text.
+    measured:
+        Our measured/derived value.
+    verdict:
+        "match", "shape-match", or "deviation" plus optional detail.
+    """
+
+    quantity: str
+    paper: str
+    measured: str
+    verdict: str = "match"
+
+
+@dataclass
+class ExperimentReport:
+    """A titled collection of comparison rows."""
+
+    experiment: str
+    title: str
+    rows: list[Row] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, quantity: str, paper: str, measured: str, verdict: str = "match") -> None:
+        """Append a comparison row."""
+        self.rows.append(Row(quantity, paper, measured, verdict))
+
+    def note(self, text: str) -> None:
+        """Append a free-text note (modelling caveats, substitutions)."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """Fixed-width table for terminal / log output."""
+        header = f"== {self.experiment}: {self.title} =="
+        cols = ("quantity", "paper", "measured", "verdict")
+        widths = [len(c) for c in cols]
+        for r in self.rows:
+            widths[0] = max(widths[0], len(r.quantity))
+            widths[1] = max(widths[1], len(r.paper))
+            widths[2] = max(widths[2], len(r.measured))
+            widths[3] = max(widths[3], len(r.verdict))
+        lines = [header]
+        fmt = "  {0:<{w0}}  {1:<{w1}}  {2:<{w2}}  {3:<{w3}}"
+        lines.append(fmt.format(*cols, w0=widths[0], w1=widths[1], w2=widths[2], w3=widths[3]))
+        lines.append("  " + "-" * (sum(widths) + 6))
+        for r in self.rows:
+            lines.append(
+                fmt.format(
+                    r.quantity, r.paper, r.measured, r.verdict,
+                    w0=widths[0], w1=widths[1], w2=widths[2], w3=widths[3],
+                )
+            )
+        for n in self.notes:
+            lines.append(f"  note: {n}")
+        return "\n".join(lines)
+
+    def all_match(self) -> bool:
+        """True when no row records a deviation."""
+        return all(r.verdict != "deviation" for r in self.rows)

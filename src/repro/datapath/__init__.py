@@ -1,0 +1,42 @@
+"""Datapath generators: ripple-carry adders, accumulators, bit-serial units.
+
+The concrete realisations of the paper's Fig. 10 datapath example and the
+Section 4 serial-versus-parallel argument.
+"""
+
+from repro.datapath.accumulator import Accumulator
+from repro.datapath.adder import AdderPorts, RippleCarryAdder
+from repro.datapath.multiplier import (
+    MultiplierCost,
+    ShiftAddMultiplier,
+    array_multiplier_cost,
+    bit_serial_cost,
+    shift_add_cost,
+    style_comparison,
+)
+from repro.datapath.bitserial import (
+    AdderTiming,
+    BitSerialAdder,
+    CELL_PITCH_LAMBDA,
+    bit_serial_timing,
+    crossover_width,
+    ripple_timing,
+)
+
+__all__ = [
+    "Accumulator",
+    "AdderPorts",
+    "RippleCarryAdder",
+    "MultiplierCost",
+    "ShiftAddMultiplier",
+    "array_multiplier_cost",
+    "bit_serial_cost",
+    "shift_add_cost",
+    "style_comparison",
+    "AdderTiming",
+    "BitSerialAdder",
+    "CELL_PITCH_LAMBDA",
+    "bit_serial_timing",
+    "crossover_width",
+    "ripple_timing",
+]

@@ -1,0 +1,122 @@
+"""Accumulator block (paper Fig. 10, right half): adder + register column.
+
+Each bit pairs a full-adder slice with an edge-triggered D flip-flop; the
+flip-flop output loops back as the adder's A operand.  On every rising
+clock edge the accumulator adds its B input to the running total:
+
+    ACC <- ACC + B
+
+The sum-to-register and register-to-operand paths are west/south folds and
+use :meth:`repro.core.platform.PolymorphicPlatform.connect` (see that
+module's docstring for why the fold is an explicit modelled route).
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import PolymorphicPlatform
+from repro.datapath.adder import RippleCarryAdder
+from repro.synth.macros import dff_pair
+
+
+class Accumulator:
+    """An n-bit accumulate-on-clock datapath on the polymorphic fabric."""
+
+    #: Columns per register site: DFF pair (2 cells) + 1 isolation gap.
+    COLS_PER_DFF = 3
+
+    def __init__(self, n_bits: int) -> None:
+        if n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+        self.n_bits = int(n_bits)
+        adder_cols = RippleCarryAdder.CELLS_PER_BIT * n_bits
+        # Adder, one gap column, then DFF sites.
+        total_cols = adder_cols + 1 + self.COLS_PER_DFF * n_bits
+        self.platform = PolymorphicPlatform(1, total_cols)
+        self.adder = RippleCarryAdder(n_bits, platform=self.platform)
+        self._dff_ports = []
+        for k in range(n_bits):
+            col = adder_cols + 1 + self.COLS_PER_DFF * k
+            placed = self.platform.place(dff_pair(with_reset=True), 0, col)
+            self._dff_ports.append(placed)
+        self._wire_folds()
+        self._t = 0
+        self._clk = 0
+
+    def _wire_folds(self) -> None:
+        p = self.platform
+        for k in range(self.n_bits):
+            dff = self._dff_ports[k]
+            # Sum bit k -> register D input.
+            p.connect(self.adder.ports.s[k], dff.inputs["d"])
+            # Register Q -> adder operand A (both polarities).
+            p.connect(dff.outputs["q"], self.adder.ports.a[k])
+            p.connect(dff.outputs["q_n"], self.adder.ports.a_n[k])
+
+    # ------------------------------------------------------------------
+    # Operation
+    # ------------------------------------------------------------------
+    def reset(self, settle: int = 500) -> None:
+        """Assert and release the asynchronous clear; ACC <- 0."""
+        p = self.platform
+        for dff in self._dff_ports:
+            p.drive_bit(dff.inputs["rst_n"], 0)
+            p.drive_bit(dff.inputs["clk"], 0)
+            p.drive_bit(dff.inputs["clk_n"], 1)
+        p.drive_bit(self.adder.ports.cin, 0)
+        p.drive_bit(self.adder.ports.cin_n, 1)
+        self._advance(settle)
+        for dff in self._dff_ports:
+            p.drive_bit(dff.inputs["rst_n"], 1)
+        self._advance(settle)
+        self._clk = 0
+
+    def set_operand(self, b: int, settle: int = 500) -> None:
+        """Present B on the adder's second operand."""
+        if not 0 <= b < (1 << self.n_bits):
+            raise ValueError(f"b must fit in {self.n_bits} bits, got {b!r}")
+        p = self.platform
+        for k in range(self.n_bits):
+            bit = (b >> k) & 1
+            p.drive_bit(self.adder.ports.b[k], bit)
+            p.drive_bit(self.adder.ports.b_n[k], 1 - bit)
+        self._advance(settle)
+
+    def clock_pulse(self, settle: int = 500) -> None:
+        """One rising+falling clock edge: ACC <- ACC + B."""
+        p = self.platform
+        for dff in self._dff_ports:
+            p.drive_bit(dff.inputs["clk"], 1)
+            p.drive_bit(dff.inputs["clk_n"], 0)
+        self._advance(settle)
+        for dff in self._dff_ports:
+            p.drive_bit(dff.inputs["clk"], 0)
+            p.drive_bit(dff.inputs["clk_n"], 1)
+        self._advance(settle)
+
+    def accumulate(self, b: int) -> int:
+        """Add ``b`` into the accumulator and return the new value."""
+        self.set_operand(b)
+        self.clock_pulse()
+        return self.value()
+
+    def value(self) -> int:
+        """Current accumulator contents (register outputs)."""
+        total = 0
+        for k, dff in enumerate(self._dff_ports):
+            total |= self.platform.bit(dff.outputs["q"]) << k
+        return total
+
+    def _advance(self, dt: int) -> None:
+        self._t += dt
+        self.platform.run(self._t)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def cells_used(self) -> int:
+        """Fabric cells configured for the whole accumulator."""
+        return self.platform.array.used_cells()
+
+    def cells_per_bit(self) -> float:
+        """Cells per accumulated bit (adder slice + register)."""
+        return self.cells_used() / self.n_bits

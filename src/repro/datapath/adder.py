@@ -1,0 +1,126 @@
+"""Ripple-carry adder generator (paper Fig. 10, left half).
+
+Chains :func:`repro.synth.macros.full_adder_slice` bits east-to-west... in
+fabric terms: bit k occupies columns ``3k .. 3k+2`` of one array row.  The
+carry ripples automatically through the abutment — the slice's ``cout`` /
+``cout'`` leave on east lines 4/5, exactly the columns the next slice
+expects ``cin`` / ``cin'`` on, reproducing the paper's *"two horizontal
+connections between adjacent cells ... transfer the ripple carry between
+bits"*.  Sums exit on the north edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.platform import PolymorphicPlatform
+from repro.fabric.array import wire_name
+from repro.synth.macros import full_adder_slice
+
+
+@dataclass(frozen=True, slots=True)
+class AdderPorts:
+    """Resolved wire names of a placed ripple-carry adder.
+
+    All lists are LSB-first.
+    """
+
+    a: list[str]
+    a_n: list[str]
+    b: list[str]
+    b_n: list[str]
+    cin: str
+    cin_n: str
+    s: list[str]
+    cout: str
+    cout_n: str
+
+
+class RippleCarryAdder:
+    """An n-bit ripple-carry adder configured on a polymorphic platform."""
+
+    #: Cells per bit: product plane + carry collector + sum/ripple cell.
+    CELLS_PER_BIT = 3
+    #: Product terms per bit in the first-level plane (the paper's five).
+    TERMS_PER_BIT = 5
+
+    def __init__(self, n_bits: int, platform: PolymorphicPlatform | None = None) -> None:
+        if n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+        self.n_bits = int(n_bits)
+        self.platform = platform or PolymorphicPlatform(1, self.CELLS_PER_BIT * n_bits)
+        self.ports = self._build()
+
+    def _build(self) -> AdderPorts:
+        a, a_n, b, b_n, s = [], [], [], [], []
+        first_cin = first_cin_n = last_cout = last_cout_n = ""
+        for k in range(self.n_bits):
+            placed = self.platform.place(full_adder_slice(), 0, self.CELLS_PER_BIT * k)
+            a.append(placed.inputs["a"])
+            a_n.append(placed.inputs["a_n"])
+            b.append(placed.inputs["b"])
+            b_n.append(placed.inputs["b_n"])
+            s.append(placed.outputs["s"])
+            if k == 0:
+                first_cin = placed.inputs["cin"]
+                first_cin_n = placed.inputs["cin_n"]
+            last_cout = placed.outputs["cout"]
+            last_cout_n = placed.outputs["cout_n"]
+        return AdderPorts(
+            a=a, a_n=a_n, b=b, b_n=b_n,
+            cin=first_cin, cin_n=first_cin_n,
+            s=s, cout=last_cout, cout_n=last_cout_n,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional interface
+    # ------------------------------------------------------------------
+    def apply(self, a: int, b: int, cin: int = 0, settle: int = 400) -> None:
+        """Drive the operands and let the ripple settle."""
+        self._check_operand("a", a)
+        self._check_operand("b", b)
+        if cin not in (0, 1):
+            raise ValueError(f"cin must be 0 or 1, got {cin!r}")
+        p = self.platform
+        for k in range(self.n_bits):
+            abit = (a >> k) & 1
+            bbit = (b >> k) & 1
+            p.drive_bit(self.ports.a[k], abit)
+            p.drive_bit(self.ports.a_n[k], 1 - abit)
+            p.drive_bit(self.ports.b[k], bbit)
+            p.drive_bit(self.ports.b_n[k], 1 - bbit)
+        p.drive_bit(self.ports.cin, cin)
+        p.drive_bit(self.ports.cin_n, 1 - cin)
+        p.settle(settle)
+
+    def result(self) -> tuple[int, int]:
+        """(sum, carry-out) currently on the outputs."""
+        total = 0
+        for k, wire in enumerate(self.ports.s):
+            total |= self.platform.bit(wire) << k
+        return total, self.platform.bit(self.ports.cout)
+
+    def add(self, a: int, b: int, cin: int = 0) -> int:
+        """Convenience: apply, settle, and return the full integer sum."""
+        self.apply(a, b, cin)
+        s, cout = self.result()
+        return s | (cout << self.n_bits)
+
+    def _check_operand(self, name: str, value: int) -> None:
+        if not 0 <= value < (1 << self.n_bits):
+            raise ValueError(
+                f"{name} must fit in {self.n_bits} bits, got {value!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Accounting (Fig. 10 claims)
+    # ------------------------------------------------------------------
+    def cells_used(self) -> int:
+        """Fabric cells configured (3 per bit: see module docstring)."""
+        return self.platform.array.used_cells()
+
+    def carry_wire(self, k: int) -> str:
+        """The ripple-carry wire between bit k and bit k+1 (for tracing)."""
+        if not 0 <= k < self.n_bits:
+            raise ValueError(f"k must be 0..{self.n_bits - 1}, got {k}")
+        return wire_name(0, self.CELLS_PER_BIT * (k + 1), 4)

@@ -1,0 +1,133 @@
+"""Bit-serial arithmetic and the serial-versus-parallel trade (Section 4).
+
+The paper argues that once interconnect delay dominates, "alternative
+techniques such as bit-serial arithmetic ... may offer equivalent or
+better performance".  This module provides:
+
+* a cycle-accurate :class:`BitSerialAdder` model (one full-adder slice plus
+  a carry flip-flop, processing one bit per clock);
+* first-order timing models for both adder styles under a technology node,
+  built on :mod:`repro.util.technology`:
+
+  - ripple-carry: one long combinational evaluation whose wire component
+    grows with the carry chain's physical length;
+  - bit-serial: n short cycles whose critical path is a single slice.
+
+* :func:`crossover_width` — the operand width where bit-serial overtakes
+  ripple-carry at a node, the paper's qualitative claim made quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.technology import TechnologyNode
+
+
+class BitSerialAdder:
+    """Cycle-accurate serial adder: LSB-first, one bit per clock."""
+
+    def __init__(self) -> None:
+        self._carry = 0
+        self.cycles = 0
+
+    def reset(self) -> None:
+        """Clear the carry register."""
+        self._carry = 0
+
+    def step(self, a_bit: int, b_bit: int) -> int:
+        """Process one bit pair; returns the sum bit."""
+        if a_bit not in (0, 1) or b_bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {a_bit!r}, {b_bit!r}")
+        total = a_bit + b_bit + self._carry
+        self._carry = total >> 1
+        self.cycles += 1
+        return total & 1
+
+    @property
+    def carry(self) -> int:
+        """Current carry register contents."""
+        return self._carry
+
+    def add(self, a: int, b: int, n_bits: int) -> int:
+        """Add two n-bit numbers serially; returns the (n+1)-bit sum."""
+        if a < 0 or b < 0:
+            raise ValueError("operands must be non-negative")
+        if max(a, b) >= (1 << n_bits):
+            raise ValueError(f"operands must fit in {n_bits} bits")
+        self.reset()
+        out = 0
+        for k in range(n_bits):
+            out |= self.step((a >> k) & 1, (b >> k) & 1) << k
+        out |= self._carry << n_bits
+        return out
+
+
+#: Physical pitch of one fabric cell in lambda (the paper: a cell pair in
+#: under 400 lambda^2, i.e. a cell is ~14x14 lambda).
+CELL_PITCH_LAMBDA = 14.0
+
+#: Effective per-hop resistance (ohm) of an unbuffered carry path — the
+#: pass-transistor / low-drive regime the paper's Section 1 predicts for
+#: nano-scale devices ("reduced fanout (i.e. low drive), low gain").  The
+#: ripple chain is modelled as an n-section RC ladder with this hop
+#: resistance; its Elmore delay grows quadratically in n.
+R_HOP_OHM = 10_000.0
+
+#: Fixed load per hop beyond the wire itself (driver diffusion + gate input).
+C_HOP_FIXED_FF = 0.1
+
+
+@dataclass(frozen=True, slots=True)
+class AdderTiming:
+    """First-order latency model outputs (all in ps)."""
+
+    style: str
+    n_bits: int
+    total_ps: float
+    cycle_ps: float
+    n_cycles: int
+
+
+def _hop_capacitance_ff(node: TechnologyNode) -> float:
+    """Capacitance (fF) of one carry hop: a 3-cell span of wire plus load."""
+    span_um = 3 * CELL_PITCH_LAMBDA * node.lambda_nm * 1e-3
+    return node.wire_c_ff_per_um * span_um + C_HOP_FIXED_FF
+
+
+def ripple_timing(n_bits: int, node: TechnologyNode) -> AdderTiming:
+    """Ripple-carry: logic per slice plus an unbuffered RC carry ladder.
+
+    The carry path is an n-section ladder of hop resistance
+    :data:`R_HOP_OHM` and per-hop capacitance from the node's wire model;
+    its Elmore delay is 0.5 * n^2 * R * C — quadratic in width.  This is
+    the regime in which the paper (citing Agarwal [42]) argues fast-carry
+    hardware loses its value.
+    """
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    logic_ps = n_bits * 2.0 * node.gate_delay_ps
+    c_hop_f = _hop_capacitance_ff(node) * 1e-15
+    ladder_ps = 0.5 * n_bits**2 * R_HOP_OHM * c_hop_f * 1e12
+    total = logic_ps + ladder_ps
+    return AdderTiming("ripple", n_bits, total, total, 1)
+
+
+def bit_serial_timing(n_bits: int, node: TechnologyNode) -> AdderTiming:
+    """Bit-serial: n short cycles of one actively-driven slice + register.
+
+    The cycle time is local — independent of operand width — which is why
+    serial wins once unbuffered long paths get expensive.
+    """
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    cycle = 4.0 * node.gate_delay_ps  # two NAND levels + register
+    return AdderTiming("serial", n_bits, n_bits * cycle, cycle, n_bits)
+
+
+def crossover_width(node: TechnologyNode, max_bits: int = 4096) -> int | None:
+    """Smallest width where bit-serial beats ripple-carry, or None."""
+    for n in range(1, max_bits + 1):
+        if bit_serial_timing(n, node).total_ps < ripple_timing(n, node).total_ps:
+            return n
+    return None

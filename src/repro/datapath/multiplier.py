@@ -1,0 +1,96 @@
+"""Shift-add multiplier built from the accumulator block.
+
+An extension exercising composition of the Fig. 10 datapath: an n x n
+multiplier as n accumulate steps of conditionally-added, pre-shifted
+partial products.  The partial-product gating and shifting are performed
+by the host (they are trivial operand staging), while every addition runs
+on the fabric accumulator — so the arithmetic path being validated is
+entirely the paper's cell-pair adder.
+
+Also provides the first-order cost/latency comparison of the three
+multiplier styles the paper's serial-versus-parallel discussion implies:
+full array, shift-add (this class), and fully bit-serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datapath.accumulator import Accumulator
+from repro.datapath.adder import RippleCarryAdder
+from repro.datapath.bitserial import bit_serial_timing, ripple_timing
+from repro.util.technology import TechnologyNode
+
+
+class ShiftAddMultiplier:
+    """n x n -> 2n-bit multiplier on a fabric accumulator."""
+
+    def __init__(self, n_bits: int) -> None:
+        if n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+        self.n_bits = int(n_bits)
+        # The accumulator holds the full 2n-bit running product.
+        self.accumulator = Accumulator(2 * n_bits)
+
+    def multiply(self, a: int, b: int) -> int:
+        """Compute a * b with one fabric accumulation per set bit of b."""
+        limit = 1 << self.n_bits
+        if not 0 <= a < limit or not 0 <= b < limit:
+            raise ValueError(
+                f"operands must fit in {self.n_bits} bits, got {a!r}, {b!r}"
+            )
+        self.accumulator.reset()
+        for k in range(self.n_bits):
+            if (b >> k) & 1:
+                self.accumulator.accumulate(a << k)
+        return self.accumulator.value()
+
+    def cells_used(self) -> int:
+        """Fabric cells configured (the 2n-bit accumulator)."""
+        return self.accumulator.cells_used()
+
+
+@dataclass(frozen=True, slots=True)
+class MultiplierCost:
+    """First-order cost/latency of one multiplier organisation."""
+
+    style: str
+    n_bits: int
+    cells: int
+    latency_ps: float
+
+
+def array_multiplier_cost(n_bits: int, node: TechnologyNode) -> MultiplierCost:
+    """Combinational array multiplier: n^2 adder slices, 2n-slice critical path."""
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    cells = n_bits * n_bits * RippleCarryAdder.CELLS_PER_BIT
+    latency = ripple_timing(2 * n_bits, node).total_ps
+    return MultiplierCost("array", n_bits, cells, latency)
+
+
+def shift_add_cost(n_bits: int, node: TechnologyNode) -> MultiplierCost:
+    """Shift-add: one 2n-bit accumulator reused n times."""
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    cells = 2 * n_bits * (RippleCarryAdder.CELLS_PER_BIT + 2)  # + register pair
+    per_add = ripple_timing(2 * n_bits, node).total_ps + 4.0 * node.gate_delay_ps
+    return MultiplierCost("shift-add", n_bits, cells, n_bits * per_add)
+
+
+def bit_serial_cost(n_bits: int, node: TechnologyNode) -> MultiplierCost:
+    """Fully bit-serial: one slice, n^2 cycles."""
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    cells = RippleCarryAdder.CELLS_PER_BIT + 2
+    cycle = bit_serial_timing(1, node).cycle_ps
+    return MultiplierCost("bit-serial", n_bits, cells, n_bits * n_bits * cycle)
+
+
+def style_comparison(n_bits: int, node: TechnologyNode) -> list[MultiplierCost]:
+    """All three organisations, for the area-time trade report."""
+    return [
+        array_multiplier_cost(n_bits, node),
+        shift_add_cost(n_bits, node),
+        bit_serial_cost(n_bits, node),
+    ]

@@ -1,0 +1,48 @@
+"""Compact device models: double-gate MOSFETs, RTDs and the tunnelling SRAM.
+
+These are the behavioural substitutes for the paper's physical devices (see
+DESIGN.md, section 2).  Everything is analytic, numpy-vectorised and
+deterministic.
+"""
+
+from repro.devices.dgmosfet import (
+    CONFIG_BIAS_LEVELS,
+    DGMosfet,
+    DGMosfetParams,
+    Polarity,
+    default_nmos,
+    default_pmos,
+)
+from repro.devices.rtd import RTD, MultiPeakRTD, RTDParams
+from repro.devices.rtd_sram import (
+    BackGateDriver,
+    ResistiveRTDMemory,
+    StablePoint,
+    TunnellingSRAM,
+)
+from repro.devices.variation import (
+    bulk_rdf_sigma_vt,
+    config_margin_yield,
+    dg_geometric_sigma_vt,
+    sample_vt_population,
+)
+
+__all__ = [
+    "CONFIG_BIAS_LEVELS",
+    "DGMosfet",
+    "DGMosfetParams",
+    "Polarity",
+    "default_nmos",
+    "default_pmos",
+    "RTD",
+    "MultiPeakRTD",
+    "RTDParams",
+    "BackGateDriver",
+    "ResistiveRTDMemory",
+    "StablePoint",
+    "TunnellingSRAM",
+    "bulk_rdf_sigma_vt",
+    "config_margin_yield",
+    "dg_geometric_sigma_vt",
+    "sample_vt_population",
+]

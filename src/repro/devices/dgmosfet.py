@@ -1,0 +1,209 @@
+"""Compact model of the fully-depleted double-gate (DG) MOSFET.
+
+This is the behavioural stand-in for the 10 nm SOI-Si double-gate device of
+the paper's Fig. 2 (after Ren et al. [30]) as simulated with the UFDG models
+of Fossum & Chong [31].  The paper exploits exactly one device property:
+
+    *the second (back) gate offers a means of controlling the operation of
+    the logic device in a way that decouples the configuration mechanism
+    from the logic path* (Section 3)
+
+i.e. biasing the back gate shifts the threshold voltage far enough that the
+transistor can be
+
+* left **active** (back gate near 0 V — normal logic operation),
+* forced permanently **on** (threshold pushed below the whole input range),
+* forced permanently **off** (threshold pushed above the whole input range).
+
+The model below is an EKV-flavoured single-piece expression: a softplus
+channel-charge term squared for drain saturation current, blended into the
+triode region with a tanh, plus linear back-gate threshold coupling.  It is
+smooth, monotone in both V_GS and V_DS, vectorises over numpy arrays, and
+reproduces the Fig. 3 voltage-transfer-curve family (see
+``benchmarks/bench_fig3_inverter_vtc.py``).
+
+It is *not* a predictive TCAD model — see DESIGN.md section 2 for why the
+substitution preserves the behaviour the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+import numpy as np
+
+from repro.util.constants import softplus, thermal_voltage
+from repro.util.validate import check_positive
+
+
+class Polarity(Enum):
+    """Channel polarity of a MOS device."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+@dataclass(frozen=True, slots=True)
+class DGMosfetParams:
+    """Electrical parameters of the double-gate compact model.
+
+    Attributes
+    ----------
+    polarity:
+        NMOS or PMOS.
+    vt0:
+        Magnitude of the zero-back-bias threshold voltage (V).  Positive for
+        both polarities; the sign convention is handled internally.
+    back_gate_gamma:
+        Threshold shift per volt of back-gate bias (dimensionless).  The
+        symmetric 1.5 nm / 1.5 nm oxide stack of Fig. 2 gives an ideal
+        coupling of ~1; fully-depleted-film division reduces it.  The default
+        of 0.6 places the force-on/force-off corners at |V_G2| ~= 1.5 V,
+        matching Fig. 3, with +/-2 V (the Fig. 4/5 configuration levels)
+        comfortably inside the forced regions.
+    k_transconductance:
+        Current factor K (A/V^2) of the saturation-current expression.
+    subthreshold_n:
+        Subthreshold ideality factor (slope = n * kT/q * ln 10 per decade).
+    temperature_k:
+        Device temperature.
+    """
+
+    polarity: Polarity = Polarity.NMOS
+    vt0: float = 0.25
+    back_gate_gamma: float = 0.6
+    k_transconductance: float = 200e-6
+    subthreshold_n: float = 1.1
+    temperature_k: float = 300.0
+
+    def __post_init__(self) -> None:
+        check_positive("vt0", self.vt0)
+        check_positive("back_gate_gamma", self.back_gate_gamma)
+        check_positive("k_transconductance", self.k_transconductance)
+        check_positive("subthreshold_n", self.subthreshold_n)
+        check_positive("temperature_k", self.temperature_k)
+
+    def as_pmos(self) -> "DGMosfetParams":
+        """A PMOS twin of this parameter set (same magnitudes)."""
+        return replace(self, polarity=Polarity.PMOS)
+
+    def as_nmos(self) -> "DGMosfetParams":
+        """An NMOS twin of this parameter set (same magnitudes)."""
+        return replace(self, polarity=Polarity.NMOS)
+
+
+class DGMosfet:
+    """Evaluable double-gate MOSFET.
+
+    The terminal convention is *bulk-referenced magnitudes*: for both
+    polarities ``ids(vgs, vds, vbg)`` takes the gate-source and drain-source
+    voltages **as seen by the device** (so for a PMOS pull-up with source at
+    VDD, ``vgs = VDD - v_gate`` and ``vds = VDD - v_drain``), and returns the
+    current magnitude flowing source->drain.  This keeps the VTC solvers
+    polarity-agnostic.
+
+    The back-gate bias ``vbg`` is signed and polarity-aware: *positive* vbg
+    always pushes the device **towards conduction** for NMOS and **away from
+    conduction** for PMOS, matching the paper's single shared configuration
+    node per complementary pair (Figs. 3-5: one V_G2 value simultaneously
+    strengthens one device of the pair and weakens the other).
+    """
+
+    def __init__(self, params: DGMosfetParams | None = None) -> None:
+        self.params = params or DGMosfetParams()
+        p = self.params
+        self._phi_t = thermal_voltage(p.temperature_k)
+        # Smoothing scale of the softplus channel-charge term.
+        self._sigma = 2.0 * p.subthreshold_n * self._phi_t
+
+    # ------------------------------------------------------------------
+    # Threshold behaviour
+    # ------------------------------------------------------------------
+    def effective_vt(self, vbg) -> np.ndarray | float:
+        """Effective threshold voltage under back-gate bias ``vbg``.
+
+        For NMOS:  VT = vt0 - gamma * vbg  (positive vbg lowers VT).
+        For PMOS the device is evaluated in magnitude space and positive vbg
+        *raises* the magnitude threshold:  |VT| = vt0 + gamma * vbg.
+        """
+        p = self.params
+        vbg = np.asarray(vbg, dtype=float)
+        if p.polarity is Polarity.NMOS:
+            vt = p.vt0 - p.back_gate_gamma * vbg
+        else:
+            vt = p.vt0 + p.back_gate_gamma * vbg
+        if vt.ndim == 0:
+            return float(vt)
+        return vt
+
+    def force_on_bias(self, swing: float = 1.0, margin: float = 0.25) -> float:
+        """Back-gate bias guaranteeing conduction over the whole input swing.
+
+        Returns the (signed) bias that moves the effective threshold at least
+        ``margin`` volts below 0, so the device conducts even at vgs = 0.
+        For NMOS this is positive, matching the +2 V row of Fig. 4's table.
+        """
+        del swing  # conduction at vgs=0 suffices for the full swing
+        need = (self.params.vt0 + margin) / self.params.back_gate_gamma
+        return need if self.params.polarity is Polarity.NMOS else -need
+
+    def force_off_bias(self, swing: float = 1.0, margin: float = 0.25) -> float:
+        """Back-gate bias guaranteeing cut-off over the whole input swing.
+
+        Moves the effective threshold at least ``margin`` volts above the
+        supply swing so the device never conducts.  Negative for NMOS.
+        """
+        need = (swing + margin - self.params.vt0) / self.params.back_gate_gamma
+        return -need if self.params.polarity is Polarity.NMOS else need
+
+    # ------------------------------------------------------------------
+    # Current
+    # ------------------------------------------------------------------
+    def ids(self, vgs, vds, vbg=0.0) -> np.ndarray | float:
+        """Drain-current magnitude (A) at the given terminal magnitudes.
+
+        Smooth in all arguments; broadcastable.  ``vds`` must be >= 0 in the
+        magnitude convention (the solvers only ever ask for forward
+        conduction; reverse conduction through the complementary structure is
+        modelled by the opposing network).
+        """
+        p = self.params
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        vt = np.asarray(self.effective_vt(vbg), dtype=float)
+
+        # Smooth overdrive (EKV channel charge): -> vgs - vt when >> 0,
+        # -> exp((vgs - vt)/sigma) * sigma when << 0 (subthreshold).
+        vov = softplus(vgs - vt, self._sigma)
+        isat = p.k_transconductance * vov**2
+        # Triode/saturation blending: saturation voltage tracks the
+        # overdrive; tanh gives the monotone, smooth join.  The factor of 2
+        # sharpens the knee so deep saturation is flat to <1%.
+        vdsat = np.maximum(vov, 1e-12)
+        out = isat * np.tanh(2.0 * np.maximum(vds, 0.0) / vdsat)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def conductance(self, vgs, vds, vbg=0.0, dv: float = 1e-4) -> np.ndarray | float:
+        """Numerical output conductance d(ids)/d(vds) — used by load-line checks."""
+        hi = self.ids(vgs, np.asarray(vds, dtype=float) + dv, vbg)
+        lo = self.ids(vgs, np.maximum(np.asarray(vds, dtype=float) - dv, 0.0), vbg)
+        return (hi - lo) / (2.0 * dv)
+
+
+def default_nmos() -> DGMosfet:
+    """The reference NMOS device used throughout the fabric models."""
+    return DGMosfet(DGMosfetParams(polarity=Polarity.NMOS))
+
+
+def default_pmos() -> DGMosfet:
+    """The reference PMOS device (matched magnitudes to :func:`default_nmos`)."""
+    return DGMosfet(DGMosfetParams(polarity=Polarity.PMOS))
+
+
+#: The three canonical configuration bias levels of the paper's Figs. 4-5,
+#: in volts: FORCE_OFF, ACTIVE, FORCE_ON for the NMOS of a complementary
+#: pair (the PMOS sees the same node and responds oppositely).
+CONFIG_BIAS_LEVELS: tuple[float, float, float] = (-2.0, 0.0, +2.0)

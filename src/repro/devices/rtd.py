@@ -1,0 +1,202 @@
+"""Compact model of the resonant tunnelling diode (RTD).
+
+The paper's configuration mechanism (Section 3, Fig. 6) stores multi-valued
+back-gate biases in an RTD RAM of the type described by van der Wagt [34];
+the negative-differential-resistance (NDR) I-V characteristic of the RTD is
+what gives the storage node multiple stable states.
+
+The single-peak model is a three-term analytic curve:
+
+* a resonant term ``Ip * x * exp((1 - x^2)/2)`` with ``x = V/Vp`` — peaks at
+  exactly (Vp, Ip) and decays Gaussian-fast into the valley;
+* a weak leak term ``(Ip / valley_ratio) * tanh(x) / 2`` that sets the
+  valley floor and keeps dI/dV nonzero everywhere (no flat regions, which
+  matters for the load-line analysis in :mod:`repro.devices.rtd_sram`);
+* a thermionic diode term ``Is * (exp((V - V_onset)/V_sl) - 1)`` producing
+  the post-valley second rise.
+
+A multi-peak device (the series stack used by Wei & Lin [33] and Seabaugh's
+nine-state memory [36]) repeats the resonant term at ``Vp, 3Vp, 5Vp, ...``
+with the diode onset pushed past the last peak.
+
+Currents are odd-extended for negative bias so the devices can be used in
+the bipolar-supply storage latch of :mod:`repro.devices.rtd_sram`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validate import check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class RTDParams:
+    """Parameters of a single-peak RTD.
+
+    Attributes
+    ----------
+    peak_voltage:
+        Bias (V) of the resonant current peak.
+    peak_current:
+        Peak current (A).  The paper's Nanotechnology-Roadmap citation [40]
+        projects 10-50 pA peaks for 50 nm RTDs; the default sits mid-range.
+    valley_ratio:
+        Approximate peak-to-valley current ratio (PVCR).  Room-temperature
+        silicon interband diodes reach a few (Hobart [37], Jin [38]); III-V
+        devices reach tens.
+    diode_saturation:
+        Saturation current (A) of the post-valley thermionic rise.
+    diode_slope_v:
+        Exponential slope (V) of the post-valley rise.
+    """
+
+    peak_voltage: float = 0.35
+    peak_current: float = 25e-12
+    valley_ratio: float = 8.0
+    diode_saturation: float = 1e-14
+    diode_slope_v: float = 0.30
+
+    def __post_init__(self) -> None:
+        check_positive("peak_voltage", self.peak_voltage)
+        check_positive("peak_current", self.peak_current)
+        if self.valley_ratio <= 1.0:
+            raise ValueError(
+                f"valley_ratio must exceed 1 for NDR behaviour, got {self.valley_ratio!r}"
+            )
+        check_positive("diode_saturation", self.diode_saturation)
+        check_positive("diode_slope_v", self.diode_slope_v)
+
+
+def _resonant_term(av: np.ndarray, vp: float, ip: float) -> np.ndarray:
+    """Gaussian-decay resonant tunnelling current, peak exactly at (vp, ip)."""
+    x = av / vp
+    return ip * x * np.exp(0.5 * (1.0 - x * x))
+
+
+class RTD:
+    """Single-peak resonant tunnelling diode (odd-symmetric I-V)."""
+
+    def __init__(self, params: RTDParams | None = None) -> None:
+        self.params = params or RTDParams()
+
+    def current(self, v) -> np.ndarray | float:
+        """Terminal current (A) at bias ``v`` (V); odd in ``v``."""
+        p = self.params
+        v = np.asarray(v, dtype=float)
+        av = np.abs(v)
+        resonant = _resonant_term(av, p.peak_voltage, p.peak_current)
+        leak = 0.5 * (p.peak_current / p.valley_ratio) * np.tanh(av / p.peak_voltage)
+        diode = p.diode_saturation * np.expm1(av / p.diode_slope_v)
+        out = np.sign(v) * (resonant + leak + diode)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def differential_conductance(self, v, dv: float = 1e-4) -> np.ndarray | float:
+        """Numerical dI/dV — negative inside the NDR region."""
+        v = np.asarray(v, dtype=float)
+        return (self.current(v + dv) - self.current(v - dv)) / (2.0 * dv)
+
+    def peak_point(self) -> tuple[float, float]:
+        """(V, I) of the resonant peak, located numerically."""
+        v = np.linspace(1e-3, 2.0 * self.params.peak_voltage, 4001)
+        i = np.asarray(self.current(v))
+        k = int(np.argmax(i))
+        return float(v[k]), float(i[k])
+
+    def valley_point(self) -> tuple[float, float]:
+        """(V, I) of the current valley following the peak."""
+        vp, _ = self.peak_point()
+        v = np.linspace(vp, vp + 6.0 * self.params.peak_voltage, 8001)
+        i = np.asarray(self.current(v))
+        k = int(np.argmin(i))
+        return float(v[k]), float(i[k])
+
+    def measured_pvcr(self) -> float:
+        """Peak-to-valley current ratio extracted from the modelled curve."""
+        _, ip = self.peak_point()
+        _, iv = self.valley_point()
+        return ip / iv
+
+
+class MultiPeakRTD:
+    """Behavioural multi-peak RTD (series-stack equivalent).
+
+    A series stack of ``n`` RTDs exhibits ``n`` current peaks as the devices
+    switch one at a time (Wei & Lin [33]); this class reproduces that
+    composite shape by repeating the resonant term at odd multiples of the
+    peak voltage (``Vp, 3Vp, 5Vp, ...``) with the thermionic rise delayed
+    until after the last peak.  ``MultiPeakRTD(1)`` coincides with
+    :class:`RTD` up to the diode onset shift.
+    """
+
+    def __init__(
+        self,
+        n_peaks: int,
+        params: RTDParams | None = None,
+        spacing_factor: float = 2.0,
+    ) -> None:
+        if n_peaks < 1:
+            raise ValueError(f"n_peaks must be >= 1, got {n_peaks}")
+        if spacing_factor < 1.0:
+            raise ValueError(f"spacing_factor must be >= 1, got {spacing_factor}")
+        self.n_peaks = int(n_peaks)
+        self.params = params or RTDParams()
+        #: Peak-to-peak spacing in units of the peak voltage.  2.0 matches a
+        #: minimal series stack; wider spacing deepens the inter-peak valleys
+        #: (used by the resistive multi-valued memory, which needs the load
+        #: line to thread every fold).
+        self.spacing_factor = float(spacing_factor)
+
+    @property
+    def peak_voltages(self) -> np.ndarray:
+        """Bias positions of the peaks (V), ascending."""
+        p = self.params
+        return p.peak_voltage * (
+            1.0 + self.spacing_factor * np.arange(self.n_peaks)
+        )
+
+    @property
+    def diode_onset(self) -> float:
+        """Bias (V) where the post-valley thermionic rise begins."""
+        return float(self.peak_voltages[-1] + self.params.peak_voltage)
+
+    def current(self, v) -> np.ndarray | float:
+        """Terminal current (A); odd in ``v``; ``n_peaks`` NDR regions."""
+        p = self.params
+        v = np.asarray(v, dtype=float)
+        av = np.abs(v)
+        centers = self.peak_voltages
+        # Shifted resonant coordinate per peak; clipped below zero so each
+        # term only contributes once its onset is reached.
+        y = (av[..., None] - (centers - p.peak_voltage)) / p.peak_voltage
+        y = np.clip(y, 0.0, None)
+        resonant = (p.peak_current * y * np.exp(0.5 * (1.0 - y * y))).sum(axis=-1)
+        leak = 0.5 * (p.peak_current / p.valley_ratio) * np.tanh(av / p.peak_voltage)
+        rise = np.clip(av - self.diode_onset, 0.0, None)
+        diode = p.diode_saturation * np.expm1(rise / p.diode_slope_v)
+        out = np.sign(v) * (resonant + leak + diode)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def differential_conductance(self, v, dv: float = 1e-4) -> np.ndarray | float:
+        """Numerical dI/dV of the composite curve."""
+        v = np.asarray(v, dtype=float)
+        return (self.current(v + dv) - self.current(v - dv)) / (2.0 * dv)
+
+    def count_ndr_regions(self, v_max: float | None = None, samples: int = 20001) -> int:
+        """Number of distinct negative-slope regions up to ``v_max``.
+
+        Sanity instrument for tests: must equal ``n_peaks`` for a healthy
+        parameterisation.
+        """
+        if v_max is None:
+            v_max = self.diode_onset + 2.0 * self.params.peak_voltage
+        v = np.linspace(1e-3, v_max, samples)
+        g = np.asarray(self.differential_conductance(v))
+        neg = g < 0.0
+        return int(np.count_nonzero(neg[1:] & ~neg[:-1]) + (1 if neg[0] else 0))

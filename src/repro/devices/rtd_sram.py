@@ -1,0 +1,295 @@
+"""Tunnelling-SRAM storage cells: the paper's multi-valued configuration bit.
+
+Fig. 6 of the paper shows the reconfigurable leaf-cell: three FDSOI
+transistors whose shared back gate is held by an RTD RAM "of the type
+described in [34]" (van der Wagt's tunnelling SRAM).  Two storage topologies
+from that literature are modelled:
+
+* :class:`TunnellingSRAM` — a **bipolar series latch**: two RTD stacks
+  between +supply and -supply.  With single-peak stacks the storage node has
+  exactly three stable voltages, symmetric about 0 — the -2/0/+2 V back-gate
+  levels of the Fig. 4/5 configuration tables after calibration.
+* :class:`ResistiveRTDMemory` — the classic **resistive-load multi-valued
+  cell** (Wei & Lin [33], Seabaugh's nine-state memory [36]): an n-peak RTD
+  stack against a resistor load gives n+1 stable crossings.  With eight
+  peaks this reproduces the nine-state cell the paper cites.
+
+Stable states are found by vectorised load-line analysis: equilibria are
+zero crossings of the net node current, stable when the crossing has
+negative slope (restoring).
+
+The stored node voltage maps to the back-gate bias through an affine
+calibration (:class:`BackGateDriver`): physically the paper sets the
+correspondence "by adjusting the thickness of each of the RTD layers"
+(Section 3); behaviourally we rescale the measured stable voltages onto the
+required bias levels, preserving ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.rtd import MultiPeakRTD, RTDParams
+from repro.util.validate import check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class StablePoint:
+    """One stable operating point of a storage node.
+
+    Attributes
+    ----------
+    voltage:
+        Storage-node voltage (V).
+    basin:
+        (lo, hi) voltage interval that settles to this point.
+    margin_current:
+        Peak restoring-current magnitude (A) available inside the basin — a
+        static noise-margin figure for the state.
+    """
+
+    voltage: float
+    basin: tuple[float, float]
+    margin_current: float
+
+
+def _find_equilibria(v: np.ndarray, f: np.ndarray) -> tuple[list[float], list[float]]:
+    """Classify zero crossings of ``f(v)`` into (stable, unstable) points.
+
+    Stable equilibria are crossings where ``f`` falls through zero
+    (restoring); unstable where it rises.  Exact grid zeros (common at the
+    symmetric centre point) are handled by looking at the flanking samples.
+    """
+    stable: list[float] = []
+    unstable: list[float] = []
+    n = len(v)
+    k = 0
+    while k < n - 1:
+        a, b = f[k], f[k + 1]
+        if a == 0.0:
+            # Equilibrium exactly on a grid point: classify via neighbours.
+            left = f[k - 1] if k > 0 else -b
+            if left > 0.0 > b:
+                stable.append(float(v[k]))
+            elif left < 0.0 < b:
+                unstable.append(float(v[k]))
+            k += 1
+            continue
+        if a * b < 0.0:
+            vc = v[k] - a * (v[k + 1] - v[k]) / (b - a)
+            if a > 0.0:
+                stable.append(float(vc))
+            else:
+                unstable.append(float(vc))
+        k += 1
+    return stable, unstable
+
+
+class _LoadLineCell:
+    """Shared machinery: stable points, basins, write/settle, from a node-current law."""
+
+    def __init__(self, v_lo: float, v_hi: float, samples: int = 80001) -> None:
+        self._v_lo = float(v_lo)
+        self._v_hi = float(v_hi)
+        self._grid = np.linspace(self._v_lo, self._v_hi, samples)
+        self._stable: list[StablePoint] | None = None
+
+    def node_current(self, v_node):  # pragma: no cover - abstract
+        """Net current *into* the storage node; positive charges it upward."""
+        raise NotImplementedError
+
+    def stable_points(self) -> list[StablePoint]:
+        """All stable states, ascending in voltage, with basins and margins."""
+        if self._stable is not None:
+            return self._stable
+        v = self._grid
+        f = np.asarray(self.node_current(v))
+        stable, unstable = _find_equilibria(v, f)
+        stable.sort()
+        unstable.sort()
+        points: list[StablePoint] = []
+        edges = [self._v_lo, *unstable, self._v_hi]
+        for vs in stable:
+            lo = max(e for e in edges if e <= vs)
+            hi = min(e for e in edges if e >= vs)
+            inner = np.linspace(lo + 1e-6, hi - 1e-6, 501)
+            margin = float(np.max(np.abs(np.asarray(self.node_current(inner)))))
+            points.append(StablePoint(voltage=vs, basin=(lo, hi), margin_current=margin))
+        self._stable = points
+        return points
+
+    @property
+    def n_states(self) -> int:
+        """Number of stable states of the cell."""
+        return len(self.stable_points())
+
+    def settle(self, v_initial: float) -> int:
+        """State index the node relaxes to when released at ``v_initial``.
+
+        Follows the basin structure (equivalent to integrating
+        C dV/dt = node_current until rest).
+        """
+        v0 = float(np.clip(v_initial, self._v_lo, self._v_hi))
+        points = self.stable_points()
+        if not points:
+            raise RuntimeError("storage cell has no stable states; check parameters")
+        for i, p in enumerate(points):
+            lo, hi = p.basin
+            if lo <= v0 <= hi:
+                return i
+        dists = [abs(v0 - p.voltage) for p in points]
+        return int(np.argmin(dists))
+
+    def write(self, state_index: int) -> float:
+        """Voltage the bit line must force to write state ``state_index``.
+
+        Returns the stable voltage itself: forcing the node there and
+        releasing it is guaranteed (by :meth:`settle`) to latch the state.
+        """
+        points = self.stable_points()
+        if not 0 <= state_index < len(points):
+            raise ValueError(
+                f"state_index must lie in [0, {len(points)}), got {state_index}"
+            )
+        return points[state_index].voltage
+
+
+class TunnellingSRAM(_LoadLineCell):
+    """Bipolar series-latch storage cell (two RTD stacks, +/- supply).
+
+    With the default single-peak stacks and a 1.7 V supply the cell has
+    exactly **three** stable states at approximately -1.45 / 0 / +1.45 V —
+    the back-gate configuration trit.  More peaks move the side states
+    around but (in this symmetric topology) do not reliably add states; use
+    :class:`ResistiveRTDMemory` for higher-radix storage.
+    """
+
+    def __init__(
+        self,
+        n_peaks: int = 1,
+        supply: float = 1.7,
+        params: RTDParams | None = None,
+    ) -> None:
+        check_positive("supply", supply)
+        self.supply = float(supply)
+        self.rtd_top = MultiPeakRTD(n_peaks, params)
+        self.rtd_bottom = MultiPeakRTD(n_peaks, params)
+        super().__init__(-self.supply, self.supply)
+
+    def node_current(self, v_node) -> np.ndarray | float:
+        """Net current into the storage node: top stack in, bottom stack out."""
+        v_node = np.asarray(v_node, dtype=float)
+        i_in = self.rtd_top.current(self.supply - v_node)
+        i_out = self.rtd_bottom.current(v_node + self.supply)
+        return i_in - i_out
+
+    def hold_current(self, state_index: int) -> float:
+        """Standby current (A) drawn from the supply while holding a state.
+
+        At equilibrium the same current flows through both stacks; the paper
+        (Section 3) relies on 10-50 pA peak currents to argue the whole
+        10^9-cell configuration plane draws under 100 mW — reproduced in
+        ``bench_claims_summary``.
+        """
+        v = self.write(state_index)
+        return float(abs(self.rtd_top.current(self.supply - v)))
+
+
+class ResistiveRTDMemory(_LoadLineCell):
+    """Resistive-load multi-valued RTD memory (Wei & Lin [33] / Seabaugh [36]).
+
+    An ``n_peaks``-peak RTD stack from the storage node to ground works
+    against a resistor to VDD.  When the load line threads every NDR fold it
+    crosses the composite I-V ``n_peaks + 1`` times stably: the nine-state
+    cell of [36] is ``n_peaks=8``.
+
+    The default load resistance is chosen automatically so the load line
+    passes midway between peak and valley currents across the whole span.
+    """
+
+    def __init__(
+        self,
+        n_peaks: int = 8,
+        vdd: float | None = None,
+        r_load: float | None = None,
+        params: RTDParams | None = None,
+        spacing_factor: float = 4.0,
+    ) -> None:
+        # Wide peak spacing deepens the inter-peak valleys so the resistor
+        # load line can thread every fold (see MultiPeakRTD.spacing_factor).
+        self.rtd = MultiPeakRTD(n_peaks, params, spacing_factor=spacing_factor)
+        p = self.rtd.params
+        span = float(self.rtd.peak_voltages[-1])
+        # Supply far enough above the last peak that the load-line current
+        # varies by less than the peak/valley ratio across the span.
+        self.vdd = float(vdd) if vdd is not None else 2.5 * span + 4.0 * p.peak_voltage
+        check_positive("vdd", self.vdd)
+        if r_load is None:
+            # Mid-band target: geometric mean of peak and valley currents at
+            # the middle of the span.
+            i_mid = p.peak_current / np.sqrt(p.valley_ratio)
+            r_load = (self.vdd - 0.5 * span) / i_mid
+        check_positive("r_load", r_load)
+        self.r_load = float(r_load)
+        super().__init__(0.0, self.vdd)
+
+    def node_current(self, v_node) -> np.ndarray | float:
+        """Net current into the node: resistor delivers, RTD stack removes."""
+        v_node = np.asarray(v_node, dtype=float)
+        return (self.vdd - v_node) / self.r_load - np.asarray(self.rtd.current(v_node))
+
+    def hold_current(self, state_index: int) -> float:
+        """Standby current (A) through the cell while holding a state."""
+        v = self.write(state_index)
+        return float((self.vdd - v) / self.r_load)
+
+
+class BackGateDriver:
+    """Maps stored SRAM states onto the configuration bias levels.
+
+    Physically the RTD layer thicknesses are chosen so the latch's stable
+    voltages coincide with the required back-gate levels; behaviourally this
+    class affinely rescales the measured stable voltages onto the target
+    levels (default: the -2/0/+2 V of Figs. 4-5), preserving order.
+    """
+
+    def __init__(
+        self,
+        cell: _LoadLineCell,
+        target_levels: tuple[float, ...] = (-2.0, 0.0, +2.0),
+    ) -> None:
+        points = cell.stable_points()
+        if len(points) != len(target_levels):
+            raise ValueError(
+                f"cell has {len(points)} stable states but {len(target_levels)} "
+                "target levels were requested; adjust the cell or the targets"
+            )
+        self.cell = cell
+        self.target_levels = tuple(float(t) for t in target_levels)
+        self._stored = [p.voltage for p in points]
+
+    def bias_for_state(self, state_index: int) -> float:
+        """Back-gate bias (V) produced when the cell holds ``state_index``."""
+        if not 0 <= state_index < len(self.target_levels):
+            raise ValueError(
+                f"state_index must lie in [0, {len(self.target_levels)}), got {state_index}"
+            )
+        return self.target_levels[state_index]
+
+    def state_for_bias(self, bias: float) -> int:
+        """Closest stored state for a requested bias — write-path helper."""
+        diffs = [abs(bias - t) for t in self.target_levels]
+        return int(np.argmin(diffs))
+
+    def calibration_error(self) -> float:
+        """RMS mismatch (V) between affinely-rescaled stored voltages and targets.
+
+        A behavioural stand-in for how tightly the RTD layer thicknesses
+        must be controlled.
+        """
+        stored = np.asarray(self._stored)
+        targets = np.asarray(self.target_levels)
+        a, b = np.polyfit(stored, targets, 1)
+        return float(np.sqrt(np.mean((a * stored + b - targets) ** 2)))

@@ -1,0 +1,101 @@
+"""The polymorphic fabric: leaf cells, NAND-array cells, tiling, bitstreams.
+
+This package is the digital behavioural model of the paper's hardware
+platform (Sections 3-4): configuration trits, the 6x6 NAND cell, the
+rotated-abutment array with local feedback, the 128-bit configuration
+frames, and the floorplanner.
+"""
+
+from repro.fabric.array import (
+    CellArray,
+    CompiledFabric,
+    ConfigurationError,
+    LFB_DELAY,
+    ROW_DELAY,
+    lfb_net_name,
+    row_net_name,
+    wire_name,
+)
+from repro.fabric.bitstream import (
+    BitstreamError,
+    cell_to_frame,
+    crc16,
+    decode_array,
+    decode_cell,
+    encode_array,
+    encode_cell,
+    frame_to_cell,
+)
+from repro.fabric.driver import (
+    DRIVER_DELAY,
+    DriverMode,
+    decode_mode,
+    driver_drives,
+    driver_inverting,
+    encode_mode,
+)
+from repro.fabric.floorplan import Floorplan, FloorplanError, Region
+from repro.fabric.leafcell import (
+    LeafState,
+    bias_for_leaf,
+    char_to_leaf,
+    leaf_for_bias,
+    leaf_from_sram_state,
+    leaf_to_char,
+    sram_state_for_leaf,
+)
+from repro.fabric.mvram import FRAME_BITS, MVRAM, N_CELLS
+from repro.fabric.nandcell import (
+    CellConfig,
+    Direction,
+    InputSource,
+    LfbPartner,
+    N_INPUTS,
+    N_LFB,
+    N_ROWS,
+)
+
+__all__ = [
+    "CellArray",
+    "CompiledFabric",
+    "ConfigurationError",
+    "LFB_DELAY",
+    "ROW_DELAY",
+    "lfb_net_name",
+    "row_net_name",
+    "wire_name",
+    "BitstreamError",
+    "cell_to_frame",
+    "crc16",
+    "decode_array",
+    "decode_cell",
+    "encode_array",
+    "encode_cell",
+    "frame_to_cell",
+    "DRIVER_DELAY",
+    "DriverMode",
+    "decode_mode",
+    "driver_drives",
+    "driver_inverting",
+    "encode_mode",
+    "Floorplan",
+    "FloorplanError",
+    "Region",
+    "LeafState",
+    "bias_for_leaf",
+    "char_to_leaf",
+    "leaf_for_bias",
+    "leaf_from_sram_state",
+    "leaf_to_char",
+    "sram_state_for_leaf",
+    "FRAME_BITS",
+    "MVRAM",
+    "N_CELLS",
+    "CellConfig",
+    "Direction",
+    "InputSource",
+    "LfbPartner",
+    "N_INPUTS",
+    "N_LFB",
+    "N_ROWS",
+]

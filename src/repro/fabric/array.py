@@ -1,0 +1,269 @@
+"""Tiled cell array with rotated abutment and local feedback (paper Fig. 8).
+
+Wiring model (see DESIGN.md for the derivation from Fig. 8):
+
+* ``wire (r, c, i)`` is the shared **input line** ``i`` of the cell at grid
+  position (r, c).  It can be driven by up to two upstream neighbours —
+  the cell to the **west** (row driver configured EAST) and the cell to the
+  **south** (row driver configured NORTH); the 3-state drivers guarantee at
+  most one actually drives it in a legal configuration (the simulator's
+  resolution reports X on conflicts).
+* Wires with ``r == n_rows`` or ``c == n_cols`` are the fabric's primary
+  outputs; wires on the west/south boundary with no internal driver are
+  primary inputs, driven externally by the testbench.
+* Each cell owns two **lfb** nets tapped from its row values; a cell's
+  input columns may select its *own* lfb lines or those of its east/north
+  downstream partner (:class:`repro.fabric.nandcell.LfbPartner`), giving
+  the purely-local feedback the paper's state elements rely on.
+
+``compile_into`` lowers the configured array onto the event-driven
+simulator: every NAND row becomes a :class:`NandGate` (or a constant),
+every active driver a Not/Buf gate onto its abutment wire, every lfb tap a
+buffer.  Delays: 2 units per NAND row (series stack), 1 per driver (2 for
+PASS mode), 1 per lfb tap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fabric.bitstream import decode_array, encode_array
+from repro.fabric.driver import DRIVER_DELAY, DriverMode
+from repro.fabric.nandcell import (
+    CellConfig,
+    Direction,
+    InputSource,
+    LfbPartner,
+    N_INPUTS,
+    N_LFB,
+    N_ROWS,
+)
+from repro.sim.primitives import BufGate, ConstGate, NandGate, NotGate
+from repro.sim.scheduler import Net, Simulator
+from repro.sim.values import ONE, ZERO
+
+#: Simulator delay of a NAND row (the 6-high series stack).
+ROW_DELAY = 2
+#: Simulator delay of an lfb tap buffer.
+LFB_DELAY = 1
+
+
+def wire_name(r: int, c: int, i: int) -> str:
+    """Name of input line ``i`` of grid position (r, c)."""
+    return f"w[{r}][{c}][{i}]"
+
+
+def row_net_name(r: int, c: int, j: int) -> str:
+    """Name of the NAND-plane value of row ``j`` in cell (r, c)."""
+    return f"row[{r}][{c}][{j}]"
+
+
+def lfb_net_name(r: int, c: int, k: int) -> str:
+    """Name of local feedback line ``k`` of cell (r, c)."""
+    return f"lfb[{r}][{c}][{k}]"
+
+
+class ConfigurationError(ValueError):
+    """A cell configuration references wiring that does not exist."""
+
+
+@dataclass
+class CompiledFabric:
+    """Handle returned by :meth:`CellArray.compile_into`.
+
+    Attributes
+    ----------
+    sim:
+        The simulator holding the lowered netlist.
+    n_gates:
+        Number of gates instantiated (area/activity statistics).
+    input_wires:
+        Names of boundary wires with no internal driver — the primary
+        inputs a testbench may drive.
+    output_wires:
+        Names of wires past the east/north edges that are driven — the
+        primary outputs.
+    """
+
+    sim: Simulator
+    n_gates: int
+    input_wires: list[str] = field(default_factory=list)
+    output_wires: list[str] = field(default_factory=list)
+
+
+class CellArray:
+    """A grid of polymorphic cells plus the abutment wiring rules."""
+
+    def __init__(self, n_rows: int, n_cols: int) -> None:
+        if n_rows < 1 or n_cols < 1:
+            raise ValueError(f"array shape must be >= 1x1, got {n_rows}x{n_cols}")
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.configs: list[list[CellConfig]] = [
+            [CellConfig() for _ in range(self.n_cols)] for _ in range(self.n_rows)
+        ]
+
+    # ------------------------------------------------------------------
+    # Config access
+    # ------------------------------------------------------------------
+    def cell(self, r: int, c: int) -> CellConfig:
+        """The configuration of the cell at (r, c)."""
+        self._check_pos(r, c)
+        return self.configs[r][c]
+
+    def set_cell(self, r: int, c: int, config: CellConfig) -> None:
+        """Install a configuration (validated) at (r, c)."""
+        self._check_pos(r, c)
+        config.validate()
+        self.configs[r][c] = config
+
+    def _check_pos(self, r: int, c: int) -> None:
+        if not (0 <= r < self.n_rows and 0 <= c < self.n_cols):
+            raise ValueError(
+                f"cell position ({r}, {c}) outside {self.n_rows}x{self.n_cols} array"
+            )
+
+    def used_cells(self) -> int:
+        """Number of non-blank cells (utilisation statistics)."""
+        return sum(
+            0 if cfg.is_blank() else 1 for row in self.configs for cfg in row
+        )
+
+    def leaf_count(self) -> int:
+        """Total configured leaf cells across the array (area proxy)."""
+        return sum(cfg.leaf_count() for row in self.configs for cfg in row)
+
+    # ------------------------------------------------------------------
+    # Bitstream round trip
+    # ------------------------------------------------------------------
+    def to_bitstream(self):
+        """Serialise the whole array (see :mod:`repro.fabric.bitstream`)."""
+        return encode_array(self.configs)
+
+    @classmethod
+    def from_bitstream(cls, bits) -> "CellArray":
+        """Rebuild an array from a serialised bitstream."""
+        configs = decode_array(bits)
+        arr = cls(len(configs), len(configs[0]))
+        for r, row in enumerate(configs):
+            for c, cfg in enumerate(row):
+                arr.set_cell(r, c, cfg)
+        return arr
+
+    # ------------------------------------------------------------------
+    # Lowering onto the simulator
+    # ------------------------------------------------------------------
+    def _column_net(self, sim: Simulator, r: int, c: int, col: int) -> Net:
+        """Resolve a cell's input-column source to a net."""
+        cfg = self.configs[r][c]
+        sel = cfg.input_select[col]
+        if sel is InputSource.ABUT:
+            return sim.net(wire_name(r, c, col))
+        k = 0 if sel is InputSource.LFB0 else 1
+        partner = cfg.lfb_partner
+        if partner is LfbPartner.SELF:
+            pr, pc = r, c
+        elif partner is LfbPartner.EAST:
+            pr, pc = r, c + 1
+        else:
+            pr, pc = r + 1, c
+        if not (0 <= pr < self.n_rows and 0 <= pc < self.n_cols):
+            raise ConfigurationError(
+                f"cell ({r},{c}) column {col} selects lfb of {partner.name} "
+                f"partner ({pr},{pc}), which is outside the array"
+            )
+        tap = self.configs[pr][pc].lfb_taps[k]
+        if tap is None:
+            raise ConfigurationError(
+                f"cell ({r},{c}) column {col} reads lfb{k} of ({pr},{pc}) "
+                "but that line has no tap configured"
+            )
+        return sim.net(lfb_net_name(pr, pc, k))
+
+    def compile_into(self, sim: Simulator | None = None) -> CompiledFabric:
+        """Lower the configured array into simulator gates and nets."""
+        sim = sim or Simulator()
+        n_gates = 0
+        for r in range(self.n_rows):
+            for c in range(self.n_cols):
+                cfg = self.configs[r][c]
+                if cfg.is_blank():
+                    continue
+                cfg.validate()
+                col_nets = [
+                    self._column_net(sim, r, c, col) for col in range(N_INPUTS)
+                ]
+                row_nets = [sim.net(row_net_name(r, c, j)) for j in range(N_ROWS)]
+                needed = set(cfg.used_rows())
+                for j in range(N_ROWS):
+                    if j not in needed:
+                        continue
+                    kind = cfg.row_kind(j)
+                    gname = f"cell[{r}][{c}].row{j}"
+                    if kind == "const1":
+                        sim.add(ConstGate(gname, row_nets[j], ONE, delay=ROW_DELAY))
+                    elif kind == "const0":
+                        sim.add(ConstGate(gname, row_nets[j], ZERO, delay=ROW_DELAY))
+                    else:
+                        ins = [col_nets[col] for col in cfg.active_columns(j)]
+                        sim.add(NandGate(gname, ins, row_nets[j], delay=ROW_DELAY))
+                    n_gates += 1
+                for j in range(N_ROWS):
+                    mode = cfg.drivers[j]
+                    if mode is DriverMode.OFF:
+                        continue
+                    if cfg.directions[j] is Direction.EAST:
+                        target = sim.net(wire_name(r, c + 1, j))
+                    else:
+                        target = sim.net(wire_name(r + 1, c, j))
+                    gname = f"cell[{r}][{c}].drv{j}"
+                    delay = DRIVER_DELAY[mode]
+                    if mode is DriverMode.INVERT:
+                        sim.add(NotGate(gname, [row_nets[j]], target, delay=delay))
+                    else:
+                        sim.add(BufGate(gname, [row_nets[j]], target, delay=delay))
+                    n_gates += 1
+                for k in range(N_LFB):
+                    tap = cfg.lfb_taps[k]
+                    if tap is None:
+                        continue
+                    gname = f"cell[{r}][{c}].lfb{k}"
+                    sim.add(
+                        BufGate(
+                            gname,
+                            [row_nets[tap]],
+                            sim.net(lfb_net_name(r, c, k)),
+                            delay=LFB_DELAY,
+                        )
+                    )
+                    n_gates += 1
+        inputs, outputs = self._classify_boundary(sim)
+        return CompiledFabric(
+            sim=sim, n_gates=n_gates, input_wires=inputs, output_wires=outputs
+        )
+
+    def _classify_boundary(self, sim: Simulator) -> tuple[list[str], list[str]]:
+        """Split instantiated wires into primary inputs and outputs."""
+        inputs: list[str] = []
+        outputs: list[str] = []
+        for name, net in sim.nets.items():
+            if not name.startswith("w["):
+                continue
+            has_gate_driver = any(not isinstance(k, str) for k in net.drivers)
+            if has_gate_driver:
+                # Driven from inside; wires beyond the edges are outputs.
+                r, c, _ = _parse_wire(name)
+                if r >= self.n_rows or c >= self.n_cols:
+                    outputs.append(name)
+            elif net.fanout:
+                inputs.append(name)
+        return sorted(inputs), sorted(outputs)
+
+
+def _parse_wire(name: str) -> tuple[int, int, int]:
+    """Parse ``w[r][c][i]`` back into indices."""
+    parts = name[2:-1].split("][")
+    if len(parts) != 3:
+        raise ValueError(f"malformed wire name {name!r}")
+    r, c, i = (int(p) for p in parts)
+    return r, c, i

@@ -1,0 +1,65 @@
+"""Row output driver modes (the Fig. 5 structure, behavioural form).
+
+Every NAND-array row terminates in the configurable inverting /
+non-inverting 3-state driver of Fig. 5.  The paper lists its purposes
+(Section 4): in its off state it decouples adjacent cells and sets the
+direction of logic flow; as an inverting driver it builds complex logic;
+as a buffer it provides data feed-through from an adjacent cell; and it can
+act as a simple pass-transistor connection to the neighbouring cell.
+
+Behaviourally that is four modes on the row value:
+
+* ``OFF``    — high impedance (Z): the row does not drive its output line.
+* ``INVERT`` — drives NOT(row).  Since the row itself computes the NAND
+  (i.e. the *complement* of a product), INVERT recovers the product/AND.
+* ``BUFFER`` — drives the row value unchanged (the NAND / complement).
+* ``PASS``   — electrically a pass-transistor connection; simulated as a
+  (slightly slower) non-inverting drive.  Kept distinct from BUFFER so
+  area/power accounting can price the two differently.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class DriverMode(IntEnum):
+    """Configuration of one row's output driver (2 configuration bits)."""
+
+    OFF = 0
+    INVERT = 1
+    BUFFER = 2
+    PASS = 3
+
+
+#: Simulator propagation delay (time units) of each driver mode.  A pass
+#: transistor is weaker than an active driver; the fabric compiler uses
+#: these when building gates.
+DRIVER_DELAY: dict[DriverMode, int] = {
+    DriverMode.INVERT: 1,
+    DriverMode.BUFFER: 1,
+    DriverMode.PASS: 2,
+}
+
+
+def driver_drives(mode: DriverMode) -> bool:
+    """True when the mode puts a value on the output line."""
+    return mode is not DriverMode.OFF
+
+
+def driver_inverting(mode: DriverMode) -> bool:
+    """True when the mode complements the row value."""
+    return mode is DriverMode.INVERT
+
+
+def encode_mode(mode: DriverMode) -> int:
+    """2-bit field for the configuration frame."""
+    return int(mode)
+
+
+def decode_mode(bits: int) -> DriverMode:
+    """Inverse of :func:`encode_mode`."""
+    try:
+        return DriverMode(bits)
+    except ValueError:
+        raise ValueError(f"driver mode field must be 0..3, got {bits!r}") from None

@@ -1,0 +1,177 @@
+"""Region allocation over the cell array.
+
+Section 4.1 of the paper argues that GALS partitioning "raises a problem
+... analogous to the choice of page size in a hierarchical memory system"
+and that module sizes should ideally be *unconstrained* — which a
+fine-grained fabric provides.  The floorplanner here is the concrete tool
+for that claim: it carves arbitrary rectangular regions out of an array,
+tracks utilisation and fragmentation, and is used by the GALS benches to
+compare fixed-page against exact-fit allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A named rectangular claim on the cell grid.
+
+    Attributes
+    ----------
+    name:
+        Module name.
+    row, col:
+        Top-left cell position.
+    n_rows, n_cols:
+        Extent in cells.
+    """
+
+    name: str
+    row: int
+    col: int
+    n_rows: int
+    n_cols: int
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 1 or self.n_cols < 1:
+            raise ValueError(f"region {self.name!r} must be at least 1x1")
+        if self.row < 0 or self.col < 0:
+            raise ValueError(f"region {self.name!r} origin must be non-negative")
+
+    @property
+    def cells(self) -> int:
+        """Number of cells claimed."""
+        return self.n_rows * self.n_cols
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when two regions share any cell."""
+        return not (
+            self.row + self.n_rows <= other.row
+            or other.row + other.n_rows <= self.row
+            or self.col + self.n_cols <= other.col
+            or other.col + other.n_cols <= self.col
+        )
+
+
+class FloorplanError(ValueError):
+    """Region does not fit or collides with an existing allocation."""
+
+
+class Floorplan:
+    """Tracks rectangular module allocations on an array."""
+
+    def __init__(self, n_rows: int, n_cols: int) -> None:
+        if n_rows < 1 or n_cols < 1:
+            raise ValueError(f"floorplan must be at least 1x1, got {n_rows}x{n_cols}")
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.regions: dict[str, Region] = {}
+        self._occupied = np.zeros((n_rows, n_cols), dtype=bool)
+
+    def allocate(self, region: Region) -> Region:
+        """Claim a region; raises :class:`FloorplanError` on any conflict."""
+        if region.name in self.regions:
+            raise FloorplanError(f"region name {region.name!r} already allocated")
+        if (
+            region.row + region.n_rows > self.n_rows
+            or region.col + region.n_cols > self.n_cols
+        ):
+            raise FloorplanError(
+                f"region {region.name!r} ({region.n_rows}x{region.n_cols} at "
+                f"({region.row},{region.col})) exceeds the {self.n_rows}x"
+                f"{self.n_cols} array"
+            )
+        window = self._occupied[
+            region.row : region.row + region.n_rows,
+            region.col : region.col + region.n_cols,
+        ]
+        if window.any():
+            raise FloorplanError(f"region {region.name!r} overlaps an allocation")
+        window[:] = True
+        self.regions[region.name] = region
+        return region
+
+    def allocate_anywhere(self, name: str, n_rows: int, n_cols: int) -> Region:
+        """First-fit allocation scanning row-major; raises when full."""
+        free = ~self._occupied
+        # Vectorised window-fit test via a 2-D sliding sum.
+        if n_rows > self.n_rows or n_cols > self.n_cols:
+            raise FloorplanError(
+                f"module {name!r} ({n_rows}x{n_cols}) larger than the array"
+            )
+        ok = (
+            np.lib.stride_tricks.sliding_window_view(free, (n_rows, n_cols))
+            .all(axis=(2, 3))
+        )
+        hits = np.argwhere(ok)
+        if len(hits) == 0:
+            raise FloorplanError(f"no free {n_rows}x{n_cols} window for {name!r}")
+        r, c = map(int, hits[0])
+        return self.allocate(Region(name, r, c, n_rows, n_cols))
+
+    def release(self, name: str) -> None:
+        """Free a named region (dynamic-reconfiguration modelling)."""
+        region = self.regions.pop(name, None)
+        if region is None:
+            raise FloorplanError(f"no region named {name!r}")
+        self._occupied[
+            region.row : region.row + region.n_rows,
+            region.col : region.col + region.n_cols,
+        ] = False
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def total_cells(self) -> int:
+        """Cells in the whole array."""
+        return self.n_rows * self.n_cols
+
+    @property
+    def used_cells(self) -> int:
+        """Cells currently allocated."""
+        return int(self._occupied.sum())
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of cells allocated."""
+        return self.used_cells / self.total_cells
+
+    def largest_free_square(self) -> int:
+        """Side of the largest free square window (fragmentation metric).
+
+        Classic dynamic-programming maximal-square over the free map.
+        """
+        free = (~self._occupied).astype(np.int64)
+        dp = free.copy()
+        for r in range(1, self.n_rows):
+            for c in range(1, self.n_cols):
+                if free[r, c]:
+                    dp[r, c] = 1 + min(dp[r - 1, c], dp[r, c - 1], dp[r - 1, c - 1])
+        return int(dp.max())
+
+    def internal_fragmentation(self, requested_cells: dict[str, int]) -> float:
+        """Wasted fraction when modules were padded to their regions.
+
+        ``requested_cells`` maps region names to the cell count the module
+        actually needed; the difference to the allocated rectangle is
+        internal fragmentation — the paper's fixed-page-size problem.
+        """
+        waste = 0
+        total = 0
+        for name, need in requested_cells.items():
+            region = self.regions.get(name)
+            if region is None:
+                raise FloorplanError(f"no region named {name!r}")
+            if need > region.cells:
+                raise FloorplanError(
+                    f"region {name!r} holds {region.cells} cells but "
+                    f"{need} were claimed to be needed"
+                )
+            waste += region.cells - need
+            total += region.cells
+        return waste / total if total else 0.0

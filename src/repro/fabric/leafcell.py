@@ -1,0 +1,81 @@
+"""Leaf-cell configuration states: the polymorphic trit.
+
+The leaf cell of the paper's Fig. 6 is a complementary double-gate pair
+whose shared back-gate node is held by a three-state tunnelling SRAM.  The
+three stored levels (-2 / 0 / +2 V, Fig. 4) put the pair in one of three
+operating modes:
+
+* ``ACTIVE``     (0 V)  — the pair responds to its logic input: the
+  crosspoint *participates* in its row's NAND product.
+* ``FORCE_ON``   (+2 V) — the NMOS is always on and the PMOS always off:
+  the input is effectively a logic 1, *excluding* the crosspoint from the
+  product (a NAND input tied high).
+* ``FORCE_OFF``  (-2 V) — the NMOS never conducts: the row's series
+  pull-down is broken and the row output rests high regardless of inputs
+  (the Fig. 4 constant-1 row).
+
+This module is the bridge between the stored-state world (SRAM state
+indices, bias volts) and the logical world (row semantics) used by
+:mod:`repro.fabric.nandcell`.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.devices.dgmosfet import CONFIG_BIAS_LEVELS
+
+
+class LeafState(IntEnum):
+    """Back-gate configuration trit of one leaf cell (crosspoint)."""
+
+    #: Row's pull-down broken: row output constant 1 (bias -2 V).
+    FORCE_OFF = 0
+    #: Normal logic operation: crosspoint participates (bias 0 V).
+    ACTIVE = 1
+    #: Input tied high: crosspoint excluded from the product (bias +2 V).
+    FORCE_ON = 2
+
+
+#: SRAM state index (0, 1, 2) <-> LeafState: the tunnelling SRAM's stable
+#: states are voltage-ascending, matching the IntEnum ordering.
+def leaf_from_sram_state(state_index: int) -> LeafState:
+    """Decode a stored tunnelling-SRAM state index into a LeafState."""
+    try:
+        return LeafState(state_index)
+    except ValueError:
+        raise ValueError(
+            f"SRAM state index must be 0, 1 or 2, got {state_index!r}"
+        ) from None
+
+
+def sram_state_for_leaf(state: LeafState) -> int:
+    """Inverse of :func:`leaf_from_sram_state`."""
+    return int(state)
+
+
+def bias_for_leaf(state: LeafState) -> float:
+    """Back-gate bias (V) that realises a LeafState (Fig. 4 levels)."""
+    return CONFIG_BIAS_LEVELS[int(state)]
+
+
+def leaf_for_bias(bias: float) -> LeafState:
+    """Closest LeafState for an analog back-gate bias."""
+    diffs = [abs(bias - b) for b in CONFIG_BIAS_LEVELS]
+    return LeafState(diffs.index(min(diffs)))
+
+
+def leaf_to_char(state: LeafState) -> str:
+    """Single-character display form: '.' off, 'A' active, '^' tied-high."""
+    return {"FORCE_OFF": ".", "ACTIVE": "A", "FORCE_ON": "^"}[state.name]
+
+
+def char_to_leaf(ch: str) -> LeafState:
+    """Inverse of :func:`leaf_to_char`, for compact test fixtures."""
+    table = {".": LeafState.FORCE_OFF, "A": LeafState.ACTIVE, "^": LeafState.FORCE_ON}
+    try:
+        return table[ch]
+    except KeyError:
+        raise ValueError(
+            f"unknown leaf char {ch!r}; expected one of {sorted(table)}"
+        ) from None

@@ -1,0 +1,125 @@
+"""Multi-valued configuration RAM (the paper's 8x8 frame store).
+
+Section 4: *"From the outside, the reconfiguration array appears as a
+simple (albeit multi-valued) 8x8 RAM block ... each block requires 128 bits
+reconfiguration data."*  An 8x8 array of cells, each storing one of four
+levels (2 bits), is exactly 128 bits.
+
+Behaviourally each RAM cell is a tunnelling-SRAM storage node
+(:class:`repro.devices.rtd_sram.TunnellingSRAM` holds three of the four
+levels; the fourth level of 2-bit fields is realised by pairing cells —
+the encoding layer in :mod:`repro.fabric.bitstream` only ever stores
+quaternary digits, so this class simply models a 64-digit word-addressable
+store with write/read and per-cell hold-power accounting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.rtd_sram import TunnellingSRAM
+
+#: Geometry of the configuration plane of one cell.
+WORDS = 8
+BITS_PER_WORD = 8
+N_CELLS = WORDS * BITS_PER_WORD  # 64 quaternary cells
+FRAME_BITS = 2 * N_CELLS  # the paper's 128 bits
+
+
+class MVRAM:
+    """8x8 multi-valued RAM holding one cell's configuration frame.
+
+    Digits are quaternary (0..3).  Word-line / bit-line addressing follows
+    the figure: writing a word drives all eight bit lines while one word
+    line is raised.
+    """
+
+    def __init__(self) -> None:
+        self._digits = np.zeros((WORDS, BITS_PER_WORD), dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Word access (the hardware's native operation)
+    # ------------------------------------------------------------------
+    def write_word(self, word: int, digits) -> None:
+        """Write eight quaternary digits to one word line."""
+        if not 0 <= word < WORDS:
+            raise ValueError(f"word must be 0..{WORDS - 1}, got {word}")
+        arr = np.asarray(digits, dtype=np.int64)
+        if arr.shape != (BITS_PER_WORD,):
+            raise ValueError(f"need {BITS_PER_WORD} digits, got shape {arr.shape}")
+        if arr.min() < 0 or arr.max() > 3:
+            raise ValueError(f"digits must be 0..3, got {digits!r}")
+        self._digits[word] = arr.astype(np.uint8)
+
+    def read_word(self, word: int) -> np.ndarray:
+        """Read eight quaternary digits from one word line."""
+        if not 0 <= word < WORDS:
+            raise ValueError(f"word must be 0..{WORDS - 1}, got {word}")
+        return self._digits[word].copy()
+
+    # ------------------------------------------------------------------
+    # Flat access (used by the frame encoder)
+    # ------------------------------------------------------------------
+    def write_digit(self, index: int, digit: int) -> None:
+        """Write one quaternary digit by flat index (row-major)."""
+        if not 0 <= index < N_CELLS:
+            raise ValueError(f"index must be 0..{N_CELLS - 1}, got {index}")
+        if not 0 <= digit <= 3:
+            raise ValueError(f"digit must be 0..3, got {digit}")
+        self._digits[divmod(index, BITS_PER_WORD)] = digit
+
+    def read_digit(self, index: int) -> int:
+        """Read one quaternary digit by flat index."""
+        if not 0 <= index < N_CELLS:
+            raise ValueError(f"index must be 0..{N_CELLS - 1}, got {index}")
+        return int(self._digits[divmod(index, BITS_PER_WORD)])
+
+    def digits(self) -> np.ndarray:
+        """All 64 digits, flat, row-major."""
+        return self._digits.reshape(-1).copy()
+
+    def load_digits(self, digits) -> None:
+        """Overwrite the full store from 64 flat digits."""
+        arr = np.asarray(digits, dtype=np.int64)
+        if arr.shape != (N_CELLS,):
+            raise ValueError(f"need {N_CELLS} digits, got shape {arr.shape}")
+        if arr.min() < 0 or arr.max() > 3:
+            raise ValueError("digits must be 0..3")
+        self._digits = arr.reshape(WORDS, BITS_PER_WORD).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Bit view
+    # ------------------------------------------------------------------
+    def to_bits(self) -> np.ndarray:
+        """128-bit frame: each digit as two bits, MSB first, row-major."""
+        flat = self._digits.reshape(-1)
+        bits = np.empty(FRAME_BITS, dtype=np.uint8)
+        bits[0::2] = (flat >> 1) & 1
+        bits[1::2] = flat & 1
+        return bits
+
+    @classmethod
+    def from_bits(cls, bits) -> "MVRAM":
+        """Inverse of :meth:`to_bits`."""
+        arr = np.asarray(bits, dtype=np.int64)
+        if arr.shape != (FRAME_BITS,):
+            raise ValueError(f"need {FRAME_BITS} bits, got shape {arr.shape}")
+        if not np.all((arr == 0) | (arr == 1)):
+            raise ValueError("frame bits must be 0/1")
+        ram = cls()
+        ram.load_digits((arr[0::2] << 1) | arr[1::2])
+        return ram
+
+    # ------------------------------------------------------------------
+    # Power accounting
+    # ------------------------------------------------------------------
+    def hold_power_w(self, cell: TunnellingSRAM | None = None) -> float:
+        """Static power (W) of the 64 storage nodes at their hold currents.
+
+        Every digit costs one tunnelling-SRAM node biased at its stable
+        state; the supply is the cell's bipolar span.  Used by the Section 3
+        power claim bench (<=100 mW for 1e9 leaf cells).
+        """
+        cell = cell or TunnellingSRAM()
+        worst = max(cell.hold_current(k) for k in range(cell.n_states))
+        return float(N_CELLS * worst * 2.0 * cell.supply)

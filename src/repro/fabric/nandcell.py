@@ -1,0 +1,270 @@
+"""The polymorphic 6x6 NAND-array cell (paper Fig. 7).
+
+One cell is a 6-input x 6-row NAND plane: every row is a 6-wide series
+pull-down stack (a NAND gate) whose per-input leaf cells carry the
+polymorphic trit of :mod:`repro.fabric.leafcell`, terminated in the
+configurable 3-state driver of :mod:`repro.fabric.driver`.
+
+Row semantics (derived from the Fig. 4 configuration table):
+
+* any ``FORCE_OFF`` crosspoint breaks the series stack -> row is constant 1;
+* otherwise the row computes ``NAND`` of its ``ACTIVE`` columns
+  (``FORCE_ON`` crosspoints are inputs tied high: excluded);
+* a row whose crosspoints are all ``FORCE_ON`` conducts permanently ->
+  constant 0.
+
+Interconnect interpretation (see DESIGN.md): every cell also owns
+
+* a per-row **output direction** (EAST or NORTH) — Fig. 8's 90-degree
+  rotation means each cell's outputs abut the inputs of its two downstream
+  neighbours; a row drives exactly one of them at a time;
+* two **local feedback (lfb) lines** tapped from its own row values, which
+  the cell itself *or its upstream partner* can select as input-column
+  sources.  This is what lets a cell pair host a two-state-variable
+  asynchronous state machine (the paper's flip-flops and latches) with
+  purely local wiring;
+* a per-column **input source**: the abutment wire, or one of the two lfb
+  lines of the configured partner (self / east / north downstream cell).
+
+A full cell configuration packs into the paper's 128-bit frame (8x8
+two-bit RAM): see :mod:`repro.fabric.bitstream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.fabric.driver import DriverMode
+from repro.fabric.leafcell import LeafState, char_to_leaf, leaf_to_char
+from repro.sim.values import ONE, Z, ZERO, invert, nand
+
+#: Cell geometry: 6 input columns x 6 NAND rows, 2 local feedback lines.
+N_INPUTS = 6
+N_ROWS = 6
+N_LFB = 2
+
+
+class Direction(IntEnum):
+    """Abutment direction a row's driver sends its output to."""
+
+    EAST = 0
+    NORTH = 1
+
+
+class InputSource(IntEnum):
+    """What an input column listens to."""
+
+    #: The shared abutment wire (driven by upstream neighbours).
+    ABUT = 0
+    #: Local feedback line 0 of the configured lfb partner.
+    LFB0 = 1
+    #: Local feedback line 1 of the configured lfb partner.
+    LFB1 = 2
+
+
+class LfbPartner(IntEnum):
+    """Whose lfb lines this cell's LFB0/LFB1 column sources refer to."""
+
+    SELF = 0
+    EAST = 1
+    NORTH = 2
+
+
+@dataclass
+class CellConfig:
+    """Complete configuration of one polymorphic cell.
+
+    The default-constructed cell is inert: every crosspoint FORCE_OFF
+    (rows constant 1) and every driver OFF (nothing driven).
+    """
+
+    crosspoints: list[list[LeafState]] = field(
+        default_factory=lambda: [
+            [LeafState.FORCE_OFF] * N_INPUTS for _ in range(N_ROWS)
+        ]
+    )
+    drivers: list[DriverMode] = field(default_factory=lambda: [DriverMode.OFF] * N_ROWS)
+    directions: list[Direction] = field(default_factory=lambda: [Direction.EAST] * N_ROWS)
+    input_select: list[InputSource] = field(
+        default_factory=lambda: [InputSource.ABUT] * N_INPUTS
+    )
+    lfb_partner: LfbPartner = LfbPartner.SELF
+    #: Row index driving each lfb line, or None for an unused line.
+    lfb_taps: list[int | None] = field(default_factory=lambda: [None] * N_LFB)
+
+    # ------------------------------------------------------------------
+    # Validation / construction helpers
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any structural inconsistency."""
+        if len(self.crosspoints) != N_ROWS:
+            raise ValueError(f"need {N_ROWS} crosspoint rows, got {len(self.crosspoints)}")
+        for r, row in enumerate(self.crosspoints):
+            if len(row) != N_INPUTS:
+                raise ValueError(f"row {r} needs {N_INPUTS} crosspoints, got {len(row)}")
+            for state in row:
+                if not isinstance(state, LeafState):
+                    raise ValueError(f"row {r} holds non-LeafState {state!r}")
+        for name, seq, n, typ in (
+            ("drivers", self.drivers, N_ROWS, DriverMode),
+            ("directions", self.directions, N_ROWS, Direction),
+            ("input_select", self.input_select, N_INPUTS, InputSource),
+        ):
+            if len(seq) != n:
+                raise ValueError(f"{name} needs {n} entries, got {len(seq)}")
+            for v in seq:
+                if not isinstance(v, typ):
+                    raise ValueError(f"{name} holds non-{typ.__name__} {v!r}")
+        if len(self.lfb_taps) != N_LFB:
+            raise ValueError(f"lfb_taps needs {N_LFB} entries, got {len(self.lfb_taps)}")
+        for k, tap in enumerate(self.lfb_taps):
+            if tap is not None and not 0 <= tap < N_ROWS:
+                raise ValueError(f"lfb tap {k} must be a row index or None, got {tap!r}")
+
+    def set_product(self, row: int, active_cols: list[int]) -> "CellConfig":
+        """Configure ``row`` as the NAND of the given columns.
+
+        All other columns of the row are set FORCE_ON (tied high, i.e.
+        excluded from the product).  Returns self for chaining.
+        """
+        if not 0 <= row < N_ROWS:
+            raise ValueError(f"row must be 0..{N_ROWS - 1}, got {row}")
+        if not active_cols:
+            raise ValueError("a product row needs at least one active column")
+        for c in active_cols:
+            if not 0 <= c < N_INPUTS:
+                raise ValueError(f"column must be 0..{N_INPUTS - 1}, got {c}")
+        self.crosspoints[row] = [
+            LeafState.ACTIVE if c in active_cols else LeafState.FORCE_ON
+            for c in range(N_INPUTS)
+        ]
+        return self
+
+    def set_constant(self, row: int, value: int) -> "CellConfig":
+        """Configure ``row`` as constant 0 or 1 (Fig. 4's last table rows)."""
+        if not 0 <= row < N_ROWS:
+            raise ValueError(f"row must be 0..{N_ROWS - 1}, got {row}")
+        if value == 1:
+            self.crosspoints[row] = [LeafState.FORCE_OFF] * N_INPUTS
+        elif value == 0:
+            self.crosspoints[row] = [LeafState.FORCE_ON] * N_INPUTS
+        else:
+            raise ValueError(f"constant must be 0 or 1, got {value!r}")
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def row_kind(self, row: int) -> str:
+        """'const1', 'const0' or 'nand' — the compiled form of a row."""
+        states = self.crosspoints[row]
+        if any(s is LeafState.FORCE_OFF for s in states):
+            return "const1"
+        if all(s is LeafState.FORCE_ON for s in states):
+            return "const0"
+        return "nand"
+
+    def active_columns(self, row: int) -> list[int]:
+        """Columns participating in a row's product (empty for constants)."""
+        if self.row_kind(row) != "nand":
+            return []
+        return [
+            c
+            for c, s in enumerate(self.crosspoints[row])
+            if s is LeafState.ACTIVE
+        ]
+
+    def used_rows(self) -> list[int]:
+        """Rows whose driver drives or that feed an lfb line."""
+        out = set()
+        for r in range(N_ROWS):
+            if self.drivers[r] is not DriverMode.OFF:
+                out.add(r)
+        for tap in self.lfb_taps:
+            if tap is not None:
+                out.add(tap)
+        return sorted(out)
+
+    def leaf_count(self) -> int:
+        """Number of leaf cells not in their default state — area proxy."""
+        n = sum(
+            1
+            for row in self.crosspoints
+            for s in row
+            if s is not LeafState.FORCE_OFF
+        )
+        n += sum(1 for d in self.drivers if d is not DriverMode.OFF)
+        n += sum(1 for t in self.lfb_taps if t is not None)
+        return n
+
+    def is_blank(self) -> bool:
+        """True for the default inert configuration."""
+        return self.leaf_count() == 0
+
+    # ------------------------------------------------------------------
+    # Pure combinational evaluation
+    # ------------------------------------------------------------------
+    def row_values(self, column_values: list[int]) -> list[int]:
+        """Row (NAND-plane) values for given resolved column values.
+
+        ``column_values`` are 4-valued logic levels for the 6 columns after
+        input-source selection; this is the pure-functional view used by
+        tests and by the truth-table extractors (the event simulator builds
+        gates instead via :mod:`repro.fabric.array`).
+        """
+        if len(column_values) != N_INPUTS:
+            raise ValueError(
+                f"need {N_INPUTS} column values, got {len(column_values)}"
+            )
+        out = []
+        for r in range(N_ROWS):
+            kind = self.row_kind(r)
+            if kind == "const1":
+                out.append(ONE)
+            elif kind == "const0":
+                out.append(ZERO)
+            else:
+                out.append(nand(column_values[c] for c in self.active_columns(r)))
+        return out
+
+    def output_values(self, column_values: list[int]) -> list[int]:
+        """Post-driver output values (Z where the driver is OFF)."""
+        rows = self.row_values(column_values)
+        out = []
+        for r in range(N_ROWS):
+            mode = self.drivers[r]
+            if mode is DriverMode.OFF:
+                out.append(Z)
+            elif mode is DriverMode.INVERT:
+                out.append(invert(rows[r]))
+            else:  # BUFFER or PASS
+                out.append(rows[r])
+        return out
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def sketch(self) -> str:
+        """Compact multi-line picture of the configuration."""
+        lines = ["cols: " + " ".join(s.name[0] for s in self.input_select)]
+        for r in range(N_ROWS):
+            cps = "".join(leaf_to_char(s) for s in self.crosspoints[r])
+            drv = self.drivers[r].name[:3]
+            d = self.directions[r].name[0]
+            lines.append(f"row{r} [{cps}] {drv}->{d}")
+        taps = ",".join("-" if t is None else str(t) for t in self.lfb_taps)
+        lines.append(f"lfb taps: {taps} partner: {self.lfb_partner.name}")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_sketch_rows(cls, rows: list[str]) -> "CellConfig":
+        """Build crosspoints from strings of '.', 'A', '^' (test helper)."""
+        cfg = cls()
+        if len(rows) != N_ROWS:
+            raise ValueError(f"need {N_ROWS} sketch rows, got {len(rows)}")
+        for r, line in enumerate(rows):
+            if len(line) != N_INPUTS:
+                raise ValueError(f"sketch row {r} needs {N_INPUTS} chars, got {len(line)}")
+            cfg.crosspoints[r] = [char_to_leaf(ch) for ch in line]
+        return cfg

@@ -1,0 +1,82 @@
+"""Event-driven four-valued logic simulator.
+
+The substrate all configured fabric designs execute on: discrete-time event
+wheel with inertial delays, tristate multi-driver nets, waveform capture,
+and hazard analysis.
+"""
+
+from repro.sim.hazards import Glitch, count_spurious_transitions, find_glitches, is_hazard_free
+from repro.sim.primitives import (
+    AndGate,
+    BufGate,
+    CElementGate,
+    ConstGate,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    TableGate,
+    TristateGate,
+    XorGate,
+)
+from repro.sim.scheduler import Gate, Net, OscillationError, Simulator
+from repro.sim.values import (
+    ALL_VALUES,
+    ONE,
+    VALUE_NAMES,
+    X,
+    Z,
+    ZERO,
+    and_,
+    format_value,
+    from_bool,
+    invert,
+    is_defined,
+    nand,
+    or_,
+    resolve,
+    to_bool,
+    xor2,
+)
+from repro.sim.waveform import Edge, TraceSet, Waveform
+
+__all__ = [
+    "Glitch",
+    "count_spurious_transitions",
+    "find_glitches",
+    "is_hazard_free",
+    "AndGate",
+    "BufGate",
+    "CElementGate",
+    "ConstGate",
+    "NandGate",
+    "NorGate",
+    "NotGate",
+    "OrGate",
+    "TableGate",
+    "TristateGate",
+    "XorGate",
+    "Gate",
+    "Net",
+    "OscillationError",
+    "Simulator",
+    "ALL_VALUES",
+    "ONE",
+    "VALUE_NAMES",
+    "X",
+    "Z",
+    "ZERO",
+    "and_",
+    "format_value",
+    "from_bool",
+    "invert",
+    "is_defined",
+    "nand",
+    "or_",
+    "resolve",
+    "to_bool",
+    "xor2",
+    "Edge",
+    "TraceSet",
+    "Waveform",
+]

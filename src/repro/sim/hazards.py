@@ -1,0 +1,90 @@
+"""Hazard detection on simulation traces.
+
+The paper's Section 4.1 notes that "current programmable systems tend not
+[to] support hazard-free logic implementations [47]" — one of the reasons
+FPGAs are poor hosts for asynchronous circuits.  The polymorphic fabric's
+two-level NAND rows allow hazard-free covers (consensus terms synthesised
+by :mod:`repro.synth.asyncfsm`), and this module provides the instrument
+that *checks* the claim: it scans traces for glitch pulses and classifies
+static hazards.
+
+A *static-1 hazard* is a momentary 0-pulse on a signal whose initial and
+final values are both 1 across an input transition; a *static-0 hazard* is
+the dual.  Pulses at a signal's steady level narrower than a threshold are
+reported as glitches regardless of classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.values import ONE, ZERO
+from repro.sim.waveform import Waveform
+
+
+@dataclass(frozen=True, slots=True)
+class Glitch:
+    """A transient pulse judged spurious.
+
+    Attributes
+    ----------
+    net:
+        Signal name.
+    start:
+        Pulse start time.
+    width:
+        Pulse width in simulation time units.
+    kind:
+        ``"static-1"`` (0-pulse on a 1 signal), ``"static-0"`` (1-pulse on
+        a 0 signal).
+    """
+
+    net: str
+    start: int
+    width: int
+    kind: str
+
+
+def find_glitches(wave: Waveform, window: tuple[int, int], max_width: int) -> list[Glitch]:
+    """Spurious pulses on ``wave`` inside ``window`` narrower than ``max_width``.
+
+    The window should bracket a single input transition: the signal's value
+    at the window edges defines its intended steady level, and any
+    excursion away from that level and back, narrower than ``max_width``,
+    is reported.
+    """
+    t0, t1 = window
+    if t1 <= t0:
+        raise ValueError(f"window must be increasing, got {window}")
+    v_start = wave.value_at(t0)
+    v_end = wave.value_at(t1)
+    out: list[Glitch] = []
+    if v_start != v_end or v_start not in (ZERO, ONE):
+        return out  # a genuine transition or undefined levels: not a hazard
+    steady = v_start
+    excursion = ONE if steady == ZERO else ZERO
+    for start, width in wave.pulses(level=excursion):
+        if start >= t0 and start + width <= t1 and width <= max_width:
+            kind = "static-1" if steady == ONE else "static-0"
+            out.append(Glitch(net=wave.name, start=start, width=width, kind=kind))
+    return out
+
+
+def is_hazard_free(
+    wave: Waveform,
+    windows: list[tuple[int, int]],
+    max_width: int,
+) -> bool:
+    """True when no window shows a glitch on ``wave``."""
+    return all(not find_glitches(wave, w, max_width) for w in windows)
+
+
+def count_spurious_transitions(wave: Waveform, expected_edges: int) -> int:
+    """Transitions beyond the functionally-expected count.
+
+    A blunt instrument for power-oriented comparisons: every transition
+    above ``expected_edges`` is glitch energy.
+    """
+    if expected_edges < 0:
+        raise ValueError(f"expected_edges must be >= 0, got {expected_edges}")
+    return max(0, wave.toggle_count() - expected_edges)

@@ -1,0 +1,262 @@
+"""Simulator gate primitives.
+
+The behavioural vocabulary the fabric compiles into:
+
+* :class:`NandGate` — the n-input NAND row of the polymorphic cell (Fig. 7);
+* :class:`NotGate` / :class:`BufGate` — the inverting / non-inverting
+  configurations of the row output driver (Fig. 5);
+* :class:`TristateGate` — the same driver with its output enable exposed as
+  a net, for shared-line arbitration;
+* :class:`ConstGate` — a row configured as constant 0/1 (the Fig. 4 table's
+  last two rows);
+* :class:`TableGate` — arbitrary truth table, used by the synthesis layer's
+  reference models and by behavioural test doubles;
+* :class:`CElementGate` — behavioural Muller C-element (the gate-level
+  NAND decomposition lives in :mod:`repro.synth.macros`; this primitive is
+  the golden reference it is checked against).
+"""
+
+from __future__ import annotations
+
+from repro.sim.scheduler import Gate, Net
+from repro.sim.values import (
+    ONE,
+    X,
+    Z,
+    ZERO,
+    and_,
+    from_bool,
+    invert,
+    is_defined,
+    nand,
+    or_,
+    to_bool,
+    xor2,
+)
+
+
+class NandGate(Gate):
+    """n-input NAND (the fabric's product-term row)."""
+
+    __slots__ = ()
+
+    def evaluate(self) -> int:
+        return nand(n.value for n in self.inputs)
+
+
+class AndGate(Gate):
+    """n-input AND."""
+
+    __slots__ = ()
+
+    def evaluate(self) -> int:
+        return and_(n.value for n in self.inputs)
+
+
+class OrGate(Gate):
+    """n-input OR."""
+
+    __slots__ = ()
+
+    def evaluate(self) -> int:
+        return or_(n.value for n in self.inputs)
+
+
+class NorGate(Gate):
+    """n-input NOR."""
+
+    __slots__ = ()
+
+    def evaluate(self) -> int:
+        return invert(or_(n.value for n in self.inputs))
+
+
+class XorGate(Gate):
+    """2-input XOR."""
+
+    __slots__ = ()
+
+    def __init__(self, name: str, inputs: list[Net], output: Net, delay: int = 1) -> None:
+        if len(inputs) != 2:
+            raise ValueError(f"XorGate {name!r} needs exactly 2 inputs, got {len(inputs)}")
+        super().__init__(name, inputs, output, delay)
+
+    def evaluate(self) -> int:
+        return xor2(self.inputs[0].value, self.inputs[1].value)
+
+
+class NotGate(Gate):
+    """Inverter (driver in INVERT mode)."""
+
+    __slots__ = ()
+
+    def __init__(self, name: str, inputs: list[Net], output: Net, delay: int = 1) -> None:
+        if len(inputs) != 1:
+            raise ValueError(f"NotGate {name!r} needs exactly 1 input, got {len(inputs)}")
+        super().__init__(name, inputs, output, delay)
+
+    def evaluate(self) -> int:
+        return invert(self.inputs[0].value)
+
+
+class BufGate(Gate):
+    """Non-inverting buffer (driver in BUFFER mode / data feed-through)."""
+
+    __slots__ = ()
+
+    def __init__(self, name: str, inputs: list[Net], output: Net, delay: int = 1) -> None:
+        if len(inputs) != 1:
+            raise ValueError(f"BufGate {name!r} needs exactly 1 input, got {len(inputs)}")
+        super().__init__(name, inputs, output, delay)
+
+    def evaluate(self) -> int:
+        v = self.inputs[0].value
+        return v if is_defined(v) else X
+
+
+class TristateGate(Gate):
+    """Driver with an enable net: inputs = [data, enable].
+
+    Output follows data (optionally inverted) while enable is 1, floats (Z)
+    while enable is 0, and is X for an undefined enable.
+    """
+
+    __slots__ = ("inverting",)
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[Net],
+        output: Net,
+        delay: int = 1,
+        inverting: bool = False,
+    ) -> None:
+        if len(inputs) != 2:
+            raise ValueError(
+                f"TristateGate {name!r} needs [data, enable] inputs, got {len(inputs)}"
+            )
+        super().__init__(name, inputs, output, delay)
+        self.inverting = bool(inverting)
+
+    def evaluate(self) -> int:
+        data, enable = self.inputs[0].value, self.inputs[1].value
+        if enable == ZERO:
+            return Z
+        if enable != ONE:
+            return X
+        if not is_defined(data):
+            return X
+        return invert(data) if self.inverting else data
+
+
+class ConstGate(Gate):
+    """Constant driver (rows configured as fixed 0 / 1 in the Fig. 4 table)."""
+
+    __slots__ = ("constant",)
+
+    def __init__(self, name: str, output: Net, constant: int, delay: int = 1) -> None:
+        if constant not in (ZERO, ONE):
+            raise ValueError(f"ConstGate {name!r}: constant must be 0 or 1, got {constant}")
+        super().__init__(name, [], output, delay)
+        self.constant = constant
+
+    def evaluate(self) -> int:
+        return self.constant
+
+
+class TableGate(Gate):
+    """Arbitrary combinational function given as a truth-table list.
+
+    ``table[i]`` is the output bit for the input index whose bit k is the
+    value of ``inputs[k]`` (inputs[0] is the least-significant bit).  Any
+    X/Z input makes the output X (pessimistic).
+    """
+
+    __slots__ = ("table",)
+
+    def __init__(self, name: str, inputs: list[Net], output: Net, table, delay: int = 1) -> None:
+        super().__init__(name, inputs, output, delay)
+        expected = 1 << len(inputs)
+        self.table = [from_bool(bool(b)) for b in table]
+        if len(self.table) != expected:
+            raise ValueError(
+                f"TableGate {name!r}: table needs {expected} entries for "
+                f"{len(inputs)} inputs, got {len(self.table)}"
+            )
+
+    def evaluate(self) -> int:
+        idx = 0
+        for k, n in enumerate(self.inputs):
+            v = n.value
+            if not is_defined(v):
+                return X
+            idx |= to_bool(v) << k
+        return self.table[idx]
+
+
+class CElementGate(Gate):
+    """Behavioural Muller C-element: c = a.b + a.c' + b.c' (paper Section 4.1).
+
+    Output follows the inputs when they agree and holds its previous value
+    when they differ.  From an all-X start the element stays X until the
+    inputs first agree — matching the gate-level realisation's behaviour
+    after its feedback loop settles.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[Net],
+        output: Net,
+        delay: int = 1,
+        init: int = X,
+    ) -> None:
+        if len(inputs) != 2:
+            raise ValueError(f"CElementGate {name!r} needs exactly 2 inputs, got {len(inputs)}")
+        super().__init__(name, inputs, output, delay)
+        #: ``init`` models a power-on reset of the element's keeper —
+        #: micropipeline control chains start with all C-elements cleared.
+        self._state: int = init
+
+    def evaluate(self) -> int:
+        a, b = self.inputs[0].value, self.inputs[1].value
+        if is_defined(a) and is_defined(b) and a == b:
+            self._state = a
+        return self._state
+
+
+class EventLatchGate(Gate):
+    """Behavioural capture-pass latch (Sutherland's ECSE, paper Fig. 12).
+
+    Inputs = [din, req, ack].  Transparent while the two-phase request and
+    acknowledge phases agree; holds while they differ (a request event
+    captures, an acknowledge event releases).  The gate-level fabric
+    realisation is :func:`repro.synth.macros.ecse_pair`; this primitive is
+    its golden reference and the data path of the behavioural
+    micropipeline.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[Net],
+        output: Net,
+        delay: int = 1,
+        init: int = X,
+    ) -> None:
+        if len(inputs) != 3:
+            raise ValueError(
+                f"EventLatchGate {name!r} needs [din, req, ack] inputs, got {len(inputs)}"
+            )
+        super().__init__(name, inputs, output, delay)
+        self._state: int = init
+
+    def evaluate(self) -> int:
+        din, req, ack = (n.value for n in self.inputs)
+        if is_defined(req) and is_defined(ack) and req == ack and is_defined(din):
+            self._state = din
+        return self._state

@@ -1,0 +1,303 @@
+"""Event-driven logic simulator core.
+
+The substrate every configured fabric design runs on.  Design points:
+
+* **Discrete integer time** (arbitrary units; the fabric compiler uses
+  picoseconds).  Determinism is guaranteed by a monotone sequence number
+  tie-breaker in the event queue.
+* **Multi-driver nets with tristate resolution** — fabric input lines are
+  shared by the 3-state drivers of neighbouring cells (Fig. 8), so every
+  net resolves its drivers through :func:`repro.sim.values.resolve`.
+* **Inertial delay** — a gate whose output is re-scheduled before a pending
+  transition matures cancels the stale transition (classic inertial model).
+  This is what lets asynchronous feedback circuits (the paper's Section 4
+  state elements) settle instead of accumulating ghost events.
+* **Oscillation guard** — a configurable cap on events processed at a
+  single timestamp; a genuine combinational oscillation (e.g. an unstable
+  asynchronous state machine) raises :class:`OscillationError` rather than
+  hanging.
+
+The hot loop is plain-Python but allocation-light: events are tuples in a
+heapq, logic values are small ints, and nets carry slots-only state.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+
+from repro.sim.values import VALUE_NAMES, X, Z, resolve
+
+
+class OscillationError(RuntimeError):
+    """Raised when a net keeps toggling without time advancing."""
+
+
+class Net:
+    """A named signal wire with tristate multi-driver resolution."""
+
+    __slots__ = ("name", "value", "drivers", "fanout", "history")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Resolved value currently on the wire.
+        self.value: int = X
+        #: Contribution of each driver, keyed by driver identity.
+        self.drivers: dict[object, int] = {}
+        #: Gates whose inputs include this net.
+        self.fanout: list[Gate] = []
+        #: Recorded (time, value) transitions (filled when traced).
+        self.history: list[tuple[int, int]] | None = None
+
+    def resolved(self) -> int:
+        """Resolve all driver contributions; undriven nets float to Z."""
+        if not self.drivers:
+            return Z
+        if len(self.drivers) == 1:
+            return next(iter(self.drivers.values()))
+        return resolve(self.drivers.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Net({self.name}={VALUE_NAMES[self.value]})"
+
+
+class Gate:
+    """Base class for simulator primitives.
+
+    Subclasses implement :meth:`evaluate` over the current input values.
+    ``delay`` is the inertial propagation delay in simulator time units and
+    must be >= 1 so feedback loops advance time.
+    """
+
+    __slots__ = ("name", "inputs", "output", "delay", "_pending")
+
+    def __init__(self, name: str, inputs: list[Net], output: Net, delay: int = 1) -> None:
+        if delay < 1:
+            raise ValueError(f"gate {name!r}: delay must be >= 1, got {delay}")
+        self.name = name
+        self.inputs = list(inputs)
+        self.output = output
+        self.delay = int(delay)
+        #: Sequence number of the newest scheduled output event (for
+        #: inertial cancellation); stale events are dropped lazily.
+        self._pending: int = -1
+
+    def evaluate(self) -> int:  # pragma: no cover - abstract
+        """Compute the output value from the current input values."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ins = ",".join(n.name for n in self.inputs)
+        return f"{type(self).__name__}({self.name}: {ins} -> {self.output.name})"
+
+
+class Simulator:
+    """Owns the netlist and the event wheel.
+
+    Typical use::
+
+        sim = Simulator()
+        a, b, y = sim.net("a"), sim.net("b"), sim.net("y")
+        sim.add(Nand("g", [a, b], y, delay=2))
+        sim.drive(a, ONE)
+        sim.drive(b, ONE)
+        sim.run(until=100)
+        assert y.value == ZERO
+    """
+
+    #: Events allowed at one timestamp before declaring oscillation.
+    MAX_EVENTS_PER_TIME = 10_000
+
+    def __init__(self) -> None:
+        self.nets: dict[str, Net] = {}
+        self.gates: list[Gate] = []
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Gate | None, Net, object, int]] = []
+        self._seq = 0
+        self._traced: set[str] = set()
+        self._events_at_now = 0
+        self._initialised = False
+
+    # ------------------------------------------------------------------
+    # Netlist construction
+    # ------------------------------------------------------------------
+    def net(self, name: str) -> Net:
+        """Create (or fetch) the net called ``name``."""
+        n = self.nets.get(name)
+        if n is None:
+            n = Net(name)
+            self.nets[name] = n
+        return n
+
+    def add(self, gate: Gate) -> Gate:
+        """Register a gate; its output net gains this gate as a driver."""
+        self.gates.append(gate)
+        for n in gate.inputs:
+            n.fanout.append(gate)
+        # Claim a driver slot on the output immediately so multi-driver
+        # resolution sees all contenders from time zero.
+        gate.output.drivers.setdefault(gate, X)
+        return gate
+
+    def trace(self, *names: str) -> None:
+        """Start recording (time, value) transitions on the named nets."""
+        for name in names:
+            net = self.net(name)
+            if net.history is None:
+                net.history = [(self.now, net.value)]
+            self._traced.add(name)
+
+    def trace_all(self) -> None:
+        """Trace every net currently in the design."""
+        self.trace(*self.nets.keys())
+
+    # ------------------------------------------------------------------
+    # Stimulus
+    # ------------------------------------------------------------------
+    def drive(self, net: Net | str, value: int, at: int | None = None, key: object = "ext") -> None:
+        """Drive ``net`` with ``value`` from the external driver ``key``.
+
+        ``at`` defaults to the current time.  Driving ``Z`` releases the
+        line (other drivers, if any, take over).
+        """
+        net = self.net(net) if isinstance(net, str) else net
+        t = self.now if at is None else int(at)
+        if t < self.now:
+            raise ValueError(f"cannot schedule in the past: {t} < now={self.now}")
+        self._push(t, None, net, key, value)
+
+    def stimulus(self, net: Net | str, waveform: Iterable[tuple[int, int]], key: object = "ext") -> None:
+        """Apply a list of (time, value) pairs to a net."""
+        for t, v in waveform:
+            self.drive(net, v, at=t, key=key)
+
+    def clock(self, net: Net | str, period: int, until: int, start: int = 0, first: int = 0) -> None:
+        """Generate a square clock on ``net``: half-period toggles.
+
+        ``first`` is the initial level at ``start``; the net toggles every
+        ``period // 2`` units until ``until``.
+        """
+        if period < 2:
+            raise ValueError(f"period must be >= 2, got {period}")
+        level = first
+        t = start
+        while t <= until:
+            self.drive(net, level, at=t)
+            level ^= 1
+            t += period // 2
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+    def _push(self, t: int, gate: Gate | None, net: Net, key: object, value: int) -> None:
+        self._seq += 1
+        # seq is unique, so the payload tuple is never compared.
+        heapq.heappush(self._queue, (t, self._seq, (gate, net, key, value)))
+        if gate is not None:
+            gate._pending = self._seq
+
+    def _schedule_gate(self, gate: Gate) -> None:
+        """Evaluate a gate now and schedule its output with inertial delay."""
+        new = gate.evaluate()
+        # Skip if the output driver already carries this value and nothing
+        # is pending — avoids event storms on reconvergent fanout.
+        cur = gate.output.drivers.get(gate, X)
+        if new == cur and gate._pending < 0:
+            return
+        self._push(self.now + gate.delay, gate, gate.output, gate, new)
+
+    def _apply(self, gate: Gate | None, net: Net, key: object, value: int, seq: int) -> None:
+        if gate is not None:
+            if gate._pending != seq:
+                return  # superseded by a newer scheduling: inertial cancel
+            gate._pending = -1
+        net.drivers[key] = value
+        resolved = net.resolved()
+        if resolved == net.value:
+            return
+        net.value = resolved
+        self._events_at_now += 1
+        if self._events_at_now > self.MAX_EVENTS_PER_TIME:
+            raise OscillationError(
+                f"net {net.name!r} still toggling after "
+                f"{self.MAX_EVENTS_PER_TIME} events at t={self.now}; "
+                "combinational loop without settling?"
+            )
+        if net.history is not None:
+            net.history.append((self.now, resolved))
+        for g in net.fanout:
+            self._schedule_gate(g)
+
+    def initialise(self) -> None:
+        """Evaluate every gate once so outputs leave their X state.
+
+        Called automatically by the first :meth:`run`.
+        """
+        if self._initialised:
+            return
+        self._initialised = True
+        for g in self.gates:
+            self._schedule_gate(g)
+
+    def run(self, until: int | None = None, max_events: int = 5_000_000) -> int:
+        """Process events up to (and including) time ``until``.
+
+        Returns the number of events applied.  With ``until=None`` the
+        queue is drained completely (the design must quiesce).
+        """
+        self.initialise()
+        count = 0
+        while self._queue:
+            t = self._queue[0][0]
+            if until is not None and t > until:
+                break
+            item = heapq.heappop(self._queue)
+            t, seq = item[0], item[1]
+            gate, net, key, value = item[2]
+            if t != self.now:
+                self.now = t
+                self._events_at_now = 0
+            self._apply(gate, net, key, value, seq)
+            count += 1
+            if count > max_events:
+                raise OscillationError(
+                    f"exceeded {max_events} events; design does not quiesce"
+                )
+        if until is not None and self.now < until:
+            self.now = until
+        return count
+
+    def run_to_quiescence(self, max_time: int = 10_000_000) -> int:
+        """Drain all pending events; error if activity passes ``max_time``."""
+        self.initialise()
+        count = 0
+        while self._queue:
+            if self._queue[0][0] > max_time:
+                raise OscillationError(
+                    f"activity beyond t={max_time}; design does not quiesce"
+                )
+            count += self.run(until=self._queue[0][0])
+        return count
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def value(self, net: Net | str) -> int:
+        """Current resolved value of a net."""
+        net = self.net(net) if isinstance(net, str) else net
+        return net.value
+
+    def values(self, names: Iterable[str]) -> list[int]:
+        """Current values of several nets, in order."""
+        return [self.net(n).value for n in names]
+
+    def history(self, net: Net | str) -> list[tuple[int, int]]:
+        """Recorded transitions of a traced net."""
+        net = self.net(net) if isinstance(net, str) else net
+        if net.history is None:
+            raise ValueError(f"net {net.name!r} is not traced; call trace() first")
+        return list(net.history)
+
+    def pending_events(self) -> int:
+        """Number of events still queued (including superseded ones)."""
+        return len(self._queue)

@@ -1,0 +1,130 @@
+"""Four-valued logic for the event-driven simulator.
+
+The polymorphic fabric's row outputs are 3-state drivers onto shared input
+lines (Figs. 5, 7, 8), so the simulator needs high-impedance and unknown
+values in addition to 0/1:
+
+* ``ZERO`` / ``ONE`` — driven logic levels,
+* ``Z``  — undriven (all drivers on the line are in their off state),
+* ``X``  — unknown (uninitialised state, or a drive conflict).
+
+Values are plain ``int`` constants (not an Enum) because the simulator's
+inner loop touches them constantly and attribute access on Enum members is
+several times slower.
+"""
+
+from __future__ import annotations
+
+ZERO: int = 0
+ONE: int = 1
+X: int = 2
+Z: int = 3
+
+#: Human-readable names, indexed by value.
+VALUE_NAMES: tuple[str, str, str, str] = ("0", "1", "X", "Z")
+
+#: All legal values, for validation.
+ALL_VALUES: frozenset[int] = frozenset((ZERO, ONE, X, Z))
+
+
+def is_defined(v: int) -> bool:
+    """True for a driven 0/1 level."""
+    return v == ZERO or v == ONE
+
+
+def to_bool(v: int) -> bool:
+    """Convert a defined value to bool; raises on X/Z."""
+    if v == ZERO:
+        return False
+    if v == ONE:
+        return True
+    raise ValueError(f"value {VALUE_NAMES[v]} has no boolean interpretation")
+
+
+def from_bool(b: bool) -> int:
+    """Convert a bool (or 0/1 int) to a logic value."""
+    return ONE if b else ZERO
+
+
+def invert(v: int) -> int:
+    """Logical NOT with X/Z propagation (Z input reads as unknown)."""
+    if v == ZERO:
+        return ONE
+    if v == ONE:
+        return ZERO
+    return X
+
+
+def nand(values) -> int:
+    """n-input NAND with the standard pessimistic X semantics.
+
+    Any 0 input forces the output to 1 (the controlling value) regardless of
+    X/Z on other inputs; otherwise any X/Z input makes the output X; all-1
+    inputs give 0.
+
+    An empty input list yields 1: this is the *fabric* convention, not the
+    algebraic NOT(AND()) = 0 — a NAND row with no enabled crosspoints has no
+    pull-down path at all, so its output rests at the pulled-up level
+    (Fig. 4's constant-1 configuration).
+    """
+    saw_unknown = False
+    saw_any = False
+    for v in values:
+        saw_any = True
+        if v == ZERO:
+            return ONE
+        if v != ONE:
+            saw_unknown = True
+    if not saw_any:
+        return ONE
+    return X if saw_unknown else ZERO
+
+
+def and_(values) -> int:
+    """n-input AND with pessimistic X semantics."""
+    return invert(nand(values))
+
+
+def or_(values) -> int:
+    """n-input OR: any 1 dominates; else X/Z poisons; else 0."""
+    saw_unknown = False
+    for v in values:
+        if v == ONE:
+            return ONE
+        if v != ZERO:
+            saw_unknown = True
+    return X if saw_unknown else ZERO
+
+
+def xor2(a: int, b: int) -> int:
+    """2-input XOR; X/Z on either input poisons the output."""
+    if is_defined(a) and is_defined(b):
+        return ONE if a != b else ZERO
+    return X
+
+
+def resolve(drivers) -> int:
+    """Resolve multiple driver contributions on a shared line.
+
+    Fabric input lines are driven by the 3-state drivers of up to two
+    neighbouring cells (Fig. 8); the resolution rule is the usual tristate
+    bus: all-Z lines float (Z), a single driven value wins, and conflicting
+    driven values produce X.
+    """
+    out = Z
+    for v in drivers:
+        if v == Z:
+            continue
+        if out == Z:
+            out = v
+        elif out != v:
+            return X
+    return out
+
+
+def format_value(v: int) -> str:
+    """Printable form of a value, for traces and error messages."""
+    try:
+        return VALUE_NAMES[v]
+    except (IndexError, TypeError):
+        return f"?{v!r}"

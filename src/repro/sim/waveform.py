@@ -1,0 +1,150 @@
+"""Waveform capture and edge queries over simulator traces.
+
+A :class:`Waveform` wraps the per-net transition history recorded by
+:class:`repro.sim.scheduler.Simulator` and answers the questions the
+benches and the asynchronous-logic checkers ask: value at a time, edges in
+a direction, pulse widths, event counts, and alignment of two signals
+(request/acknowledge handshakes).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.sim.scheduler import Simulator
+from repro.sim.values import ONE, VALUE_NAMES, X, ZERO
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A value transition on a signal.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the transition.
+    old, new:
+        Values before and after.
+    """
+
+    time: int
+    old: int
+    new: int
+
+    @property
+    def rising(self) -> bool:
+        """True for a 0 -> 1 transition."""
+        return self.old == ZERO and self.new == ONE
+
+    @property
+    def falling(self) -> bool:
+        """True for a 1 -> 0 transition."""
+        return self.old == ONE and self.new == ZERO
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{VALUE_NAMES[self.old]}->{VALUE_NAMES[self.new]}@{self.time}"
+
+
+class Waveform:
+    """Transition record of one net."""
+
+    def __init__(self, name: str, history: list[tuple[int, int]]) -> None:
+        self.name = name
+        #: (time, value) pairs, time-ascending; first entry is the initial
+        #: value.  Sort is stable and by time only so same-time updates keep
+        #: their apply order (the last value at a time wins in value_at).
+        self.samples = sorted(history, key=lambda s: s[0])
+        self._times = [t for t, _ in self.samples]
+
+    def value_at(self, time: int) -> int:
+        """Value on the wire at ``time`` (after any transition at that time)."""
+        k = bisect_right(self._times, time)
+        if k == 0:
+            return X
+        return self.samples[k - 1][1]
+
+    def edges(self) -> list[Edge]:
+        """All transitions, in time order."""
+        out: list[Edge] = []
+        for (t0, v0), (t1, v1) in zip(self.samples, self.samples[1:]):
+            del t0
+            if v1 != v0:
+                out.append(Edge(time=t1, old=v0, new=v1))
+        return out
+
+    def rising_edges(self) -> list[int]:
+        """Times of all 0 -> 1 transitions."""
+        return [e.time for e in self.edges() if e.rising]
+
+    def falling_edges(self) -> list[int]:
+        """Times of all 1 -> 0 transitions."""
+        return [e.time for e in self.edges() if e.falling]
+
+    def toggle_count(self) -> int:
+        """Number of defined-level transitions (activity/power proxy)."""
+        return sum(1 for e in self.edges() if e.rising or e.falling)
+
+    def pulses(self, level: int = ONE) -> list[tuple[int, int]]:
+        """(start, width) of each maximal interval at ``level``.
+
+        The final interval is open-ended and omitted (its width is unknown
+        at trace end).
+        """
+        out: list[tuple[int, int]] = []
+        start: int | None = None
+        for t, v in self.samples:
+            if v == level and start is None:
+                start = t
+            elif v != level and start is not None:
+                out.append((start, t - start))
+                start = None
+        return out
+
+    def final_value(self) -> int:
+        """Last recorded value."""
+        return self.samples[-1][1] if self.samples else X
+
+
+class TraceSet:
+    """All traced nets of a finished simulation, ready for queries."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._wave: dict[str, Waveform] = {}
+        for name, net in sim.nets.items():
+            if net.history is not None:
+                self._wave[name] = Waveform(name, net.history)
+
+    def __getitem__(self, name: str) -> Waveform:
+        try:
+            return self._wave[name]
+        except KeyError:
+            known = ", ".join(sorted(self._wave)) or "(none)"
+            raise KeyError(f"net {name!r} was not traced; traced nets: {known}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._wave
+
+    def names(self) -> list[str]:
+        """All traced net names, sorted."""
+        return sorted(self._wave)
+
+    def sample_bus(self, names: list[str], time: int) -> list[int]:
+        """Values of an ordered list of nets at ``time`` (LSB-first buses)."""
+        return [self[n].value_at(time) for n in names]
+
+    def bus_as_int(self, names: list[str], time: int) -> int:
+        """Interpret an LSB-first bus sample as an unsigned integer.
+
+        Raises ``ValueError`` if any bit is X/Z at that time.
+        """
+        total = 0
+        for k, n in enumerate(names):
+            v = self[n].value_at(time)
+            if v == ONE:
+                total |= 1 << k
+            elif v != ZERO:
+                raise ValueError(
+                    f"bus bit {n!r} is {VALUE_NAMES[v]} at t={time}; not a clean integer"
+                )
+        return total

@@ -1,0 +1,223 @@
+"""Hazard-free synthesis for asynchronous (fundamental-mode) state machines.
+
+The paper (Section 4) maps flip-flops, latches and the asynchronous
+building blocks onto the NAND fabric using "standard asynchronous state
+machine techniques".  For fundamental-mode circuits built from two-level
+SOP logic with feedback, the classic requirement (Unger; Hauck [44]) is
+that every single-input-change transition *within the ON-set* be covered
+by a single product term — otherwise the cover has a static-1 hazard whose
+glitch can corrupt the state.
+
+:func:`hazard_free_cover` takes a next-state function, minimises it
+exactly, then adds consensus products until every adjacent ON-set pair is
+jointly covered.  :class:`FlowTable` provides a tiny fundamental-mode
+stepper used to validate state machines (stability, transition, and race
+checks) before they are mapped onto cells.
+
+Canned equations for the paper's storage elements live here too; they are
+what :mod:`repro.synth.macros` lays onto the fabric:
+
+* transparent D latch:  q+ = G.D + G'.q + D.q
+* rising-edge D flip-flop (master-slave):
+  m+ = C'.D + C.m + D.m;  q+ = C.m + C'.q + m.q
+* Muller C-element:      c+ = a.b + a.c + b.c
+* event-controlled storage element (Fig. 12, two-phase capture/pass):
+  z+ = (r XNOR a).din + (r XOR a).z + din.z
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synth.qm import Implicant, cover_is_correct, minimise, prime_implicants
+from repro.synth.truthtable import TruthTable
+
+
+def _expand_to_prime(impl: Implicant, table: TruthTable) -> Implicant:
+    """Grow an implicant to a prime implicant of the function."""
+    n = table.n_vars
+    current = impl
+    changed = True
+    while changed:
+        changed = False
+        for k in range(n):
+            bit = 1 << k
+            if not current.mask & bit:
+                continue
+            candidate = Implicant(current.mask & ~bit, current.value & ~bit)
+            # Candidate must stay inside the ON-set.
+            ok = all(
+                table.outputs[m]
+                for m in range(1 << n)
+                if candidate.covers(m)
+            )
+            if ok:
+                current = candidate
+                changed = True
+    return current
+
+
+def hazard_free_cover(table: TruthTable) -> list[Implicant]:
+    """Minimum cover augmented to be free of static-1 hazards.
+
+    For every pair of adjacent ON-set minterms (Hamming distance one) not
+    covered by a common product, a consensus implicant containing both is
+    added (expanded to a prime).  The result still computes the function
+    exactly (checked) and needs no extra literals at the second NAND level.
+    """
+    cover = minimise(table)
+    n = table.n_vars
+    ones = table.minterms()
+    one_set = set(ones)
+    for m in ones:
+        for k in range(n):
+            m2 = m ^ (1 << k)
+            if m2 < m or m2 not in one_set:
+                continue
+            if any(p.covers(m) and p.covers(m2) for p in cover):
+                continue
+            # Consensus: the cube containing exactly {m, m2}, grown prime.
+            seed = Implicant(((1 << n) - 1) & ~(1 << k), m & ~(1 << k))
+            cover.append(_expand_to_prime(seed, table))
+    if not cover_is_correct(table, cover):
+        raise RuntimeError("hazard-free augmentation broke the cover; internal error")
+    return cover
+
+
+def has_shared_cover(cover: list[Implicant], m1: int, m2: int) -> bool:
+    """True when one product covers both minterms (hazard-freedom witness)."""
+    return any(p.covers(m1) and p.covers(m2) for p in cover)
+
+
+def count_sic_hazards(table: TruthTable, cover: list[Implicant]) -> int:
+    """Number of single-input-change ON-set transitions left uncovered."""
+    n = table.n_vars
+    ones = set(table.minterms())
+    bad = 0
+    for m in ones:
+        for k in range(n):
+            m2 = m ^ (1 << k)
+            if m2 > m and m2 in ones and not has_shared_cover(cover, m, m2):
+                bad += 1
+    return bad
+
+
+@dataclass(frozen=True, slots=True)
+class FlowTable:
+    """Fundamental-mode stepper for a set of next-state functions.
+
+    Variables are ordered: inputs first (``n_inputs`` of them, LSB first in
+    minterm encoding), then state variables.  ``next_state[j]`` is the
+    excitation function of state variable j over (inputs, state).
+    """
+
+    n_inputs: int
+    next_state: tuple[TruthTable, ...]
+
+    def __post_init__(self) -> None:
+        n_total = self.n_inputs + len(self.next_state)
+        for j, t in enumerate(self.next_state):
+            if t.n_vars != n_total:
+                raise ValueError(
+                    f"next_state[{j}] has {t.n_vars} vars, expected {n_total}"
+                )
+
+    @property
+    def n_state(self) -> int:
+        """Number of state variables."""
+        return len(self.next_state)
+
+    def _index(self, inputs: tuple[int, ...], state: tuple[int, ...]) -> int:
+        idx = 0
+        for k, b in enumerate(inputs):
+            idx |= b << k
+        for j, b in enumerate(state):
+            idx |= b << (self.n_inputs + j)
+        return idx
+
+    def excite(self, inputs: tuple[int, ...], state: tuple[int, ...]) -> tuple[int, ...]:
+        """One application of the excitation functions."""
+        if len(inputs) != self.n_inputs or len(state) != self.n_state:
+            raise ValueError("inputs/state arity mismatch")
+        idx = self._index(inputs, state)
+        return tuple(int(t.outputs[idx]) for t in self.next_state)
+
+    def is_stable(self, inputs: tuple[int, ...], state: tuple[int, ...]) -> bool:
+        """True when the state reproduces itself under these inputs."""
+        return self.excite(inputs, state) == tuple(state)
+
+    def settle(
+        self,
+        inputs: tuple[int, ...],
+        state: tuple[int, ...],
+        max_steps: int = 64,
+    ) -> tuple[int, ...]:
+        """Iterate the excitation to a stable state (fundamental mode).
+
+        Raises ``RuntimeError`` on an oscillation (no stability within
+        ``max_steps``) — the flow-table analogue of a critical race.
+        """
+        cur = tuple(state)
+        for _ in range(max_steps):
+            nxt = self.excite(inputs, cur)
+            if nxt == cur:
+                return cur
+            cur = nxt
+        raise RuntimeError(
+            f"state machine does not settle under inputs {inputs} from {state}"
+        )
+
+    def has_critical_race(self, inputs: tuple[int, ...], state: tuple[int, ...]) -> bool:
+        """Check one multi-bit excitation step for order dependence.
+
+        If more than one state bit wants to change, every order of applying
+        single-bit changes must reach the same final stable state.
+        """
+        target = self.excite(inputs, state)
+        changing = [j for j in range(self.n_state) if target[j] != state[j]]
+        if len(changing) <= 1:
+            return False
+        finals = set()
+        for j in changing:
+            inter = list(state)
+            inter[j] = target[j]
+            finals.add(self.settle(inputs, tuple(inter)))
+        return len(finals) > 1
+
+
+# ----------------------------------------------------------------------
+# Canned storage-element equations (variable order noted per function)
+# ----------------------------------------------------------------------
+
+def d_latch_table() -> TruthTable:
+    """q+ over (D, G, q): transparent-high D latch with consensus D.q."""
+    return TruthTable.from_function(3, lambda d, g, q: (g and d) or (not g and q) or (d and q))
+
+
+def dff_master_table() -> TruthTable:
+    """m+ over (D, C, m): master stage of the rising-edge flip-flop."""
+    return TruthTable.from_function(3, lambda d, c, m: ((not c) and d) or (c and m) or (d and m))
+
+
+def dff_slave_table() -> TruthTable:
+    """q+ over (m, C, q): slave stage of the rising-edge flip-flop."""
+    return TruthTable.from_function(3, lambda m, c, q: (c and m) or ((not c) and q) or (m and q))
+
+
+def c_element_table() -> TruthTable:
+    """c+ over (a, b, c): the paper's Muller C-element equation."""
+    return TruthTable.from_function(3, lambda a, b, c: (a and b) or (a and c) or (b and c))
+
+
+def ecse_table() -> TruthTable:
+    """z+ over (din, r, a, z): Sutherland's event-controlled storage element.
+
+    Transparent when the request and acknowledge phases agree (two-phase
+    idle), opaque (holding) when they differ; the din.z consensus removes
+    the hand-off hazard.
+    """
+    def f(din, r, a, z):
+        transparent = r == a
+        return (transparent and din) or ((not transparent) and z) or (din and z)
+
+    return TruthTable.from_function(4, f)

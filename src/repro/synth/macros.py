@@ -1,0 +1,461 @@
+"""Macro library: the paper's circuit examples as placeable cell clusters.
+
+Every macro is a :class:`Macro` — a small dict of relative cell positions
+to :class:`CellConfig` plus named input/output ports expressed as relative
+wire coordinates.  :func:`place` drops a macro onto a
+:class:`repro.fabric.array.CellArray` and resolves the ports to concrete
+wire names for the testbench / platform layer.
+
+The library reproduces, cell for cell, the paper's Section 4 structures:
+
+* :func:`complement_cell`      — the "interconnect" cell of Fig. 9 that
+  develops complemented input columns;
+* :func:`lut_pair`             — the 2-cell product-plane/collector LUT
+  ("pairs of cells ... a small LUT with 6 inputs, 6 outputs and 6
+  product-terms");
+* :func:`d_latch_pair`         — level-triggered (transparent) latch;
+* :func:`dff_pair`             — rising-edge D flip-flop as a two-state
+  fundamental-mode machine (m, q), using both lfb lines of the pair —
+  the Fig. 9 flip-flop, with optional asynchronous reset;
+* :func:`c_element_pair`       — Muller C-element (Section 4.1 equation);
+* :func:`ecse_pair`            — Sutherland's event-controlled storage
+  element (Fig. 12);
+* :func:`full_adder_slice`     — the Fig. 10 adder bit: **five product
+  terms** {(ab)', (a.cin)', (b.cin)', (a.b.cin)', a+b+cin} in the product
+  plane, carry and both carry polarities collected in the second cell,
+  sum finished in a third (the accumulator-side plane), with the ripple
+  carry leaving on two lines exactly as the paper describes;
+* :func:`feedthrough_cell`     — straight routing (the fabric as wire).
+
+Column/line conventions are documented per macro; all data flows east,
+with the sum of the adder slice exiting north.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fabric.array import CellArray, wire_name
+from repro.fabric.driver import DriverMode
+from repro.fabric.nandcell import (
+    CellConfig,
+    Direction,
+    InputSource,
+    LfbPartner,
+    N_ROWS,
+)
+from repro.synth.qm import Implicant
+from repro.synth.truthtable import TruthTable
+
+
+@dataclass
+class Macro:
+    """A placeable cluster of configured cells.
+
+    Attributes
+    ----------
+    name:
+        Macro family name (diagnostics).
+    cells:
+        Mapping (dr, dc) -> CellConfig, relative to the placement origin.
+    inputs / outputs:
+        Port name -> (dr, dc, line): the wire ``w[r+dr][c+dc][line]``.
+    notes:
+        Free-text record of the mapping decisions (kept for DESIGN.md
+        cross-reference).
+    """
+
+    name: str
+    cells: dict[tuple[int, int], CellConfig] = field(default_factory=dict)
+    inputs: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+    outputs: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def n_cells(self) -> int:
+        """Cells the macro occupies."""
+        return len(self.cells)
+
+    def product_term_count(self) -> int:
+        """NAND rows configured as products across the macro."""
+        return sum(
+            1
+            for cfg in self.cells.values()
+            for r in range(N_ROWS)
+            if cfg.row_kind(r) == "nand"
+        )
+
+
+@dataclass
+class PlacedMacro:
+    """A macro bound to an array position with resolved wire names."""
+
+    macro: Macro
+    row: int
+    col: int
+    inputs: dict[str, str]
+    outputs: dict[str, str]
+
+
+def place(macro: Macro, array: CellArray, row: int, col: int) -> PlacedMacro:
+    """Install a macro's cells at (row, col) and resolve its ports."""
+    for (dr, dc), cfg in macro.cells.items():
+        array.set_cell(row + dr, col + dc, cfg)
+    ins = {
+        name: wire_name(row + dr, col + dc, line)
+        for name, (dr, dc, line) in macro.inputs.items()
+    }
+    outs = {
+        name: wire_name(row + dr, col + dc, line)
+        for name, (dr, dc, line) in macro.outputs.items()
+    }
+    return PlacedMacro(macro=macro, row=row, col=col, inputs=ins, outputs=outs)
+
+
+# ----------------------------------------------------------------------
+# Routing / complement generation
+# ----------------------------------------------------------------------
+
+def feedthrough_cell(lines: dict[int, int] | None = None, invert: bool = False) -> Macro:
+    """A cell routing input lines to output lines (the fabric as wire).
+
+    ``lines`` maps input column -> output row/line (default: identity on
+    all six).  Non-inverting by default (NAND row + INVERT driver).
+    """
+    lines = dict(lines) if lines is not None else {i: i for i in range(6)}
+    cfg = CellConfig()
+    for col, out_line in lines.items():
+        cfg.set_product(out_line, [col])
+        cfg.drivers[out_line] = DriverMode.BUFFER if invert else DriverMode.INVERT
+    m = Macro(name="feedthrough", cells={(0, 0): cfg})
+    for col in lines:
+        m.inputs[f"in{col}"] = (0, 0, col)
+    for col, out_line in lines.items():
+        m.outputs[f"out{out_line}"] = (0, 1, out_line)
+    m.notes = "single-input NAND rows as buffers; paper Section 4 feed-through"
+    return m
+
+
+def complement_cell(n_vars: int = 3) -> Macro:
+    """The Fig. 9 interconnect cell: raw inputs -> true/complement columns.
+
+    Inputs arrive on columns 0..n_vars-1; outputs leave east as
+    ``line 2k = x_k`` and ``line 2k+1 = NOT x_k``.
+    """
+    if not 1 <= n_vars <= 3:
+        raise ValueError(f"complement_cell supports 1..3 variables, got {n_vars}")
+    cfg = CellConfig()
+    m = Macro(name=f"complement{n_vars}", cells={(0, 0): cfg})
+    for k in range(n_vars):
+        cfg.set_product(2 * k, [k])
+        cfg.drivers[2 * k] = DriverMode.INVERT  # NAND+INVERT = true value
+        cfg.set_product(2 * k + 1, [k])
+        cfg.drivers[2 * k + 1] = DriverMode.BUFFER  # NAND = complement
+        m.inputs[f"x{k}"] = (0, 0, k)
+        m.outputs[f"x{k}"] = (0, 1, 2 * k)
+        m.outputs[f"x{k}_n"] = (0, 1, 2 * k + 1)
+    m.notes = "develops complemented columns; paper Fig. 9 'interconnect' cell"
+    return m
+
+
+# ----------------------------------------------------------------------
+# Combinational logic: the LUT pair
+# ----------------------------------------------------------------------
+
+def _literal_column(var: int, positive: bool) -> int:
+    """Column of a literal under the complemented-column convention."""
+    return 2 * var + (0 if positive else 1)
+
+
+def lut_pair(cover: list[Implicant], n_vars: int = 3) -> Macro:
+    """Product plane + collector implementing an SOP cover (<= 6 products).
+
+    Cell (0,0): one NAND row per product over the complemented-column
+    convention (line 2k = x_k, line 2k+1 = x_k'), drivers BUFFER (passing
+    the product complements east).  Cell (0,1): collector row 0 = NAND of
+    the product lines = the SOP; row 1 duplicates it with an INVERT driver
+    so both output polarities leave east (lines 0 and 1).
+    """
+    if not 1 <= n_vars <= 3:
+        raise ValueError(f"lut_pair supports 1..3 variables, got {n_vars}")
+    if len(cover) > N_ROWS:
+        raise ValueError(
+            f"cover has {len(cover)} products; a cell pair offers {N_ROWS}"
+        )
+    a = CellConfig()
+    b = CellConfig()
+    m = Macro(name=f"lut{n_vars}", cells={(0, 0): a, (0, 1): b})
+    for k in range(n_vars):
+        m.inputs[f"x{k}"] = (0, 0, 2 * k)
+        m.inputs[f"x{k}_n"] = (0, 0, 2 * k + 1)
+
+    if not cover:
+        # Constant 0: a single constant-0 collector row.
+        b.set_constant(0, 0)
+        b.set_constant(1, 1)
+    else:
+        product_lines = []
+        for j, impl in enumerate(cover):
+            lits = impl.literals(n_vars)
+            if impl.mask == 0:
+                # Constant-1 product: its complement line must be 0.
+                a.set_constant(j, 0)
+            else:
+                a.set_product(j, [_literal_column(v, pos) for v, pos in lits])
+            a.drivers[j] = DriverMode.BUFFER
+            product_lines.append(j)
+        b.set_product(0, product_lines)
+        b.crosspoints[1] = list(b.crosspoints[0])  # duplicate row for f'
+    b.drivers[0] = DriverMode.BUFFER  # f
+    b.drivers[1] = DriverMode.INVERT  # f'
+    m.outputs["f"] = (0, 2, 0)
+    m.outputs["f_n"] = (0, 2, 1)
+    m.notes = (
+        "NAND-NAND two-level mapping; pairs of cells = 6-input/6-term LUT "
+        "(paper Section 4)"
+    )
+    return m
+
+
+def lut_pair_from_table(table: TruthTable) -> Macro:
+    """Convenience: exact-minimise a truth table and map it."""
+    from repro.synth.qm import minimise
+
+    return lut_pair(minimise(table), table.n_vars)
+
+
+# ----------------------------------------------------------------------
+# Storage elements (two-level SOP with pair feedback)
+# ----------------------------------------------------------------------
+
+def d_latch_pair() -> Macro:
+    """Transparent-high D latch: q+ = G.D + G'.q + D.q.
+
+    Cell A columns: 0 = D, 1 = G, 2 = G' (all abutment; complements come
+    from an upstream complement cell), column 5 = q via the pair's lfb0.
+    Cell B: collector (row 0 = q), tapped onto lfb0; Q leaves east.
+    """
+    a = CellConfig()
+    a.lfb_partner = LfbPartner.EAST
+    a.input_select[5] = InputSource.LFB0
+    a.set_product(0, [0, 1])  # D.G
+    a.set_product(1, [2, 5])  # G'.q
+    a.set_product(2, [0, 5])  # D.q   (the hazard-killing consensus term)
+    for r in range(3):
+        a.drivers[r] = DriverMode.BUFFER
+    b = CellConfig()
+    b.set_product(0, [0, 1, 2])
+    b.lfb_taps[0] = 0
+    b.drivers[0] = DriverMode.BUFFER
+    m = Macro(name="d_latch", cells={(0, 0): a, (0, 1): b})
+    m.inputs = {"d": (0, 0, 0), "g": (0, 0, 1), "g_n": (0, 0, 2)}
+    m.outputs = {"q": (0, 2, 0)}
+    m.notes = "level-triggered latch in one cell pair (paper Section 4)"
+    return m
+
+
+def dff_pair(with_reset: bool = False) -> Macro:
+    """Rising-edge D flip-flop: the Fig. 9 storage element, 2 cells.
+
+    Fundamental-mode master-slave with state variables (m, q):
+
+        m+ = C'.D + C.m + D.m
+        q+ = C.m  + C'.q + m.q
+
+    Cell A columns: 0 = D, 1 = R' (active-low reset; tied off when unused),
+    2 = m (lfb0 of the east cell), 3 = q (lfb1), 4 = CLK, 5 = CLK'.
+    Five shared product rows (C.m serves both equations); cell B collects
+    m (row 0) and q (row 1) and taps them onto its lfb lines — the exact
+    budget of the pair's two local feedback lines.  Q and Q' leave east on
+    lines 1 and 2.
+    """
+    a = CellConfig()
+    a.lfb_partner = LfbPartner.EAST
+    a.input_select[2] = InputSource.LFB0  # m
+    a.input_select[3] = InputSource.LFB1  # q
+    products = [
+        [0, 5],  # C'.D
+        [4, 2],  # C.m   (shared by master and slave)
+        [0, 2],  # D.m
+        [5, 3],  # C'.q
+        [2, 3],  # m.q
+    ]
+    for r, cols in enumerate(products):
+        if with_reset:
+            cols = cols + [1]
+        a.set_product(r, cols)
+        a.drivers[r] = DriverMode.BUFFER
+    b = CellConfig()
+    b.set_product(0, [0, 1, 2])  # m = C'.D + C.m + D.m
+    b.set_product(1, [1, 3, 4])  # q = C.m + C'.q + m.q
+    b.crosspoints[2] = list(b.crosspoints[1])  # duplicate q row for Q'
+    b.lfb_taps[0] = 0
+    b.lfb_taps[1] = 1
+    b.drivers[0] = DriverMode.BUFFER  # m (observability)
+    b.drivers[1] = DriverMode.BUFFER  # Q
+    b.drivers[2] = DriverMode.INVERT  # Q'
+    m = Macro(name="dff_r" if with_reset else "dff", cells={(0, 0): a, (0, 1): b})
+    m.inputs = {
+        "d": (0, 0, 0),
+        "clk": (0, 0, 4),
+        "clk_n": (0, 0, 5),
+    }
+    if with_reset:
+        m.inputs["rst_n"] = (0, 0, 1)
+    m.outputs = {"m": (0, 2, 0), "q": (0, 2, 1), "q_n": (0, 2, 2)}
+    m.notes = (
+        "edge-triggered D-FF as two-state async FSM in one pair, using both "
+        "lfb lines (paper Fig. 9: 'standard asynchronous state machine "
+        "techniques')"
+    )
+    return m
+
+
+def c_element_pair() -> Macro:
+    """Muller C-element: c = a.b + a.c + b.c (paper Section 4.1).
+
+    Cell A columns: 0 = a, 1 = b, 5 = c (lfb0 of the east cell).
+    """
+    a = CellConfig()
+    a.lfb_partner = LfbPartner.EAST
+    a.input_select[5] = InputSource.LFB0
+    a.set_product(0, [0, 1])  # a.b
+    a.set_product(1, [0, 5])  # a.c
+    a.set_product(2, [1, 5])  # b.c
+    for r in range(3):
+        a.drivers[r] = DriverMode.BUFFER
+    b = CellConfig()
+    b.set_product(0, [0, 1, 2])
+    b.lfb_taps[0] = 0
+    b.drivers[0] = DriverMode.BUFFER
+    m = Macro(name="c_element", cells={(0, 0): a, (0, 1): b})
+    m.inputs = {"a": (0, 0, 0), "b": (0, 0, 1)}
+    m.outputs = {"c": (0, 2, 0)}
+    m.notes = "C-element per the paper's equation; one cell pair"
+    return m
+
+
+def ecse_pair() -> Macro:
+    """Event-controlled storage element (paper Fig. 12), one cell pair.
+
+    Two-phase capture/pass semantics: transparent while the request and
+    acknowledge phases agree, holding while they differ.
+
+        z+ = R.A.DIN + R'.A'.DIN + R.A'.z + R'.A.z + DIN.z
+
+    Cell A columns: 0 = DIN, 1 = R, 2 = R', 3 = A, 4 = A',
+    5 = z (lfb0 of the east cell).
+    """
+    a = CellConfig()
+    a.lfb_partner = LfbPartner.EAST
+    a.input_select[5] = InputSource.LFB0
+    products = [
+        [1, 3, 0],  # R.A.DIN
+        [2, 4, 0],  # R'.A'.DIN
+        [1, 4, 5],  # R.A'.z
+        [2, 3, 5],  # R'.A.z
+        [0, 5],     # DIN.z (consensus)
+    ]
+    for r, cols in enumerate(products):
+        a.set_product(r, cols)
+        a.drivers[r] = DriverMode.BUFFER
+    b = CellConfig()
+    b.set_product(0, [0, 1, 2, 3, 4])
+    b.lfb_taps[0] = 0
+    b.drivers[0] = DriverMode.BUFFER
+    m = Macro(name="ecse", cells={(0, 0): a, (0, 1): b})
+    m.inputs = {
+        "din": (0, 0, 0),
+        "req": (0, 0, 1),
+        "req_n": (0, 0, 2),
+        "ack": (0, 0, 3),
+        "ack_n": (0, 0, 4),
+    }
+    m.outputs = {"z": (0, 2, 0)}
+    m.notes = "Sutherland capture-pass storage on one pair (paper Fig. 12)"
+    return m
+
+
+# ----------------------------------------------------------------------
+# Datapath: the Fig. 10 full-adder slice
+# ----------------------------------------------------------------------
+
+def full_adder_slice() -> Macro:
+    """One ripple-carry adder bit in **five product terms** (paper Fig. 10).
+
+    Cell A (product plane), columns 0 = a, 1 = a', 2 = b, 3 = b',
+    4 = cin, 5 = cin'; rows (the five terms):
+
+        t0 = (a.b)'   t1 = (a.cin)'   t2 = (b.cin)'
+        t3 = (a.b.cin)'               t4 = (a'.b'.cin')' = a + b + cin
+
+    Cell B collects the carry and forwards the sum ingredients:
+    row 0 = NAND(t0,t1,t2) = cout (BUFFER east, line 0);
+    row 1 = NOT cout via its own lfb0 (BUFFER east, line 1 = cout');
+    row 3 = a.b.cin re-derived from t3 (INVERT east, line 3 = (a.b.cin)');
+    row 4 = a+b+cin forwarded from t4 (INVERT east, line 4).
+
+    Cell S finishes the sum and forwards the ripple:
+    row 0 = NAND(cout', a+b+cin) = u (internal, on S's lfb0);
+    row 1 = NAND(u, (a.b.cin)') = cout'.(a+b+cin) + a.b.cin = **s**
+    (driven NORTH, line 1); rows 4/5 forward cout / cout' east — "the two
+    horizontal connections between adjacent cells ... transfer the ripple
+    carry between bits".
+    """
+    a = CellConfig()
+    a.set_product(0, [0, 2])        # (a.b)'
+    a.set_product(1, [0, 4])        # (a.cin)'
+    a.set_product(2, [2, 4])        # (b.cin)'
+    a.set_product(3, [0, 2, 4])     # (a.b.cin)'
+    a.set_product(4, [1, 3, 5])     # (a'.b'.cin')' = a+b+cin
+    for r in range(5):
+        a.drivers[r] = DriverMode.BUFFER
+
+    b = CellConfig()
+    b.lfb_partner = LfbPartner.SELF
+    b.input_select[5] = InputSource.LFB0  # own row 0 = cout
+    b.set_product(0, [0, 1, 2])  # cout = ab + a.cin + b.cin
+    b.lfb_taps[0] = 0
+    b.set_product(1, [5])        # NAND(cout) = cout'
+    b.set_product(3, [3])        # NAND((a.b.cin)') = a.b.cin
+    b.set_product(4, [4])        # NAND(a+b+cin) = (a+b+cin)'
+    b.drivers[0] = DriverMode.BUFFER   # line 0: cout
+    b.drivers[1] = DriverMode.BUFFER   # line 1: cout'
+    b.drivers[3] = DriverMode.INVERT   # line 3: (a.b.cin)'
+    b.drivers[4] = DriverMode.INVERT   # line 4: a+b+cin
+
+    s = CellConfig()
+    s.lfb_partner = LfbPartner.SELF
+    s.input_select[5] = InputSource.LFB0  # own row 0 = u
+    s.set_product(0, [1, 4])     # u = NAND(cout', a+b+cin)
+    s.lfb_taps[0] = 0
+    s.set_product(1, [5, 3])     # s = NAND(u, (a.b.cin)')
+    s.directions[1] = Direction.NORTH
+    s.drivers[1] = DriverMode.BUFFER
+    s.set_product(4, [0])        # cout forward: NAND(cout) then INVERT
+    s.drivers[4] = DriverMode.INVERT
+    s.set_product(5, [1])        # cout' forward
+    s.drivers[5] = DriverMode.INVERT
+
+    m = Macro(
+        name="full_adder",
+        cells={(0, 0): a, (0, 1): b, (0, 2): s},
+    )
+    m.inputs = {
+        "a": (0, 0, 0),
+        "a_n": (0, 0, 1),
+        "b": (0, 0, 2),
+        "b_n": (0, 0, 3),
+        "cin": (0, 0, 4),
+        "cin_n": (0, 0, 5),
+    }
+    m.outputs = {
+        "s": (1, 2, 1),       # north
+        "cout": (0, 3, 4),    # east, line 4
+        "cout_n": (0, 3, 5),  # east, line 5
+    }
+    m.notes = (
+        "five-term shared-product full adder (paper Fig. 10); ripple carry "
+        "leaves on two east lines; sum exits north"
+    )
+    return m

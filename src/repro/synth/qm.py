@@ -1,0 +1,172 @@
+"""Exact two-level minimisation: Quine-McCluskey with Petrick's method.
+
+The NAND plane of a polymorphic cell pair offers at most six product terms
+(Section 4: "a small LUT with 6 inputs, 6 outputs and 6 product-terms"), so
+minimising the product count of every mapped function matters much more
+here than in a LUT-based FPGA flow.  Functions in this fabric are small
+(<= 6 literals), well inside exact minimisation territory.
+
+A product term is an :class:`Implicant` — (mask, value) over the input
+variables: variable k is *cared about* when mask bit k is 1 and must then
+equal the value bit.  The minimiser returns a minimum-cardinality prime
+cover (exact, via Petrick's method with memoised expansion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.synth.truthtable import TruthTable
+
+
+@dataclass(frozen=True, slots=True)
+class Implicant:
+    """A product term over n variables as a (mask, value) pair.
+
+    ``mask`` bit k set means variable k appears in the product; ``value``
+    bit k gives its required polarity (only meaningful under the mask).
+    """
+
+    mask: int
+    value: int
+
+    def covers(self, minterm: int) -> bool:
+        """True when the product term contains the minterm."""
+        return (minterm & self.mask) == (self.value & self.mask)
+
+    def literals(self, n_vars: int) -> list[tuple[int, bool]]:
+        """(variable, positive?) pairs of the product, ascending variable."""
+        out = []
+        for k in range(n_vars):
+            if (self.mask >> k) & 1:
+                out.append((k, bool((self.value >> k) & 1)))
+        return out
+
+    def n_literals(self) -> int:
+        """Number of literals in the product."""
+        return bin(self.mask).count("1")
+
+    def to_string(self, names: list[str] | None = None) -> str:
+        """Readable form like ``a.b'.d``."""
+        parts = []
+        k = 0
+        m = self.mask
+        while m:
+            if m & 1:
+                name = names[k] if names else f"x{k}"
+                parts.append(name if (self.value >> k) & 1 else name + "'")
+            m >>= 1
+            k += 1
+        return ".".join(parts) if parts else "1"
+
+
+def prime_implicants(table: TruthTable) -> list[Implicant]:
+    """All prime implicants of the function, by iterative pairwise merging."""
+    n = table.n_vars
+    full_mask = (1 << n) - 1
+    ones = set(table.minterms())
+    if not ones:
+        return []
+    if len(ones) == 1 << n:
+        return [Implicant(mask=0, value=0)]  # the constant-1 product
+    # Level 0: minterms as implicants.
+    current = {Implicant(full_mask, m) for m in ones}
+    primes: set[Implicant] = set()
+    while current:
+        merged: set[Implicant] = set()
+        used: set[Implicant] = set()
+        grouped = sorted(current, key=lambda i: (i.mask, bin(i.value & i.mask).count("1")))
+        for a, b in combinations(grouped, 2):
+            if a.mask != b.mask:
+                continue
+            diff = (a.value ^ b.value) & a.mask
+            if diff and (diff & (diff - 1)) == 0:  # differ in exactly one var
+                merged.add(Implicant(a.mask & ~diff, a.value & ~diff))
+                used.add(a)
+                used.add(b)
+        primes |= current - used
+        current = merged
+    return sorted(primes, key=lambda i: (i.mask, i.value))
+
+
+def _petrick_cover(minterms: list[int], primes: list[Implicant]) -> list[Implicant]:
+    """Minimum-cardinality cover via Petrick's method (product of sums).
+
+    Represents partial covers as frozensets of prime indices and expands
+    the POS one minterm at a time, pruning dominated partials.
+    """
+    partials: set[frozenset[int]] = {frozenset()}
+    for m in minterms:
+        options = [k for k, p in enumerate(primes) if p.covers(m)]
+        if not options:
+            raise RuntimeError(f"no prime covers minterm {m}; internal error")
+        expanded: set[frozenset[int]] = set()
+        for partial in partials:
+            if any(k in partial for k in options):
+                expanded.add(partial)
+            else:
+                for k in options:
+                    expanded.add(partial | {k})
+        # Prune supersets: a partial dominated by a subset can never win.
+        pruned: set[frozenset[int]] = set()
+        for cand in sorted(expanded, key=len):
+            if not any(prev < cand for prev in pruned):
+                pruned.add(cand)
+        partials = pruned
+    best = min(
+        partials,
+        key=lambda s: (len(s), sum(primes[k].n_literals() for k in s)),
+    )
+    return [primes[k] for k in sorted(best)]
+
+
+def minimise(table: TruthTable) -> list[Implicant]:
+    """Minimum SOP cover of the function (exact).
+
+    Returns an empty list for the constant-0 function and the empty-mask
+    implicant for constant 1.  Secondary objective: fewest total literals.
+    """
+    ones = table.minterms()
+    if not ones:
+        return []
+    primes = prime_implicants(table)
+    # Essential primes first: minterms covered by exactly one prime.
+    essential: set[int] = set()
+    for m in ones:
+        covering = [k for k, p in enumerate(primes) if p.covers(m)]
+        if len(covering) == 1:
+            essential.add(covering[0])
+    covered = {
+        m for m in ones if any(primes[k].covers(m) for k in essential)
+    }
+    remaining = [m for m in ones if m not in covered]
+    chosen = [primes[k] for k in sorted(essential)]
+    if remaining:
+        # Petrick over the leftover minterms with non-essential primes too.
+        chosen += _petrick_cover(remaining, primes)
+        # Deduplicate while preserving order.
+        seen: set[Implicant] = set()
+        unique = []
+        for p in chosen:
+            if p not in seen:
+                seen.add(p)
+                unique.append(p)
+        chosen = unique
+    return chosen
+
+
+def cover_to_table(n_vars: int, cover: list[Implicant]) -> TruthTable:
+    """Evaluate an SOP cover back into a truth table (verification)."""
+    import numpy as np
+
+    idx = np.arange(1 << n_vars)
+    acc = np.zeros(1 << n_vars, dtype=np.uint8)
+    for p in cover:
+        acc |= ((idx & p.mask) == (p.value & p.mask)).astype(np.uint8)
+    return TruthTable(n_vars, acc)
+
+
+def cover_is_correct(table: TruthTable, cover: list[Implicant]) -> bool:
+    """True when the cover computes exactly the function."""
+    return cover_to_table(table.n_vars, cover) == table

@@ -1,0 +1,100 @@
+"""Minimal routing helpers: the fabric used as pure interconnect.
+
+The paper's Section 4 emphasises that "the same components can be used
+interchangeably for logic and interconnection".  This module provides the
+interconnect side: straight east-going channels of feed-through cells, a
+networkx shortest-path router over the cell grid for multi-segment routes,
+and cost accounting (cells and leaf devices burned on routing — the
+quantity traded against logic in the paper's area argument).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.fabric.array import CellArray
+from repro.fabric.driver import DriverMode
+from repro.fabric.nandcell import CellConfig, Direction
+
+
+def straight_channel(
+    array: CellArray,
+    row: int,
+    col_start: int,
+    col_end: int,
+    lines: list[int],
+) -> int:
+    """Configure cells [col_start, col_end) as an east-going channel.
+
+    Each cell passes the given lines through non-inverted.  Cells must be
+    blank (routing never clobbers logic).  Returns the number of cells
+    configured.
+    """
+    if col_end <= col_start:
+        raise ValueError(f"col range must be increasing, got {col_start}..{col_end}")
+    if not lines:
+        raise ValueError("need at least one line to route")
+    for c in range(col_start, col_end):
+        cfg = array.cell(row, c)
+        if not cfg.is_blank():
+            raise ValueError(
+                f"cell ({row},{c}) is already configured; refusing to route over logic"
+            )
+        new = CellConfig()
+        for line in lines:
+            new.set_product(line, [line])
+            new.drivers[line] = DriverMode.INVERT  # NAND+INVERT = buffer
+        array.set_cell(row, c, new)
+    return col_end - col_start
+
+
+def grid_route(
+    array: CellArray,
+    src: tuple[int, int],
+    dst: tuple[int, int],
+    line: int,
+) -> list[tuple[int, int]]:
+    """Route one line from cell ``src`` to cell ``dst`` through blank cells.
+
+    Movement is restricted to the fabric's dataflow directions (east and
+    north).  Each visited cell is configured as a feed-through on ``line``
+    (east- or north-driving as the path requires).  Returns the path.
+
+    Raises ``ValueError`` when no monotone blank path exists.
+    """
+    (r0, c0), (r1, c1) = src, dst
+    if r1 < r0 or c1 < c0:
+        raise ValueError(
+            f"route must go east/north: {src} -> {dst} moves south or west"
+        )
+    g = nx.DiGraph()
+    for r in range(r0, r1 + 1):
+        for c in range(c0, c1 + 1):
+            if (r, c) != src and not array.cell(r, c).is_blank():
+                continue
+            if c + 1 <= c1 and ((r, c + 1) == dst or array.cell(r, min(c + 1, c1)).is_blank()):
+                g.add_edge((r, c), (r, c + 1))
+            if r + 1 <= r1 and ((r + 1, c) == dst or array.cell(min(r + 1, r1), c).is_blank()):
+                g.add_edge((r, c), (r + 1, c))
+    try:
+        path = nx.shortest_path(g, src, dst)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        raise ValueError(f"no blank east/north path from {src} to {dst}") from None
+    # Configure every hop except the destination as a feed-through.
+    for (r, c), (nr, nc) in zip(path, path[1:]):
+        cfg = array.cell(r, c)
+        if not cfg.is_blank() and (r, c) != src:
+            raise ValueError(f"cell ({r},{c}) became non-blank mid-route")
+        new = CellConfig() if (r, c) != src else cfg
+        new.set_product(line, [line])
+        new.drivers[line] = DriverMode.INVERT
+        new.directions[line] = Direction.EAST if nc > c else Direction.NORTH
+        array.set_cell(r, c, new)
+    return path
+
+
+def routing_cost(path: list[tuple[int, int]]) -> dict[str, int]:
+    """Cells and leaf devices consumed by a route (area accounting)."""
+    cells = max(0, len(path) - 1)
+    # One feed-through = 6 crosspoints of one row + 1 driver.
+    return {"cells": cells, "leaf_devices": cells * 7}

@@ -1,0 +1,162 @@
+"""Numpy-backed truth tables: the synthesis layer's function representation.
+
+A :class:`TruthTable` is an immutable boolean function of up to 16
+variables stored as a flat uint8 output vector indexed by the input
+assignment (variable 0 is the least-significant index bit).  All bulk
+operations (evaluation over assignment arrays, cofactoring, comparison
+against covers) are vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TruthTable:
+    """An n-variable single-output boolean function."""
+
+    MAX_VARS = 16
+
+    def __init__(self, n_vars: int, outputs) -> None:
+        if not 0 <= n_vars <= self.MAX_VARS:
+            raise ValueError(f"n_vars must be 0..{self.MAX_VARS}, got {n_vars}")
+        self.n_vars = int(n_vars)
+        arr = np.asarray(outputs, dtype=np.uint8)
+        if arr.shape != (1 << n_vars,):
+            raise ValueError(
+                f"outputs must have length {1 << n_vars} for {n_vars} vars, "
+                f"got shape {arr.shape}"
+            )
+        if not np.all((arr == 0) | (arr == 1)):
+            raise ValueError("outputs must be 0/1")
+        self.outputs = arr.copy()
+        self.outputs.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_minterms(cls, n_vars: int, minterms) -> "TruthTable":
+        """Build from a list of minterm indices."""
+        out = np.zeros(1 << n_vars, dtype=np.uint8)
+        for m in minterms:
+            if not 0 <= m < (1 << n_vars):
+                raise ValueError(f"minterm {m} out of range for {n_vars} vars")
+            out[m] = 1
+        return cls(n_vars, out)
+
+    @classmethod
+    def from_function(cls, n_vars: int, fn) -> "TruthTable":
+        """Build by evaluating ``fn(*bits) -> bool`` over all assignments."""
+        size = 1 << n_vars
+        out = np.zeros(size, dtype=np.uint8)
+        for idx in range(size):
+            bits = [(idx >> k) & 1 for k in range(n_vars)]
+            out[idx] = 1 if fn(*bits) else 0
+        return cls(n_vars, out)
+
+    @classmethod
+    def constant(cls, n_vars: int, value: int) -> "TruthTable":
+        """Constant 0 or 1 function."""
+        if value not in (0, 1):
+            raise ValueError(f"value must be 0 or 1, got {value!r}")
+        return cls(n_vars, np.full(1 << n_vars, value, dtype=np.uint8))
+
+    @classmethod
+    def projection(cls, n_vars: int, var: int) -> "TruthTable":
+        """The function f = x_var."""
+        if not 0 <= var < n_vars:
+            raise ValueError(f"var must be 0..{n_vars - 1}, got {var}")
+        idx = np.arange(1 << n_vars)
+        return cls(n_vars, ((idx >> var) & 1).astype(np.uint8))
+
+    @classmethod
+    def random(cls, n_vars: int, rng: np.random.Generator) -> "TruthTable":
+        """Uniformly random function (deterministic given the generator)."""
+        return cls(n_vars, rng.integers(0, 2, size=1 << n_vars, dtype=np.uint8))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment) -> int:
+        """Evaluate at one assignment (sequence of n_vars bits, LSB first)."""
+        if len(assignment) != self.n_vars:
+            raise ValueError(
+                f"assignment needs {self.n_vars} bits, got {len(assignment)}"
+            )
+        idx = 0
+        for k, b in enumerate(assignment):
+            if b not in (0, 1):
+                raise ValueError(f"assignment bits must be 0/1, got {b!r}")
+            idx |= b << k
+        return int(self.outputs[idx])
+
+    def evaluate_indices(self, indices) -> np.ndarray:
+        """Vectorised evaluation at integer-encoded assignments."""
+        return self.outputs[np.asarray(indices, dtype=np.int64)]
+
+    def minterms(self) -> list[int]:
+        """Indices where the function is 1."""
+        return [int(i) for i in np.nonzero(self.outputs)[0]]
+
+    def count_ones(self) -> int:
+        """Number of satisfying assignments."""
+        return int(self.outputs.sum())
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.n_vars, 1 - self.outputs)
+
+    def _binary(self, other: "TruthTable", op) -> "TruthTable":
+        if not isinstance(other, TruthTable):
+            raise TypeError(f"expected TruthTable, got {type(other).__name__}")
+        if other.n_vars != self.n_vars:
+            raise ValueError(
+                f"variable count mismatch: {self.n_vars} vs {other.n_vars}"
+            )
+        return TruthTable(self.n_vars, op(self.outputs, other.outputs).astype(np.uint8))
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, np.minimum)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, np.maximum)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, np.bitwise_xor)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TruthTable)
+            and other.n_vars == self.n_vars
+            and bool(np.array_equal(other.outputs, self.outputs))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_vars, self.outputs.tobytes()))
+
+    def cofactor(self, var: int, value: int) -> "TruthTable":
+        """Shannon cofactor f|x_var=value (one fewer variable)."""
+        if not 0 <= var < self.n_vars:
+            raise ValueError(f"var must be 0..{self.n_vars - 1}, got {var}")
+        if value not in (0, 1):
+            raise ValueError(f"value must be 0 or 1, got {value!r}")
+        idx = np.arange(1 << (self.n_vars - 1))
+        low = idx & ((1 << var) - 1)
+        high = (idx >> var) << (var + 1)
+        full = high | (value << var) | low
+        return TruthTable(self.n_vars - 1, self.outputs[full])
+
+    def depends_on(self, var: int) -> bool:
+        """True when the function actually depends on x_var."""
+        return self.cofactor(var, 0) != self.cofactor(var, 1)
+
+    def support(self) -> list[int]:
+        """Variables the function genuinely depends on."""
+        return [v for v in range(self.n_vars) if self.depends_on(v)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        bits = "".join(str(int(b)) for b in self.outputs)
+        return f"TruthTable({self.n_vars}, 0b{bits[::-1]})"

@@ -1,0 +1,35 @@
+"""Shared utilities: physical constants, technology tables, validation helpers.
+
+These are deliberately dependency-free so every other subpackage can import
+them without cycles.
+"""
+
+from repro.util.constants import (
+    BOLTZMANN_EV,
+    ROOM_TEMPERATURE_K,
+    thermal_voltage,
+)
+from repro.util.technology import (
+    TechnologyNode,
+    NODES,
+    node,
+    lambda_nm,
+)
+from repro.util.validate import (
+    check_finite,
+    check_in_range,
+    check_positive,
+)
+
+__all__ = [
+    "BOLTZMANN_EV",
+    "ROOM_TEMPERATURE_K",
+    "thermal_voltage",
+    "TechnologyNode",
+    "NODES",
+    "node",
+    "lambda_nm",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+]

@@ -1,0 +1,102 @@
+"""Technology-node table used by the scaling studies of Section 2.
+
+The paper argues (Section 2.1, citing DeHon [1], De Dinechin [18], Liu & Pai
+[20], Sylvester & Keutzer [19]) that interconnect delay comes to dominate
+FPGA path delay as feature size shrinks, so that FPGA operating frequency
+improves only O(lambda^1/2).  The :class:`TechnologyNode` records the handful
+of per-node electrical parameters those first-order arguments need.
+
+Values are representative mid-1990s-to-2000s ITRS-style numbers: the goal is
+to reproduce the *shape* of the paper's scaling arguments (who wins, where
+the crossover falls), not any particular foundry kit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TechnologyNode:
+    """Electrical snapshot of one lithography generation.
+
+    Attributes
+    ----------
+    name:
+        Conventional node label, e.g. ``"130nm"``.
+    feature_nm:
+        Drawn feature size (the paper's lambda is ``feature_nm / 2``).
+    vdd:
+        Nominal supply voltage (V).
+    gate_delay_ps:
+        Intrinsic fanout-of-4-style gate delay (ps); scales roughly with
+        feature size.
+    wire_r_ohm_per_um:
+        Resistance of a minimum-width mid-level wire (ohm/um).
+    wire_c_ff_per_um:
+        Capacitance of the same wire (fF/um).
+    """
+
+    name: str
+    feature_nm: float
+    vdd: float
+    gate_delay_ps: float
+    wire_r_ohm_per_um: float
+    wire_c_ff_per_um: float
+
+    @property
+    def lambda_nm(self) -> float:
+        """Layout lambda in nm (half the drawn feature size)."""
+        return self.feature_nm / 2.0
+
+    @property
+    def wire_rc_ps_per_um2(self) -> float:
+        """Distributed-RC delay coefficient: 0.38 * R * C (ps per um^2).
+
+        The 0.38 factor is the standard Elmore coefficient for a distributed
+        RC line.  Total unrepeated wire delay over length L um is
+        ``wire_rc_ps_per_um2 * L**2``.
+        """
+        return 0.38 * self.wire_r_ohm_per_um * self.wire_c_ff_per_um * 1e-3
+
+
+#: Representative scaling ladder from 250 nm (the paper's present) down to
+#: 22 nm (the "deep sub-micron to nano-scale" future it argues about).
+#: Wire R grows as the inverse square of width; wire C per unit length is
+#: nearly constant; gate delay shrinks linearly.
+NODES: dict[str, TechnologyNode] = {
+    n.name: n
+    for n in (
+        TechnologyNode("250nm", 250.0, 2.5, 80.0, 0.06, 0.20),
+        TechnologyNode("180nm", 180.0, 1.8, 55.0, 0.12, 0.20),
+        TechnologyNode("130nm", 130.0, 1.3, 38.0, 0.22, 0.21),
+        TechnologyNode("90nm", 90.0, 1.1, 25.0, 0.45, 0.21),
+        TechnologyNode("65nm", 65.0, 1.0, 17.0, 0.90, 0.22),
+        TechnologyNode("45nm", 45.0, 1.0, 11.0, 1.90, 0.22),
+        TechnologyNode("32nm", 32.0, 0.9, 7.5, 3.80, 0.23),
+        TechnologyNode("22nm", 22.0, 0.8, 5.0, 7.80, 0.23),
+    )
+}
+
+
+def node(name: str) -> TechnologyNode:
+    """Look up a :class:`TechnologyNode` by label.
+
+    Raises ``KeyError`` with the list of known nodes on a miss, which is the
+    most common user error in the benches.
+    """
+    try:
+        return NODES[name]
+    except KeyError:
+        known = ", ".join(sorted(NODES, key=lambda k: -NODES[k].feature_nm))
+        raise KeyError(f"unknown technology node {name!r}; known nodes: {known}") from None
+
+
+def lambda_nm(name: str) -> float:
+    """Layout lambda (nm) of the named node."""
+    return node(name).lambda_nm
+
+
+def nodes_descending() -> list[TechnologyNode]:
+    """All nodes ordered from the largest feature size to the smallest."""
+    return sorted(NODES.values(), key=lambda n: -n.feature_nm)

@@ -1,0 +1,58 @@
+"""Small argument-validation helpers shared across the package.
+
+They raise ``ValueError``/``TypeError`` with messages that name the offending
+parameter, which keeps the device/fabric constructors short and the error
+messages uniform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0 and finite, else raise ``ValueError``."""
+    if not np.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return float(value)
+
+
+def check_finite(name: str, value) -> np.ndarray:
+    """Return ``value`` as a float array, raising if any element is non-finite."""
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return arr
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Return ``value`` if ``lo <= value <= hi``, else raise ``ValueError``."""
+    v = float(value)
+    if not np.isfinite(v) or v < lo or v > hi:
+        raise ValueError(f"{name} must lie in [{lo}, {hi}], got {value!r}")
+    return v
+
+
+def check_index(name: str, value: int, size: int) -> int:
+    """Validate an integer index into a container of ``size`` elements."""
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if not 0 <= value < size:
+        raise ValueError(f"{name} must lie in [0, {size}), got {value}")
+    return int(value)
+
+
+def check_length(name: str, seq: Sequence, expected: int) -> Sequence:
+    """Validate that ``seq`` has exactly ``expected`` elements."""
+    if len(seq) != expected:
+        raise ValueError(f"{name} must have length {expected}, got {len(seq)}")
+    return seq

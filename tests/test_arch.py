@@ -1,0 +1,207 @@
+"""Unit tests for the architecture analytics (area/bits/wires/scaling/power)."""
+
+import math
+
+import pytest
+
+from repro.arch.area import (
+    area_ratio,
+    density_cells_per_cm2,
+    fpga_area_l2,
+    polymorphic_area_l2,
+)
+from repro.arch.compare import (
+    area_claims_report,
+    config_bits_report,
+    power_claim_report,
+    scaling_report,
+)
+from repro.arch.configbits import (
+    CLBModel,
+    bits_for_design,
+    function_for_function_ratio,
+    polymorphic_bits_per_block,
+)
+from repro.arch.fpga_baseline import FpgaBaseline
+from repro.arch.power import clock_power_saving, clock_tree_power_w, config_plane_power_w
+from repro.arch.scaling import (
+    custom_path,
+    fpga_path,
+    frequency_scaling_exponent,
+    polymorphic_path,
+    scaling_series,
+)
+from repro.arch.wires import (
+    optimal_repeater_segment_um,
+    repeated_delay_ps,
+    required_drive_wl,
+    unrepeated_delay_ps,
+)
+from repro.synth.truthtable import TruthTable
+from repro.util.technology import node, nodes_descending
+
+
+class TestArea:
+    def test_polymorphic_has_no_overhead_terms(self):
+        a = polymorphic_area_l2(10)
+        assert a.interconnect_l2 == 0.0 and a.config_l2 == 0.0
+        assert a.total_l2 == pytest.approx(10 * 200.0)
+
+    def test_fpga_routing_dominates(self):
+        a = fpga_area_l2(4)
+        assert a.interconnect_l2 > a.logic_l2
+        assert a.config_l2 > a.logic_l2
+
+    def test_three_orders_of_magnitude(self):
+        # The paper's headline: cell pair vs conventional 4-LUT.
+        ratio = area_ratio(polymorphic_cells=2, fpga_lut4s=1)
+        assert 1_000 <= ratio <= 3_000
+
+    def test_density_exceeds_1e9(self):
+        assert density_cells_per_cm2(lambda_nm=5.0) > 1e9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            polymorphic_area_l2(-1)
+        with pytest.raises(ValueError):
+            fpga_area_l2(1, logic_fraction=0.9, config_fraction=0.5)
+        with pytest.raises(ValueError):
+            area_ratio(0, 1)
+
+
+class TestConfigBits:
+    def test_frame_is_128(self):
+        assert polymorphic_bits_per_block() == 128
+
+    def test_clb_several_hundred(self):
+        assert 100 <= CLBModel().bits_per_logic_cell() <= 999
+
+    def test_same_order_ratio(self):
+        assert 0.1 <= function_for_function_ratio() <= 10.0
+
+    def test_design_bits_scale_linearly(self):
+        assert bits_for_design(10) == 1280
+
+    def test_clb_tile_is_n_luts_worth(self):
+        clb = CLBModel()
+        assert clb.bits_per_clb() == 4 * clb.bits_per_logic_cell()
+
+
+class TestWires:
+    def test_unrepeated_quadratic(self):
+        n = node("90nm")
+        assert unrepeated_delay_ps(n, 200.0) == pytest.approx(
+            4.0 * unrepeated_delay_ps(n, 100.0)
+        )
+
+    def test_repeating_beats_bare_wire_when_long(self):
+        n = node("45nm")
+        long_um = 20 * optimal_repeater_segment_um(n)
+        assert repeated_delay_ps(n, long_um) < unrepeated_delay_ps(n, long_um)
+
+    def test_liu_pai_wall(self):
+        # ~100:1 drivers at the 130 nm node for 1 mm under 100 ps.
+        wl = required_drive_wl(node("130nm"), 1000.0, 100.0)
+        assert math.isinf(wl) or wl > 50
+
+    def test_impossible_target_is_inf(self):
+        n = node("22nm")
+        assert math.isinf(required_drive_wl(n, 5000.0, 1.0))
+
+    def test_repeater_segment_shrinks_with_scaling(self):
+        segs = [optimal_repeater_segment_um(n) for n in nodes_descending()]
+        assert segs == sorted(segs, reverse=True)
+
+
+class TestScaling:
+    def test_interconnect_fraction_rises_with_scaling(self):
+        fracs = [fpga_path(n).wire_fraction for n in nodes_descending()]
+        assert fracs[-1] > fracs[0]
+        assert fracs[2] > 0.6  # DSM point: interconnect dominates
+
+    def test_fpga_exponent_near_half(self):
+        series = scaling_series()
+        lams = [n.lambda_nm for n in nodes_descending()]
+        x = frequency_scaling_exponent(series["fpga"], lams)
+        assert 0.2 <= x <= 0.7
+
+    def test_gap_to_custom_widens(self):
+        ladder = nodes_descending()
+        gap_old = custom_path(ladder[0]).frequency_mhz / fpga_path(ladder[0]).frequency_mhz
+        gap_new = custom_path(ladder[-1]).frequency_mhz / fpga_path(ladder[-1]).frequency_mhz
+        assert gap_new > gap_old
+
+    def test_polymorphic_scales_better_than_fpga(self):
+        series = scaling_series()
+        lams = [n.lambda_nm for n in nodes_descending()]
+        x_poly = frequency_scaling_exponent(series["polymorphic"], lams)
+        x_fpga = frequency_scaling_exponent(series["fpga"], lams)
+        assert x_poly > x_fpga
+
+    def test_exponent_needs_two_points(self):
+        with pytest.raises(ValueError):
+            frequency_scaling_exponent([fpga_path(node("90nm"))], [45.0])
+
+
+class TestPower:
+    def test_config_plane_under_100mw_at_1e9(self):
+        assert config_plane_power_w(1e9) < 0.1
+
+    def test_power_linear_in_cells(self):
+        assert config_plane_power_w(2e9) == pytest.approx(2 * config_plane_power_w(1e9))
+
+    def test_clock_tree_cv2f(self):
+        p = clock_tree_power_w(1e6, 2.0, 1.0, 1.0, 1e9)
+        assert p == pytest.approx((1e6 * 2e-15 + 1e-9) * 1e9)
+
+    def test_gals_saving_positive_and_bounded(self):
+        s = clock_power_saving(n_sinks=1e6, n_domains=16)
+        assert 0.0 < s < 1.0
+
+    def test_more_domains_more_saving(self):
+        assert clock_power_saving(1e6, 32) > clock_power_saving(1e6, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            config_plane_power_w(-1)
+        with pytest.raises(ValueError):
+            clock_power_saving(1e6, 0)
+
+
+class TestFpgaBaseline:
+    def test_small_function_one_lut(self):
+        base = FpgaBaseline()
+        t = TruthTable.from_function(3, lambda a, b, c: a ^ b ^ c)
+        assert base.luts_for_table(t) == 1
+
+    def test_wide_function_needs_tree(self):
+        base = FpgaBaseline()
+        t = TruthTable.from_function(6, lambda *bits: sum(bits) % 2 == 1)
+        assert base.luts_for_table(t) > 1
+
+    def test_ff_rides_free_when_lut_available(self):
+        base = FpgaBaseline()
+        assert base.cost(n_lut4=4, n_ff=4).area_l2 == base.cost(n_lut4=4).area_l2
+
+    def test_adder_cost_linear(self):
+        base = FpgaBaseline()
+        assert base.ripple_adder(8).n_lut4 == 2 * base.ripple_adder(4).n_lut4
+
+    def test_fig9_tile_cost(self):
+        cost = FpgaBaseline().lut3_with_ff()
+        assert cost.n_lut4 == 1 and cost.n_ff == 1
+
+
+class TestReports:
+    def test_all_claims_reproduced(self):
+        for rep in (
+            area_claims_report(),
+            config_bits_report(),
+            power_claim_report(),
+            scaling_report(),
+        ):
+            assert rep.all_match(), rep.render()
+
+    def test_render_contains_rows(self):
+        text = area_claims_report().render()
+        assert "lambda^2" in text and "measured" in text

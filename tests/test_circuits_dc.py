@@ -1,0 +1,110 @@
+"""Unit tests for the vectorised DC solvers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.dc import (
+    bisect_balance,
+    gain_peak,
+    output_swing,
+    series_pair_current,
+    solve_output,
+    switching_threshold,
+)
+from repro.devices.dgmosfet import default_nmos
+
+
+class TestBisectBalance:
+    def test_linear_root(self):
+        # f(x) = 1 - 2x, decreasing; root at 0.5.
+        root = bisect_balance(lambda x: 1.0 - 2.0 * x, np.zeros(1), np.ones(1))
+        assert root[0] == pytest.approx(0.5, abs=1e-12)
+
+    def test_vector_of_roots(self):
+        targets = np.linspace(0.1, 0.9, 9)
+        root = bisect_balance(lambda x: targets - x, np.zeros(9), np.ones(9))
+        np.testing.assert_allclose(root, targets, atol=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bisect_balance(lambda x: -x, np.zeros(2), np.ones(3))
+
+
+class TestSolveOutput:
+    def test_matched_resistive_divider(self):
+        # Pull-up conductance g_u to VDD, pull-down g_d to ground:
+        # balance at VDD * g_u / (g_u + g_d).
+        vdd = 1.0
+        gu, gd = 2.0, 1.0
+        out = solve_output(
+            lambda v: gu * (vdd - v),
+            lambda v: gd * v,
+            vdd,
+            (1,),
+        )
+        assert out[0] == pytest.approx(vdd * gu / (gu + gd), abs=1e-10)
+
+
+class TestSeriesPair:
+    def test_matched_devices_split_voltage(self):
+        dev = default_nmos()
+
+        def lower(v_drop, _vm):
+            return np.asarray(dev.ids(1.0, v_drop))
+
+        def upper(v_drop, vm):
+            return np.asarray(dev.ids(1.0 - vm, v_drop))
+
+        v_total = np.array([0.1])
+        i = series_pair_current(lower, upper, v_total)
+        # The stack current must be between 0 and the single-device current.
+        i_single = dev.ids(1.0, 0.1)
+        assert 0 < i[0] < i_single
+
+    def test_stack_current_monotone_in_total_drop(self):
+        dev = default_nmos()
+
+        def lower(v_drop, _vm):
+            return np.asarray(dev.ids(1.0, v_drop))
+
+        def upper(v_drop, vm):
+            return np.asarray(dev.ids(1.0 - vm, v_drop))
+
+        v = np.linspace(0.0, 1.0, 21)
+        i = series_pair_current(lower, upper, v)
+        assert np.all(np.diff(i) >= -1e-15)
+
+    def test_off_device_blocks_stack(self):
+        dev = default_nmos()
+
+        def lower(v_drop, _vm):
+            return np.asarray(dev.ids(0.0, v_drop))  # gate low -> off
+
+        def upper(v_drop, vm):
+            return np.asarray(dev.ids(1.0 - vm, v_drop))
+
+        i = series_pair_current(lower, upper, np.array([1.0]))
+        i_on = dev.ids(1.0, 1.0)
+        assert i[0] < 1e-3 * i_on
+
+
+class TestCurveMetrics:
+    def test_threshold_of_ideal_step(self):
+        vin = np.linspace(0, 1, 101)
+        vout = np.where(vin < 0.42, 1.0, 0.0)
+        t = switching_threshold(vin, vout, 1.0)
+        assert t == pytest.approx(0.42, abs=0.02)
+
+    def test_threshold_nan_when_stuck(self):
+        vin = np.linspace(0, 1, 11)
+        assert np.isnan(switching_threshold(vin, np.ones(11), 1.0))
+        assert np.isnan(switching_threshold(vin, np.zeros(11), 1.0))
+
+    def test_output_swing(self):
+        lo, hi = output_swing(np.array([0.05, 0.5, 0.98]))
+        assert lo == pytest.approx(0.05)
+        assert hi == pytest.approx(0.98)
+
+    def test_gain_peak_of_linear_curve(self):
+        vin = np.linspace(0, 1, 101)
+        assert gain_peak(vin, -3.0 * vin) == pytest.approx(3.0, rel=1e-6)

@@ -1,0 +1,141 @@
+"""Unit tests for the configurable gate structures (paper Figs. 3-5)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    ConfigurableInverter,
+    ConfigurableNAND2,
+    TristateDriver,
+)
+
+
+@pytest.fixture(scope="module")
+def inv():
+    return ConfigurableInverter(vdd=1.0)
+
+
+@pytest.fixture(scope="module")
+def nand():
+    return ConfigurableNAND2(vdd=1.0)
+
+
+class TestFig3Inverter:
+    """The Fig. 3 VTC family is the paper's core device-level evidence."""
+
+    def test_active_config_switches(self, inv):
+        res = inv.vtc(0.0)
+        assert res.switches
+        # Symmetric devices -> threshold near VDD/2.
+        assert res.threshold == pytest.approx(0.5, abs=0.1)
+
+    def test_stuck_high_at_minus_1p5(self, inv):
+        assert inv.vtc(-1.5).is_stuck_high
+
+    def test_stuck_low_at_plus_1p5(self, inv):
+        assert inv.vtc(+1.5).is_stuck_low
+
+    def test_threshold_moves_monotonically_with_bias(self, inv):
+        # Negative bias weakens the NMOS -> switching point moves to higher
+        # VIN; positive bias the reverse (Fig. 3's curve ordering).
+        t_neg = inv.vtc(-0.5).threshold
+        t_zero = inv.vtc(0.0).threshold
+        t_pos = inv.vtc(+0.5).threshold
+        assert t_pos < t_zero < t_neg
+
+    def test_family_covers_fig3_biases(self, inv):
+        family = inv.vtc_family()
+        assert len(family) == 5
+        assert family[0].is_stuck_high
+        assert family[-1].is_stuck_low
+        assert all(r.switches for r in family[1:-1])
+
+    def test_full_rail_swing_when_active(self, inv):
+        res = inv.vtc(0.0)
+        assert res.vout.max() > 0.95
+        assert res.vout.min() < 0.05
+
+    def test_vtc_monotone_nonincreasing(self, inv):
+        res = inv.vtc(0.0)
+        assert np.all(np.diff(res.vout) <= 1e-9)
+
+    def test_logic_output_inverts(self, inv):
+        assert inv.logic_output(0, 0.0) == 1
+        assert inv.logic_output(1, 0.0) == 0
+
+    def test_rejects_bad_vdd(self):
+        with pytest.raises(ValueError):
+            ConfigurableInverter(vdd=-1.0)
+
+
+class TestFig4NAND:
+    """The Fig. 4 configuration table, row by row.
+
+    Note the table prints the *complemented* single-input functions: with B
+    forced on, NAND(A, 1) = NOT A (the paper's overbars are lost in the
+    text extraction; see EXPERIMENTS.md E2).
+    """
+
+    def test_both_active_is_nand(self, nand):
+        assert nand.classify(0.0, 0.0) == "NAND"
+
+    def test_b_forced_on_gives_not_a(self, nand):
+        assert nand.classify(0.0, +2.0) == "NOT_A"
+
+    def test_a_forced_on_gives_not_b(self, nand):
+        assert nand.classify(+2.0, 0.0) == "NOT_B"
+
+    def test_any_forced_off_gives_one(self, nand):
+        assert nand.classify(-2.0, -2.0) == "ONE"
+        assert nand.classify(-2.0, 0.0) == "ONE"
+        assert nand.classify(0.0, -2.0) == "ONE"
+
+    def test_both_forced_on_gives_zero(self, nand):
+        assert nand.classify(+2.0, +2.0) == "ZERO"
+
+    def test_nand_truth_values(self, nand):
+        t = nand.logic_table(0.0, 0.0)
+        assert t == {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}
+
+    def test_output_levels_are_clean(self, nand):
+        # No configuration in the Fig. 4 set may produce an indeterminate
+        # level on any input combination.
+        for ba, bb in [(0, 0), (0, 2), (2, 0), (-2, -2), (2, 2)]:
+            t = nand.logic_table(float(ba), float(bb))
+            assert None not in t.values(), (ba, bb)
+
+
+class TestFig5Driver:
+    def test_mode_decoding_matches_table(self):
+        drv = TristateDriver()
+        assert drv.mode_for_biases(0.0, -2.0) == "INVERTING"
+        assert drv.mode_for_biases(+2.0, 0.0) == "NON_INVERTING"
+        assert drv.mode_for_biases(-2.0, -2.0) == "OPEN"
+
+    def test_inverting_drive(self):
+        drv = TristateDriver()
+        assert drv.drive(0, "INVERTING") == 1
+        assert drv.drive(1, "INVERTING") == 0
+
+    def test_non_inverting_drive(self):
+        drv = TristateDriver()
+        assert drv.drive(0, "NON_INVERTING") == 0
+        assert drv.drive(1, "NON_INVERTING") == 1
+
+    def test_open_drives_nothing(self):
+        drv = TristateDriver()
+        assert drv.drive(0, "OPEN") is None
+        assert drv.drive(1, "OPEN") is None
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TristateDriver().drive(0, "WEIRD")
+
+    def test_analog_vtc_modes(self):
+        drv = TristateDriver()
+        inv = drv.analog_vtc("INVERTING")
+        buf = drv.analog_vtc("NON_INVERTING")
+        assert drv.analog_vtc("OPEN") is None
+        # Inverting curve falls, buffered curve rises.
+        assert inv.vout[0] > inv.vout[-1]
+        assert buf.vout[0] < buf.vout[-1]

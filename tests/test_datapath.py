@@ -1,0 +1,138 @@
+"""Integration tests: adder and accumulator datapaths on the fabric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datapath.accumulator import Accumulator
+from repro.datapath.adder import RippleCarryAdder
+from repro.datapath.bitserial import (
+    BitSerialAdder,
+    bit_serial_timing,
+    crossover_width,
+    ripple_timing,
+)
+from repro.util.technology import node
+
+
+class TestRippleCarryAdder:
+    def test_exhaustive_2bit(self):
+        adder = RippleCarryAdder(2)
+        for a in range(4):
+            for b in range(4):
+                for cin in (0, 1):
+                    assert adder.add(a, b, cin) == a + b + cin, (a, b, cin)
+
+    def test_4bit_cases(self):
+        adder = RippleCarryAdder(4)
+        for a, b in [(0, 0), (15, 15), (9, 6), (7, 8), (15, 1)]:
+            assert adder.add(a, b) == a + b
+
+    def test_carry_propagates_full_length(self):
+        adder = RippleCarryAdder(6)
+        # 111111 + 1: the worst-case ripple.
+        assert adder.add(63, 1) == 64
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255), cin=st.integers(0, 1))
+    @settings(max_examples=12, deadline=None)
+    def test_random_8bit(self, a, b, cin):
+        adder = RippleCarryAdder(8)
+        assert adder.add(a, b, cin) == a + b + cin
+
+    def test_cells_per_bit(self):
+        # Paper Fig. 10: one 6-NAND cell pair per bit carries the adder's
+        # five terms; our mapping adds a third cell for sum collection and
+        # carry forwarding (see EXPERIMENTS.md E8).
+        adder = RippleCarryAdder(4)
+        assert adder.cells_used() == 4 * RippleCarryAdder.CELLS_PER_BIT
+
+    def test_operand_range_checked(self):
+        adder = RippleCarryAdder(2)
+        with pytest.raises(ValueError):
+            adder.add(4, 0)
+        with pytest.raises(ValueError):
+            adder.add(0, 0, cin=2)
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            RippleCarryAdder(0)
+
+
+class TestAccumulator:
+    def test_accumulates_sequence(self):
+        acc = Accumulator(4)
+        acc.reset()
+        assert acc.value() == 0
+        assert acc.accumulate(3) == 3
+        assert acc.accumulate(5) == 8
+        assert acc.accumulate(1) == 9
+
+    def test_wraps_modulo_width(self):
+        acc = Accumulator(3)
+        acc.reset()
+        acc.accumulate(7)
+        assert acc.accumulate(2) == 1  # 9 mod 8
+
+    def test_reset_mid_stream(self):
+        acc = Accumulator(4)
+        acc.reset()
+        acc.accumulate(6)
+        acc.reset()
+        assert acc.value() == 0
+        assert acc.accumulate(2) == 2
+
+    def test_operand_change_without_clock_is_invisible(self):
+        acc = Accumulator(4)
+        acc.reset()
+        acc.accumulate(4)
+        acc.set_operand(9)  # no clock pulse
+        assert acc.value() == 4
+
+    def test_cells_per_bit_accounting(self):
+        acc = Accumulator(2)
+        # 3 adder cells + 2 DFF cells per bit.
+        assert acc.cells_per_bit() == pytest.approx(5.0)
+
+
+class TestBitSerial:
+    @given(a=st.integers(0, 2**12 - 1), b=st.integers(0, 2**12 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_serial_add_matches_integers(self, a, b):
+        assert BitSerialAdder().add(a, b, 12) == a + b
+
+    def test_cycle_count(self):
+        adder = BitSerialAdder()
+        adder.add(5, 3, 8)
+        assert adder.cycles == 8
+
+    def test_bit_validation(self):
+        with pytest.raises(ValueError):
+            BitSerialAdder().step(2, 0)
+
+    def test_operand_fit_checked(self):
+        with pytest.raises(ValueError):
+            BitSerialAdder().add(9, 0, 3)
+
+
+class TestSerialVsParallelTiming:
+    def test_ripple_grows_superlinearly(self):
+        n = node("65nm")
+        t8 = ripple_timing(8, n).total_ps
+        t64 = ripple_timing(64, n).total_ps
+        assert t64 > 8 * t8  # the quadratic wire term bites
+
+    def test_serial_cycle_width_independent(self):
+        n = node("65nm")
+        assert bit_serial_timing(8, n).cycle_ps == bit_serial_timing(64, n).cycle_ps
+
+    def test_crossover_exists_and_shrinks_with_scaling(self):
+        # The paper's Section 4 claim: as wires get worse, serial wins at
+        # ever-smaller operand widths.
+        w250 = crossover_width(node("250nm"))
+        w22 = crossover_width(node("22nm"))
+        assert w250 is not None and w22 is not None
+        assert w22 < w250
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ripple_timing(0, node("65nm"))

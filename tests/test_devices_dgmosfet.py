@@ -1,0 +1,171 @@
+"""Unit tests for the double-gate MOSFET compact model.
+
+The properties tested here are exactly the ones the paper's configuration
+scheme relies on (Section 3): back-gate bias moves the threshold linearly,
++/-2 V forces the device fully on or off over the whole logic swing, and the
+current model is smooth and monotone so the DC solvers converge.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.dgmosfet import (
+    CONFIG_BIAS_LEVELS,
+    DGMosfet,
+    DGMosfetParams,
+    Polarity,
+    default_nmos,
+    default_pmos,
+)
+
+
+class TestThreshold:
+    def test_zero_bias_threshold(self):
+        dev = default_nmos()
+        assert dev.effective_vt(0.0) == pytest.approx(dev.params.vt0)
+
+    def test_positive_bias_lowers_nmos_vt(self):
+        dev = default_nmos()
+        assert dev.effective_vt(1.0) < dev.effective_vt(0.0)
+
+    def test_positive_bias_raises_pmos_vt(self):
+        dev = default_pmos()
+        assert dev.effective_vt(1.0) > dev.effective_vt(0.0)
+
+    def test_linear_coupling(self):
+        dev = default_nmos()
+        g = dev.params.back_gate_gamma
+        assert dev.effective_vt(1.0) == pytest.approx(dev.params.vt0 - g)
+        assert dev.effective_vt(-1.0) == pytest.approx(dev.params.vt0 + g)
+
+    def test_vectorised(self):
+        dev = default_nmos()
+        vt = dev.effective_vt(np.array([-2.0, 0.0, 2.0]))
+        assert vt.shape == (3,)
+        assert vt[0] > vt[1] > vt[2]
+
+
+class TestForcedRegions:
+    """The -2/0/+2 V config levels must place the device in the right region."""
+
+    def test_force_on_bias_conducts_at_zero_vgs(self):
+        dev = default_nmos()
+        bias = dev.force_on_bias()
+        assert bias > 0
+        i = dev.ids(vgs=0.0, vds=0.5, vbg=bias)
+        i_active = dev.ids(vgs=0.0, vds=0.5, vbg=0.0)
+        assert i > 1e3 * i_active  # decisively on versus leakage
+
+    def test_force_off_bias_cuts_off_at_full_vgs(self):
+        dev = default_nmos()
+        bias = dev.force_off_bias(swing=1.0)
+        assert bias < 0
+        i = dev.ids(vgs=1.0, vds=0.5, vbg=bias)
+        i_on = dev.ids(vgs=1.0, vds=0.5, vbg=0.0)
+        assert i < 1e-3 * i_on
+
+    def test_paper_config_levels_suffice(self):
+        # +/-2 V (Fig. 4/5) must be at least as strong as the computed
+        # force biases for the default parameterisation.
+        dev = default_nmos()
+        assert CONFIG_BIAS_LEVELS[2] >= dev.force_on_bias()
+        assert CONFIG_BIAS_LEVELS[0] <= dev.force_off_bias(swing=1.0)
+
+    def test_pmos_polarity_mirror(self):
+        p = default_pmos()
+        assert p.force_on_bias() < 0
+        assert p.force_off_bias(swing=1.0) > 0
+
+
+class TestCurrentModel:
+    def test_zero_vds_zero_current(self):
+        dev = default_nmos()
+        assert dev.ids(1.0, 0.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_monotone_in_vgs(self):
+        dev = default_nmos()
+        vgs = np.linspace(-0.5, 1.5, 201)
+        i = dev.ids(vgs, 0.6)
+        assert np.all(np.diff(i) > 0)
+
+    def test_monotone_in_vds(self):
+        dev = default_nmos()
+        vds = np.linspace(0.0, 1.2, 201)
+        i = dev.ids(0.8, vds)
+        assert np.all(np.diff(i) >= 0)
+
+    def test_saturation(self):
+        dev = default_nmos()
+        # Deep saturation: current nearly flat with vds.
+        i1 = dev.ids(0.8, 1.0)
+        i2 = dev.ids(0.8, 1.2)
+        assert i2 == pytest.approx(i1, rel=0.02)
+
+    def test_subthreshold_exponential(self):
+        dev = default_nmos()
+        # Below threshold, each 60*n mV of gate drive ~ one decade.
+        phi_t = 0.02585
+        n = dev.params.subthreshold_n
+        v1 = dev.params.vt0 - 0.25
+        i1 = dev.ids(v1, 0.5)
+        i2 = dev.ids(v1 + n * phi_t * np.log(10.0), 0.5)
+        assert i2 / i1 == pytest.approx(10.0, rel=0.35)
+
+    def test_positive_conductance(self):
+        dev = default_nmos()
+        g = dev.conductance(0.8, 0.3)
+        assert g > 0
+
+    def test_broadcasting(self):
+        dev = default_nmos()
+        vgs = np.linspace(0, 1, 5)[:, None]
+        vds = np.linspace(0, 1, 7)[None, :]
+        assert np.asarray(dev.ids(vgs, vds)).shape == (5, 7)
+
+
+class TestParamValidation:
+    def test_rejects_nonpositive_vt0(self):
+        with pytest.raises(ValueError):
+            DGMosfetParams(vt0=0.0)
+
+    def test_rejects_nonpositive_gamma(self):
+        with pytest.raises(ValueError):
+            DGMosfetParams(back_gate_gamma=-0.5)
+
+    def test_polarity_twins(self):
+        p = DGMosfetParams(polarity=Polarity.NMOS, vt0=0.3)
+        q = p.as_pmos()
+        assert q.polarity is Polarity.PMOS
+        assert q.vt0 == p.vt0
+        assert q.as_nmos().polarity is Polarity.NMOS
+
+
+class TestPropertyBased:
+    @given(
+        vbg=st.floats(min_value=-3.0, max_value=3.0),
+        vgs=st.floats(min_value=-1.0, max_value=2.0),
+        vds=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_current_always_finite_nonnegative(self, vbg, vgs, vds):
+        dev = default_nmos()
+        i = dev.ids(vgs, vds, vbg)
+        assert np.isfinite(i)
+        assert i >= 0.0
+
+    @given(
+        vbg1=st.floats(min_value=-3.0, max_value=3.0),
+        vbg2=st.floats(min_value=-3.0, max_value=3.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_nmos_current_monotone_in_back_bias(self, vbg1, vbg2):
+        # More positive back bias never reduces NMOS current.
+        dev = default_nmos()
+        i1 = dev.ids(0.5, 0.5, vbg1)
+        i2 = dev.ids(0.5, 0.5, vbg2)
+        if vbg1 <= vbg2:
+            assert i1 <= i2 * (1 + 1e-12)
+        else:
+            assert i2 <= i1 * (1 + 1e-12)

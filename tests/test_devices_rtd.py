@@ -1,0 +1,97 @@
+"""Unit tests for the RTD and multi-peak RTD models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.rtd import RTD, MultiPeakRTD, RTDParams
+
+
+class TestSinglePeak:
+    def test_zero_bias_zero_current(self):
+        assert RTD().current(0.0) == pytest.approx(0.0, abs=1e-18)
+
+    def test_odd_symmetry(self):
+        rtd = RTD()
+        v = np.linspace(0.01, 2.0, 50)
+        np.testing.assert_allclose(
+            np.asarray(rtd.current(-v)), -np.asarray(rtd.current(v)), rtol=1e-12
+        )
+
+    def test_peak_location_and_height(self):
+        p = RTDParams(peak_voltage=0.35, peak_current=40e-12)
+        vp, ip = RTD(p).peak_point()
+        assert vp == pytest.approx(0.35, abs=0.02)
+        assert ip == pytest.approx(40e-12, rel=0.05)
+
+    def test_ndr_region_exists(self):
+        rtd = RTD()
+        v = np.linspace(0.01, 1.2, 2001)
+        g = np.asarray(rtd.differential_conductance(v))
+        assert np.any(g < 0.0)
+
+    def test_valley_below_peak(self):
+        rtd = RTD()
+        _, ip = rtd.peak_point()
+        _, iv = rtd.valley_point()
+        assert iv < ip
+
+    def test_measured_pvcr_reasonable(self):
+        # Modelled PVCR should be of the order of the parameter value.
+        rtd = RTD(RTDParams(valley_ratio=8.0))
+        assert 2.0 < rtd.measured_pvcr() < 20.0
+
+    def test_second_rise_after_valley(self):
+        rtd = RTD()
+        vv, iv = rtd.valley_point()
+        assert rtd.current(vv + 1.5) > 5 * iv
+
+    def test_rejects_pvcr_below_one(self):
+        with pytest.raises(ValueError):
+            RTDParams(valley_ratio=0.5)
+
+
+class TestMultiPeak:
+    def test_peak_count_matches_request(self):
+        for n in (1, 2, 3, 4):
+            dev = MultiPeakRTD(n)
+            assert dev.count_ndr_regions() == n
+
+    def test_peak_positions_ascending(self):
+        dev = MultiPeakRTD(3)
+        vp = dev.peak_voltages
+        assert np.all(np.diff(vp) > 0)
+
+    def test_odd_symmetry(self):
+        dev = MultiPeakRTD(2)
+        v = np.linspace(0.01, 3.0, 40)
+        np.testing.assert_allclose(
+            np.asarray(dev.current(-v)), -np.asarray(dev.current(v)), rtol=1e-12
+        )
+
+    def test_rejects_zero_peaks(self):
+        with pytest.raises(ValueError):
+            MultiPeakRTD(0)
+
+    def test_scalar_in_scalar_out(self):
+        assert isinstance(MultiPeakRTD(2).current(0.5), float)
+
+
+class TestPropertyBased:
+    @given(v=st.floats(min_value=-5.0, max_value=5.0))
+    @settings(max_examples=200, deadline=None)
+    def test_current_finite(self, v):
+        assert np.isfinite(RTD().current(v))
+
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        v=st.floats(min_value=-5.0, max_value=5.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_multipeak_sign_matches_bias(self, n, v):
+        i = MultiPeakRTD(n).current(v)
+        if v > 1e-6:
+            assert i >= 0.0
+        elif v < -1e-6:
+            assert i <= 0.0

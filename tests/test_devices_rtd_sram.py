@@ -1,0 +1,137 @@
+"""Unit tests for the tunnelling SRAM cells (the multi-valued config bits)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.rtd_sram import (
+    BackGateDriver,
+    ResistiveRTDMemory,
+    TunnellingSRAM,
+)
+
+
+@pytest.fixture(scope="module")
+def cell3():
+    """Nominal three-state bipolar latch used by the fabric."""
+    return TunnellingSRAM()
+
+
+class TestBipolarLatch:
+    def test_three_states(self, cell3):
+        # Single-peak stacks in the bipolar latch -> exactly three stable
+        # crossings: the back-gate configuration trit.
+        assert cell3.n_states == 3
+
+    def test_states_symmetric_about_zero(self, cell3):
+        v = [p.voltage for p in cell3.stable_points()]
+        assert v[1] == pytest.approx(0.0, abs=0.05)
+        assert v[0] == pytest.approx(-v[2], abs=0.05)
+
+    def test_states_ordered(self, cell3):
+        v = [p.voltage for p in cell3.stable_points()]
+        assert v == sorted(v)
+
+    def test_basins_partition_supply_range(self, cell3):
+        pts = cell3.stable_points()
+        assert pts[0].basin[0] == pytest.approx(-cell3.supply)
+        assert pts[-1].basin[1] == pytest.approx(cell3.supply)
+        for a, b in zip(pts, pts[1:]):
+            assert a.basin[1] == pytest.approx(b.basin[0], abs=1e-9)
+
+    def test_margins_positive(self, cell3):
+        for p in cell3.stable_points():
+            assert p.margin_current > 0.0
+
+    def test_rejects_nonpositive_supply(self):
+        with pytest.raises(ValueError):
+            TunnellingSRAM(supply=-1.0)
+
+
+class TestResistiveMemory:
+    """Wei & Lin [33] / Seabaugh [36] multi-valued cells: n peaks -> n+1 states."""
+
+    @pytest.mark.parametrize("n_peaks,expected", [(1, 2), (2, 3), (4, 5), (8, 9)])
+    def test_state_count(self, n_peaks, expected):
+        assert ResistiveRTDMemory(n_peaks).n_states == expected
+
+    def test_nine_state_cell(self):
+        # The paper cites Seabaugh's nine-state RTD memory [36].
+        assert ResistiveRTDMemory(8).n_states == 9
+
+    def test_states_ascending_and_separated(self):
+        m = ResistiveRTDMemory(4)
+        v = [p.voltage for p in m.stable_points()]
+        assert v == sorted(v)
+        assert min(np.diff(v)) > 0.5  # well-separated levels
+
+    def test_hold_current_finite(self):
+        m = ResistiveRTDMemory(2)
+        for k in range(m.n_states):
+            assert 0.0 <= m.hold_current(k) < 1e-9
+
+
+class TestWriteSettle:
+    def test_settle_returns_written_state(self, cell3):
+        for k in range(cell3.n_states):
+            assert cell3.settle(cell3.write(k)) == k
+
+    def test_settle_whole_range_consistent_with_basins(self, cell3):
+        pts = cell3.stable_points()
+        for v0 in np.linspace(-1.65, 1.65, 61):
+            k = cell3.settle(float(v0))
+            lo, hi = pts[k].basin
+            assert lo - 1e-9 <= v0 <= hi + 1e-9
+
+    def test_write_rejects_bad_index(self, cell3):
+        with pytest.raises(ValueError):
+            cell3.write(99)
+
+    def test_settle_clips_overdrive(self, cell3):
+        assert cell3.settle(99.0) == cell3.n_states - 1
+        assert cell3.settle(-99.0) == 0
+
+    def test_resistive_settle_round_trip(self):
+        m = ResistiveRTDMemory(4)
+        for k in range(m.n_states):
+            assert m.settle(m.write(k)) == k
+
+
+class TestHoldPower:
+    def test_hold_current_is_picoamp_scale(self, cell3):
+        # Paper (Section 3): RTD peak currents of 10-50 pA imply <100 mW
+        # for 1e9 cells; the standby current must sit at/below peak scale.
+        for k in range(cell3.n_states):
+            i = cell3.hold_current(k)
+            assert 0.0 < i < 200e-12
+
+
+class TestBackGateDriver:
+    def test_maps_states_to_config_levels(self, cell3):
+        drv = BackGateDriver(cell3)
+        assert drv.bias_for_state(0) == -2.0
+        assert drv.bias_for_state(1) == 0.0
+        assert drv.bias_for_state(2) == +2.0
+
+    def test_round_trip(self, cell3):
+        drv = BackGateDriver(cell3)
+        for k in range(3):
+            assert drv.state_for_bias(drv.bias_for_state(k)) == k
+
+    def test_state_count_mismatch_rejected(self, cell3):
+        with pytest.raises(ValueError):
+            BackGateDriver(cell3, target_levels=(-2.0, 0.0, 1.0, 2.0))
+
+    def test_calibration_error_small(self, cell3):
+        # The symmetric three-state latch fits the -2/0/+2 line exactly.
+        drv = BackGateDriver(cell3)
+        assert drv.calibration_error() < 0.25
+
+    def test_bias_for_state_bounds(self, cell3):
+        drv = BackGateDriver(cell3)
+        with pytest.raises(ValueError):
+            drv.bias_for_state(3)
+
+    def test_works_with_resistive_cell(self):
+        m = ResistiveRTDMemory(2)
+        drv = BackGateDriver(m)
+        assert drv.bias_for_state(2) == 2.0

@@ -1,0 +1,95 @@
+"""Tests for the extension modules: multiplier and Monte-Carlo yield."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.montecarlo import analytic_cell_yield, compare_device_options
+from repro.datapath.multiplier import (
+    ShiftAddMultiplier,
+    array_multiplier_cost,
+    bit_serial_cost,
+    shift_add_cost,
+    style_comparison,
+)
+from repro.util.technology import node
+
+
+class TestShiftAddMultiplier:
+    def test_small_products_on_fabric(self):
+        mul = ShiftAddMultiplier(3)
+        for a, b in [(0, 5), (3, 3), (7, 6), (5, 7), (7, 7)]:
+            assert mul.multiply(a, b) == a * b, (a, b)
+
+    def test_identity_cases(self):
+        mul = ShiftAddMultiplier(3)
+        assert mul.multiply(5, 0) == 0
+        assert mul.multiply(5, 1) == 5
+
+    def test_operand_range_checked(self):
+        mul = ShiftAddMultiplier(2)
+        with pytest.raises(ValueError):
+            mul.multiply(4, 1)
+
+    def test_cells_scale_with_product_width(self):
+        assert ShiftAddMultiplier(2).cells_used() == 2 * 2 * 2 * 5 / 2  # 2n bits * 5 cells/bit
+
+
+class TestMultiplierCosts:
+    def test_area_ordering(self):
+        n = node("65nm")
+        costs = {c.style: c for c in style_comparison(16, n)}
+        assert costs["bit-serial"].cells < costs["shift-add"].cells < costs["array"].cells
+
+    def test_latency_ordering(self):
+        n = node("65nm")
+        costs = {c.style: c for c in style_comparison(16, n)}
+        assert costs["array"].latency_ps < costs["shift-add"].latency_ps
+
+    def test_area_time_trade_exists(self):
+        # No style dominates on both axes: the paper's serial-vs-parallel
+        # future-work question is a genuine trade.
+        n = node("32nm")
+        costs = style_comparison(16, n)
+        best_area = min(costs, key=lambda c: c.cells)
+        best_time = min(costs, key=lambda c: c.latency_ps)
+        assert best_area.style != best_time.style
+
+    def test_validation(self):
+        n = node("65nm")
+        for fn in (array_multiplier_cost, shift_add_cost, bit_serial_cost):
+            with pytest.raises(ValueError):
+                fn(0, n)
+
+    @given(a=st.integers(0, 15), b=st.integers(0, 15))
+    @settings(max_examples=6, deadline=None)
+    def test_random_4bit_products(self, a, b):
+        assert ShiftAddMultiplier(4).multiply(a, b) == a * b
+
+
+class TestMonteCarloYield:
+    def test_dg_beats_bulk_at_10nm(self):
+        dg, bulk = compare_device_options(n_arrays=50, rng=np.random.default_rng(3))
+        assert dg.cell_yield > bulk.cell_yield
+        assert dg.block_yield >= bulk.block_yield
+
+    def test_dg_yield_essentially_full(self):
+        dg, _ = compare_device_options(n_arrays=50, rng=np.random.default_rng(4))
+        assert dg.cell_yield > 0.999
+
+    def test_monte_carlo_matches_analytic(self):
+        dg, bulk = compare_device_options(n_arrays=300, rng=np.random.default_rng(5))
+        assert dg.cell_yield == pytest.approx(analytic_cell_yield(dg.sigma_vt), abs=0.01)
+        assert bulk.cell_yield == pytest.approx(
+            analytic_cell_yield(bulk.sigma_vt), abs=0.02
+        )
+
+    def test_deterministic(self):
+        a = compare_device_options(n_arrays=20, rng=np.random.default_rng(7))
+        b = compare_device_options(n_arrays=20, rng=np.random.default_rng(7))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_device_options(n_arrays=0)

@@ -1,0 +1,254 @@
+"""Integration tests: configured cell arrays lowered onto the simulator."""
+
+import pytest
+
+from repro.fabric.array import CellArray, ConfigurationError, wire_name
+from repro.fabric.driver import DriverMode
+from repro.fabric.nandcell import (
+    CellConfig,
+    Direction,
+    InputSource,
+    LfbPartner,
+)
+from repro.sim.values import ONE, X, Z, ZERO
+
+
+def feedthrough_cell(column: int) -> CellConfig:
+    """Row `column` passes input column `column` through non-inverted."""
+    cfg = CellConfig().set_product(column, [column])
+    cfg.drivers[column] = DriverMode.INVERT  # NAND + INVERT = buffer
+    return cfg
+
+
+class TestFeedthrough:
+    def test_single_cell_feedthrough(self):
+        arr = CellArray(1, 1)
+        arr.set_cell(0, 0, feedthrough_cell(0))
+        fab = arr.compile_into()
+        sim = fab.sim
+        sim.drive(wire_name(0, 0, 0), ONE)
+        sim.run(until=20)
+        assert sim.value(wire_name(0, 1, 0)) == ONE
+        sim.drive(wire_name(0, 0, 0), ZERO)
+        sim.run(until=40)
+        assert sim.value(wire_name(0, 1, 0)) == ZERO
+
+    def test_feedthrough_chain_across_cells(self):
+        # The paper: any output line can be used as a data feed-through
+        # from an adjacent cell — build a 4-cell east-going wire.
+        arr = CellArray(1, 4)
+        for c in range(4):
+            arr.set_cell(0, c, feedthrough_cell(2))
+        fab = arr.compile_into()
+        sim = fab.sim
+        sim.drive(wire_name(0, 0, 2), ONE)
+        sim.run(until=50)
+        assert sim.value(wire_name(0, 4, 2)) == ONE
+
+    def test_north_direction_routing(self):
+        arr = CellArray(2, 1)
+        cfg = feedthrough_cell(1)
+        cfg.directions[1] = Direction.NORTH
+        arr.set_cell(0, 0, cfg)
+        arr.set_cell(1, 0, feedthrough_cell(1))
+        fab = arr.compile_into()
+        sim = fab.sim
+        sim.drive(wire_name(0, 0, 1), ONE)
+        sim.run(until=50)
+        # (0,0) drives north into (1,0)'s input line, which feeds east out.
+        assert sim.value(wire_name(1, 1, 1)) == ONE
+
+    def test_inverting_feedthrough(self):
+        arr = CellArray(1, 1)
+        cfg = CellConfig().set_product(0, [0])
+        cfg.drivers[0] = DriverMode.BUFFER  # NAND + BUFFER = inverter
+        arr.set_cell(0, 0, cfg)
+        sim = arr.compile_into().sim
+        sim.drive(wire_name(0, 0, 0), ONE)
+        sim.run(until=20)
+        assert sim.value(wire_name(0, 1, 0)) == ZERO
+
+
+class TestTwoLevelLogic:
+    """A cell pair = product plane + collector plane (6-in/6-out/6-pterm LUT)."""
+
+    def build_xor_pair(self):
+        # Columns of cell A: a, a', b, b' (complements provided externally).
+        # Products: a.b' (row 0) and a'.b (row 1); cell B collects
+        # f = NAND(row0', row1') = a.b' + a'.b = XOR.
+        arr = CellArray(1, 2)
+        a_cell = CellConfig()
+        a_cell.set_product(0, [0, 3])  # a AND b'
+        a_cell.set_product(1, [1, 2])  # a' AND b
+        a_cell.drivers[0] = DriverMode.BUFFER  # pass the NAND (complement)
+        a_cell.drivers[1] = DriverMode.BUFFER
+        arr.set_cell(0, 0, a_cell)
+        b_cell = CellConfig()
+        b_cell.set_product(0, [0, 1])  # NAND of the two complement lines
+        b_cell.drivers[0] = DriverMode.BUFFER
+        arr.set_cell(0, 1, b_cell)
+        return arr
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_xor(self, a, b):
+        arr = self.build_xor_pair()
+        sim = arr.compile_into().sim
+        sim.drive(wire_name(0, 0, 0), a)
+        sim.drive(wire_name(0, 0, 1), 1 - a)
+        sim.drive(wire_name(0, 0, 2), b)
+        sim.drive(wire_name(0, 0, 3), 1 - b)
+        sim.run(until=50)
+        assert sim.value(wire_name(0, 2, 0)) == (a ^ b)
+
+
+class TestLocalFeedback:
+    def build_sr_latch(self):
+        # Single cell: row0 = NAND(s_n, qb) = q; row1 = NAND(r_n, q) = qb.
+        # lfb0 taps row0 (q), lfb1 taps row1 (qb); columns 2/3 read them.
+        arr = CellArray(1, 1)
+        cfg = CellConfig()
+        cfg.set_product(0, [0, 3])  # s_n AND qb
+        cfg.set_product(1, [1, 2])  # r_n AND q
+        cfg.lfb_taps[0] = 0
+        cfg.lfb_taps[1] = 1
+        cfg.input_select[2] = InputSource.LFB0  # column 2 = q
+        cfg.input_select[3] = InputSource.LFB1  # column 3 = qb
+        cfg.drivers[0] = DriverMode.BUFFER  # q out east
+        cfg.drivers[1] = DriverMode.BUFFER  # qb out east
+        arr.set_cell(0, 0, cfg)
+        return arr
+
+    def test_sr_latch_on_fabric(self):
+        arr = self.build_sr_latch()
+        sim = arr.compile_into().sim
+        s_n, r_n = wire_name(0, 0, 0), wire_name(0, 0, 1)
+        q, qb = wire_name(0, 1, 0), wire_name(0, 1, 1)
+        sim.drive(s_n, ZERO)  # set
+        sim.drive(r_n, ONE)
+        sim.run(until=60)
+        assert (sim.value(q), sim.value(qb)) == (ONE, ZERO)
+        sim.drive(s_n, ONE)  # hold
+        sim.run(until=120)
+        assert (sim.value(q), sim.value(qb)) == (ONE, ZERO)
+        sim.drive(r_n, ZERO)  # reset
+        sim.run(until=180)
+        assert (sim.value(q), sim.value(qb)) == (ZERO, ONE)
+
+    def test_east_partner_feedback(self):
+        # Cell A's column 5 reads cell B's lfb0 — the cell-pair feedback
+        # path used by the flip-flop macros.
+        arr = CellArray(1, 2)
+        a_cell = feedthrough_cell(0)
+        a_cell.input_select[5] = InputSource.LFB0
+        a_cell.lfb_partner = LfbPartner.EAST
+        a_cell.set_product(1, [5])
+        a_cell.drivers[1] = DriverMode.INVERT  # pass B.lfb0 back out east
+        arr.set_cell(0, 0, a_cell)
+        b_cell = CellConfig().set_product(2, [0])  # row2 = NOT(A.out0)
+        b_cell.lfb_taps[0] = 2
+        arr.set_cell(0, 1, b_cell)
+        sim = arr.compile_into().sim
+        sim.drive(wire_name(0, 0, 0), ONE)
+        sim.run(until=60)
+        # A.out0 = 1 -> B.row2 = NOT 1 = 0 -> A reads 0, drives it on row 1.
+        assert sim.value(wire_name(0, 1, 1)) == ZERO
+
+    def test_missing_lfb_tap_rejected(self):
+        arr = CellArray(1, 1)
+        cfg = feedthrough_cell(0)
+        cfg.input_select[3] = InputSource.LFB0  # no tap configured
+        cfg.set_product(1, [3])
+        cfg.drivers[1] = DriverMode.BUFFER
+        arr.set_cell(0, 0, cfg)
+        with pytest.raises(ConfigurationError, match="no tap"):
+            arr.compile_into()
+
+    def test_partner_outside_array_rejected(self):
+        arr = CellArray(1, 1)
+        cfg = feedthrough_cell(0)
+        cfg.lfb_partner = LfbPartner.EAST
+        cfg.input_select[3] = InputSource.LFB0
+        cfg.set_product(1, [3])
+        cfg.drivers[1] = DriverMode.BUFFER
+        arr.set_cell(0, 0, cfg)
+        with pytest.raises(ConfigurationError, match="outside"):
+            arr.compile_into()
+
+
+class TestBoundaryClassification:
+    def test_inputs_and_outputs_found(self):
+        arr = CellArray(1, 2)
+        arr.set_cell(0, 0, feedthrough_cell(0))
+        arr.set_cell(0, 1, feedthrough_cell(0))
+        fab = arr.compile_into()
+        assert wire_name(0, 0, 0) in fab.input_wires
+        assert wire_name(0, 2, 0) in fab.output_wires
+
+    def test_gate_count(self):
+        arr = CellArray(1, 1)
+        arr.set_cell(0, 0, feedthrough_cell(0))
+        fab = arr.compile_into()
+        assert fab.n_gates == 2  # one NAND row + one driver
+
+    def test_blank_array_compiles_empty(self):
+        fab = CellArray(2, 2).compile_into()
+        assert fab.n_gates == 0
+        assert fab.input_wires == [] and fab.output_wires == []
+
+
+class TestArrayPlumbing:
+    def test_cell_position_validated(self):
+        arr = CellArray(2, 2)
+        with pytest.raises(ValueError):
+            arr.cell(5, 0)
+        with pytest.raises(ValueError):
+            arr.set_cell(0, 9, CellConfig())
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            CellArray(0, 3)
+
+    def test_used_cells_and_leaf_count(self):
+        arr = CellArray(2, 2)
+        arr.set_cell(0, 0, feedthrough_cell(0))
+        assert arr.used_cells() == 1
+        assert arr.leaf_count() == feedthrough_cell(0).leaf_count()
+
+    def test_bitstream_round_trip_preserves_behaviour(self):
+        arr = CellArray(1, 1)
+        cfg = CellConfig().set_product(0, [0, 1])
+        cfg.drivers[0] = DriverMode.BUFFER
+        arr.set_cell(0, 0, cfg)
+        clone = CellArray.from_bitstream(arr.to_bitstream())
+        sim = clone.compile_into().sim
+        sim.drive(wire_name(0, 0, 0), ONE)
+        sim.drive(wire_name(0, 0, 1), ONE)
+        sim.run(until=20)
+        assert sim.value(wire_name(0, 1, 0)) == ZERO
+
+    def test_conflicting_drivers_resolve_to_x(self):
+        # Two cells drive the same wire: west EAST-driver and south
+        # NORTH-driver disagreeing must give X on the shared line.
+        arr = CellArray(2, 2)
+        west = feedthrough_cell(0)  # drives east into (1,1)... row 0
+        arr.set_cell(1, 0, west)
+        south = CellConfig().set_product(0, [0])
+        south.drivers[0] = DriverMode.BUFFER  # inverting path
+        south.directions[0] = Direction.NORTH
+        arr.set_cell(0, 1, south)
+        sim = arr.compile_into().sim
+        sim.drive(wire_name(1, 0, 0), ONE)  # west chain input
+        sim.drive(wire_name(0, 1, 0), ONE)  # south chain input
+        sim.run(until=40)
+        # West drives 1, south drives NOT(1)=0 onto w[1][1][0].
+        assert sim.value(wire_name(1, 1, 0)) == X
+
+    def test_unused_wire_floats(self):
+        arr = CellArray(1, 1)
+        cfg = feedthrough_cell(0)
+        arr.set_cell(0, 0, cfg)
+        sim = arr.compile_into().sim
+        sim.run(until=10)
+        # Output wire of an OFF driver row was never created/driven; the
+        # driven row's wire carries X until the input is driven.
+        assert sim.value(wire_name(0, 1, 0)) in (X, Z, ONE)

@@ -1,0 +1,164 @@
+"""Unit tests for the MVRAM and the 128-bit configuration frames."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.bitstream import (
+    BitstreamError,
+    cell_to_frame,
+    crc16,
+    decode_array,
+    decode_cell,
+    encode_array,
+    encode_cell,
+    frame_to_cell,
+)
+from repro.fabric.driver import DriverMode
+from repro.fabric.mvram import FRAME_BITS, MVRAM, N_CELLS
+from repro.fabric.nandcell import (
+    CellConfig,
+    Direction,
+    InputSource,
+    LfbPartner,
+)
+
+
+def random_config(rng: np.random.Generator) -> CellConfig:
+    """A structurally valid random CellConfig."""
+    from repro.fabric.leafcell import LeafState
+
+    cfg = CellConfig()
+    for r in range(6):
+        cfg.crosspoints[r] = [LeafState(int(rng.integers(0, 3))) for _ in range(6)]
+        cfg.drivers[r] = DriverMode(int(rng.integers(0, 4)))
+        cfg.directions[r] = Direction(int(rng.integers(0, 2)))
+    for c in range(6):
+        cfg.input_select[c] = InputSource(int(rng.integers(0, 3)))
+    cfg.lfb_partner = LfbPartner(int(rng.integers(0, 3)))
+    for k in range(2):
+        tap = int(rng.integers(-1, 6))
+        cfg.lfb_taps[k] = None if tap < 0 else tap
+    return cfg
+
+
+class TestMVRAM:
+    def test_frame_is_128_bits(self):
+        # The paper's headline number: an 8x8 multi-valued RAM = 128 bits.
+        assert FRAME_BITS == 128
+        assert MVRAM().to_bits().shape == (128,)
+
+    def test_word_round_trip(self):
+        ram = MVRAM()
+        ram.write_word(3, [0, 1, 2, 3, 0, 1, 2, 3])
+        np.testing.assert_array_equal(ram.read_word(3), [0, 1, 2, 3, 0, 1, 2, 3])
+
+    def test_word_bounds(self):
+        ram = MVRAM()
+        with pytest.raises(ValueError):
+            ram.write_word(8, [0] * 8)
+        with pytest.raises(ValueError):
+            ram.read_word(-1)
+
+    def test_digit_range_enforced(self):
+        ram = MVRAM()
+        with pytest.raises(ValueError):
+            ram.write_word(0, [0, 1, 2, 4, 0, 0, 0, 0])
+        with pytest.raises(ValueError):
+            ram.write_digit(0, 9)
+
+    def test_bits_round_trip(self):
+        rng = np.random.default_rng(3)
+        ram = MVRAM()
+        ram.load_digits(rng.integers(0, 4, size=N_CELLS))
+        back = MVRAM.from_bits(ram.to_bits())
+        np.testing.assert_array_equal(back.digits(), ram.digits())
+
+    def test_flat_digit_access(self):
+        ram = MVRAM()
+        ram.write_digit(17, 3)
+        assert ram.read_digit(17) == 3
+        assert ram.read_word(2)[1] == 3  # 17 = 2*8 + 1
+
+    def test_hold_power_is_tiny(self):
+        # One frame's 64 storage nodes draw nanowatts — the basis of the
+        # paper's <=100 mW-per-1e9-cells claim.
+        assert 0.0 < MVRAM().hold_power_w() < 1e-6
+
+
+class TestCellFrame:
+    def test_default_config_round_trip(self):
+        cfg = CellConfig()
+        assert frame_to_cell(cell_to_frame(cfg)) == cfg
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_config_round_trip(self, seed):
+        cfg = random_config(np.random.default_rng(seed))
+        back = frame_to_cell(cell_to_frame(cfg))
+        assert back == cfg
+
+    def test_frame_length(self):
+        assert len(cell_to_frame(CellConfig())) == FRAME_BITS
+
+    def test_decode_rejects_bad_crosspoint_digit(self):
+        digits = encode_cell(CellConfig())
+        digits[0] = 3  # crosspoint trits are 0..2
+        with pytest.raises(ValueError, match="crosspoint"):
+            decode_cell(digits)
+
+    def test_decode_rejects_bad_direction(self):
+        digits = encode_cell(CellConfig())
+        digits[42] = 2
+        with pytest.raises(ValueError, match="direction"):
+            decode_cell(digits)
+
+    def test_decode_rejects_reserved_use(self):
+        digits = encode_cell(CellConfig())
+        digits[60] = 1
+        with pytest.raises(ValueError, match="reserved"):
+            decode_cell(digits)
+
+    def test_decode_rejects_bad_tap(self):
+        digits = encode_cell(CellConfig())
+        digits[55], digits[56] = 1, 2  # encodes 6: not a row, not None
+        with pytest.raises(ValueError, match="lfb tap"):
+            decode_cell(digits)
+
+
+class TestArrayBitstream:
+    def test_round_trip(self):
+        rng = np.random.default_rng(11)
+        configs = [[random_config(rng) for _ in range(3)] for _ in range(2)]
+        back = decode_array(encode_array(configs))
+        assert back == configs
+
+    def test_stream_length(self):
+        configs = [[CellConfig() for _ in range(4)] for _ in range(2)]
+        bits = encode_array(configs)
+        assert len(bits) == 16 + 2 * 4 * FRAME_BITS + 16
+
+    def test_corruption_detected(self):
+        configs = [[CellConfig()]]
+        bits = encode_array(configs)
+        bits[40] ^= 1  # flip a payload bit
+        with pytest.raises(BitstreamError, match="CRC"):
+            decode_array(bits)
+
+    def test_truncation_detected(self):
+        bits = encode_array([[CellConfig()]])
+        with pytest.raises(BitstreamError, match="length"):
+            decode_array(bits[:-8])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(BitstreamError, match="cells"):
+            encode_array([[CellConfig(), CellConfig()], [CellConfig()]])
+
+    def test_crc16_known_properties(self):
+        bits = np.zeros(64, dtype=np.uint8)
+        a = crc16(bits)
+        bits[5] = 1
+        b = crc16(bits)
+        assert a != b
+        assert 0 <= a <= 0xFFFF

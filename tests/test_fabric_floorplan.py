@@ -1,0 +1,96 @@
+"""Unit tests for the floorplanner (GALS variable-size module claim)."""
+
+import pytest
+
+from repro.fabric.floorplan import Floorplan, FloorplanError, Region
+
+
+class TestRegion:
+    def test_cells(self):
+        assert Region("m", 0, 0, 3, 4).cells == 12
+
+    def test_overlap_detection(self):
+        a = Region("a", 0, 0, 2, 2)
+        assert a.overlaps(Region("b", 1, 1, 2, 2))
+        assert not a.overlaps(Region("c", 2, 0, 1, 1))
+        assert not a.overlaps(Region("d", 0, 2, 2, 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Region("bad", 0, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Region("bad", -1, 0, 1, 1)
+
+
+class TestFloorplan:
+    def test_allocate_and_utilisation(self):
+        fp = Floorplan(4, 4)
+        fp.allocate(Region("a", 0, 0, 2, 2))
+        assert fp.used_cells == 4
+        assert fp.utilisation == pytest.approx(0.25)
+
+    def test_overlap_rejected(self):
+        fp = Floorplan(4, 4)
+        fp.allocate(Region("a", 0, 0, 2, 2))
+        with pytest.raises(FloorplanError, match="overlaps"):
+            fp.allocate(Region("b", 1, 1, 2, 2))
+
+    def test_out_of_bounds_rejected(self):
+        fp = Floorplan(4, 4)
+        with pytest.raises(FloorplanError, match="exceeds"):
+            fp.allocate(Region("a", 3, 3, 2, 2))
+
+    def test_duplicate_name_rejected(self):
+        fp = Floorplan(4, 4)
+        fp.allocate(Region("a", 0, 0, 1, 1))
+        with pytest.raises(FloorplanError, match="already"):
+            fp.allocate(Region("a", 2, 2, 1, 1))
+
+    def test_first_fit_packs_row_major(self):
+        fp = Floorplan(4, 4)
+        r1 = fp.allocate_anywhere("a", 2, 2)
+        r2 = fp.allocate_anywhere("b", 2, 2)
+        assert (r1.row, r1.col) == (0, 0)
+        assert (r2.row, r2.col) == (0, 2)
+
+    def test_first_fit_full_raises(self):
+        fp = Floorplan(2, 2)
+        fp.allocate_anywhere("a", 2, 2)
+        with pytest.raises(FloorplanError, match="no free"):
+            fp.allocate_anywhere("b", 1, 1)
+
+    def test_release_reclaims_space(self):
+        fp = Floorplan(2, 2)
+        fp.allocate_anywhere("a", 2, 2)
+        fp.release("a")
+        assert fp.used_cells == 0
+        fp.allocate_anywhere("b", 2, 2)  # fits again
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(FloorplanError):
+            Floorplan(2, 2).release("ghost")
+
+    def test_largest_free_square(self):
+        fp = Floorplan(4, 4)
+        assert fp.largest_free_square() == 4
+        fp.allocate(Region("a", 0, 0, 4, 2))
+        assert fp.largest_free_square() == 2  # only the right half remains
+
+    def test_internal_fragmentation(self):
+        # The paper's page-size analogy: fixed 4x4 pages for a 10-cell
+        # module waste 6/16 of the page.
+        fp = Floorplan(8, 8)
+        fp.allocate(Region("mod", 0, 0, 4, 4))
+        frag = fp.internal_fragmentation({"mod": 10})
+        assert frag == pytest.approx(6 / 16)
+
+    def test_exact_fit_has_zero_fragmentation(self):
+        fp = Floorplan(8, 8)
+        fp.allocate(Region("mod", 0, 0, 2, 5))
+        assert fp.internal_fragmentation({"mod": 10}) == 0.0
+
+    def test_fragmentation_overclaim_rejected(self):
+        fp = Floorplan(4, 4)
+        fp.allocate(Region("mod", 0, 0, 1, 1))
+        with pytest.raises(FloorplanError):
+            fp.internal_fragmentation({"mod": 5})

@@ -1,0 +1,88 @@
+"""Unit tests for leaf-cell states and the driver mode encoding."""
+
+import pytest
+
+from repro.devices.rtd_sram import BackGateDriver, TunnellingSRAM
+from repro.fabric.driver import (
+    DRIVER_DELAY,
+    DriverMode,
+    decode_mode,
+    driver_drives,
+    driver_inverting,
+    encode_mode,
+)
+from repro.fabric.leafcell import (
+    LeafState,
+    bias_for_leaf,
+    char_to_leaf,
+    leaf_for_bias,
+    leaf_from_sram_state,
+    leaf_to_char,
+    sram_state_for_leaf,
+)
+
+
+class TestLeafState:
+    def test_sram_round_trip(self):
+        for s in LeafState:
+            assert leaf_from_sram_state(sram_state_for_leaf(s)) is s
+
+    def test_bad_sram_state(self):
+        with pytest.raises(ValueError):
+            leaf_from_sram_state(5)
+
+    def test_bias_levels_match_fig4(self):
+        assert bias_for_leaf(LeafState.FORCE_OFF) == -2.0
+        assert bias_for_leaf(LeafState.ACTIVE) == 0.0
+        assert bias_for_leaf(LeafState.FORCE_ON) == +2.0
+
+    def test_bias_round_trip(self):
+        for s in LeafState:
+            assert leaf_for_bias(bias_for_leaf(s)) is s
+
+    def test_bias_snapping(self):
+        assert leaf_for_bias(-1.7) is LeafState.FORCE_OFF
+        assert leaf_for_bias(0.3) is LeafState.ACTIVE
+        assert leaf_for_bias(1.8) is LeafState.FORCE_ON
+
+    def test_char_round_trip(self):
+        for s in LeafState:
+            assert char_to_leaf(leaf_to_char(s)) is s
+
+    def test_bad_char(self):
+        with pytest.raises(ValueError):
+            char_to_leaf("?")
+
+    def test_states_align_with_physical_cell(self):
+        # The tunnelling SRAM's three states must map onto the three leaf
+        # states through the back-gate driver without reordering.
+        cell = TunnellingSRAM()
+        drv = BackGateDriver(cell)
+        for s in LeafState:
+            bias = drv.bias_for_state(sram_state_for_leaf(s))
+            assert leaf_for_bias(bias) is s
+
+
+class TestDriverMode:
+    def test_encode_decode_round_trip(self):
+        for m in DriverMode:
+            assert decode_mode(encode_mode(m)) is m
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_mode(7)
+
+    def test_drive_predicates(self):
+        assert not driver_drives(DriverMode.OFF)
+        assert driver_drives(DriverMode.INVERT)
+        assert driver_drives(DriverMode.BUFFER)
+        assert driver_drives(DriverMode.PASS)
+        assert driver_inverting(DriverMode.INVERT)
+        assert not driver_inverting(DriverMode.BUFFER)
+
+    def test_pass_mode_slower_than_active_drive(self):
+        # A pass transistor is weaker than an active driver.
+        assert DRIVER_DELAY[DriverMode.PASS] > DRIVER_DELAY[DriverMode.BUFFER]
+
+    def test_modes_fit_two_bits(self):
+        assert all(0 <= encode_mode(m) <= 3 for m in DriverMode)

@@ -1,0 +1,190 @@
+"""Unit tests for the 6x6 polymorphic NAND cell."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.driver import DriverMode
+from repro.fabric.leafcell import LeafState
+from repro.fabric.nandcell import CellConfig, N_INPUTS, N_ROWS
+from repro.sim.values import ONE, X, Z, ZERO
+
+bits6 = st.lists(st.sampled_from([ZERO, ONE]), min_size=6, max_size=6)
+
+
+class TestRowSemantics:
+    """Row behaviour must reproduce the Fig. 4 configuration table."""
+
+    def test_blank_cell_rows_are_const1(self):
+        cfg = CellConfig()
+        assert all(cfg.row_kind(r) == "const1" for r in range(N_ROWS))
+        assert cfg.row_values([ZERO] * 6) == [ONE] * 6
+
+    def test_nand_of_selected_columns(self):
+        cfg = CellConfig().set_product(0, [0, 1])
+        assert cfg.row_values([ONE, ONE, ZERO, ZERO, ZERO, ZERO])[0] == ZERO
+        assert cfg.row_values([ONE, ZERO, ZERO, ZERO, ZERO, ZERO])[0] == ONE
+        assert cfg.row_values([ZERO, ZERO, ZERO, ZERO, ZERO, ZERO])[0] == ONE
+
+    def test_force_on_column_excluded(self):
+        # Fig. 4: B forced on -> row computes NOT A regardless of B.
+        cfg = CellConfig().set_product(0, [0])
+        for b in (ZERO, ONE):
+            assert cfg.row_values([ONE, b, ZERO, ZERO, ZERO, ZERO])[0] == ZERO
+            assert cfg.row_values([ZERO, b, ZERO, ZERO, ZERO, ZERO])[0] == ONE
+
+    def test_constant_rows(self):
+        cfg = CellConfig()
+        cfg.set_constant(0, 1)
+        cfg.set_constant(1, 0)
+        vals = cfg.row_values([ONE] * 6)
+        assert vals[0] == ONE
+        assert vals[1] == ZERO
+
+    def test_any_force_off_kills_row(self):
+        cfg = CellConfig().set_product(0, [0, 1, 2])
+        cfg.crosspoints[0][1] = LeafState.FORCE_OFF
+        assert cfg.row_kind(0) == "const1"
+        assert cfg.row_values([ONE] * 6)[0] == ONE
+
+    def test_six_wide_product(self):
+        cfg = CellConfig().set_product(0, list(range(6)))
+        assert cfg.row_values([ONE] * 6)[0] == ZERO
+        for k in range(6):
+            v = [ONE] * 6
+            v[k] = ZERO
+            assert cfg.row_values(v)[0] == ONE
+
+    @given(bits=bits6, cols=st.sets(st.integers(0, 5), min_size=1, max_size=6))
+    @settings(max_examples=150, deadline=None)
+    def test_row_matches_boolean_nand(self, bits, cols):
+        cfg = CellConfig().set_product(0, sorted(cols))
+        expect = ZERO if all(bits[c] == ONE for c in cols) else ONE
+        assert cfg.row_values(bits)[0] == expect
+
+
+class TestDrivers:
+    def test_off_driver_is_z(self):
+        cfg = CellConfig().set_product(0, [0])
+        assert cfg.output_values([ONE] * 6)[0] == Z
+
+    def test_invert_recovers_and(self):
+        cfg = CellConfig().set_product(0, [0, 1])
+        cfg.drivers[0] = DriverMode.INVERT
+        # Row is NAND(a, b); INVERT driver gives AND(a, b).
+        assert cfg.output_values([ONE, ONE, ZERO, ZERO, ZERO, ZERO])[0] == ONE
+        assert cfg.output_values([ONE, ZERO, ZERO, ZERO, ZERO, ZERO])[0] == ZERO
+
+    def test_buffer_passes_nand(self):
+        cfg = CellConfig().set_product(0, [0, 1])
+        cfg.drivers[0] = DriverMode.BUFFER
+        assert cfg.output_values([ONE, ONE, ZERO, ZERO, ZERO, ZERO])[0] == ZERO
+
+    def test_feedthrough_pattern(self):
+        # Single-column row + INVERT driver = non-inverting feed-through:
+        # the paper's "data feed-through from an adjacent cell".
+        cfg = CellConfig().set_product(2, [4])
+        cfg.drivers[2] = DriverMode.INVERT
+        v = [ZERO] * 6
+        v[4] = ONE
+        assert cfg.output_values(v)[2] == ONE
+        v[4] = ZERO
+        assert cfg.output_values(v)[2] == ZERO
+
+    def test_x_propagates_through_driver(self):
+        cfg = CellConfig().set_product(0, [0])
+        cfg.drivers[0] = DriverMode.BUFFER
+        assert cfg.output_values([X, ZERO, ZERO, ZERO, ZERO, ZERO])[0] == X
+
+
+class TestConfigHelpers:
+    def test_validation_passes_default(self):
+        CellConfig().validate()
+
+    def test_set_product_validates(self):
+        with pytest.raises(ValueError):
+            CellConfig().set_product(9, [0])
+        with pytest.raises(ValueError):
+            CellConfig().set_product(0, [])
+        with pytest.raises(ValueError):
+            CellConfig().set_product(0, [7])
+
+    def test_set_constant_validates(self):
+        with pytest.raises(ValueError):
+            CellConfig().set_constant(0, 2)
+
+    def test_bad_lfb_tap_caught(self):
+        cfg = CellConfig()
+        cfg.lfb_taps[0] = 11
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_active_columns(self):
+        cfg = CellConfig().set_product(3, [1, 4])
+        assert cfg.active_columns(3) == [1, 4]
+        assert cfg.active_columns(0) == []  # const1 row
+
+    def test_used_rows_tracks_drivers_and_taps(self):
+        cfg = CellConfig().set_product(0, [0]).set_product(3, [1])
+        cfg.drivers[0] = DriverMode.BUFFER
+        cfg.lfb_taps[1] = 3
+        assert cfg.used_rows() == [0, 3]
+
+    def test_leaf_count_blank_is_zero(self):
+        cfg = CellConfig()
+        assert cfg.leaf_count() == 0
+        assert cfg.is_blank()
+
+    def test_leaf_count_counts_configuration(self):
+        cfg = CellConfig().set_product(0, [0, 1])
+        cfg.drivers[0] = DriverMode.INVERT
+        # Row 0: 6 non-default crosspoints (2 active + 4 tied high) + driver.
+        assert cfg.leaf_count() == 7
+        assert not cfg.is_blank()
+
+    def test_sketch_round_trip(self):
+        rows = ["AA^^^^", "......", "^^^^^^", "A^^^^^", "......", "......"]
+        cfg = CellConfig.from_sketch_rows(rows)
+        assert cfg.row_kind(0) == "nand"
+        assert cfg.row_kind(1) == "const1"
+        assert cfg.row_kind(2) == "const0"
+        assert cfg.active_columns(3) == [0]
+        assert "row0 [AA^^^^]" in cfg.sketch()
+
+    def test_from_sketch_validates_shape(self):
+        with pytest.raises(ValueError):
+            CellConfig.from_sketch_rows(["AAAAAA"])
+
+    def test_row_values_input_length_checked(self):
+        with pytest.raises(ValueError):
+            CellConfig().row_values([ONE] * 3)
+
+
+class TestFig4TableOnCell:
+    """The cell-level restatement of the Fig. 4 two-input table."""
+
+    def table_output(self, cfg, a, b):
+        return cfg.row_values([a, b, ZERO, ZERO, ZERO, ZERO])[0]
+
+    def test_nand_config(self):
+        cfg = CellConfig().set_product(0, [0, 1])
+        assert self.table_output(cfg, ONE, ONE) == ZERO
+        assert self.table_output(cfg, ONE, ZERO) == ONE
+
+    def test_not_a_config(self):
+        cfg = CellConfig().set_product(0, [0])  # B tied high
+        assert self.table_output(cfg, ONE, ONE) == ZERO
+        assert self.table_output(cfg, ZERO, ONE) == ONE
+        assert self.table_output(cfg, ZERO, ZERO) == ONE
+
+    def test_const_one_config(self):
+        cfg = CellConfig().set_constant(0, 1)
+        for a in (ZERO, ONE):
+            for b in (ZERO, ONE):
+                assert self.table_output(cfg, a, b) == ONE
+
+    def test_const_zero_config(self):
+        cfg = CellConfig().set_constant(0, 0)
+        for a in (ZERO, ONE):
+            for b in (ZERO, ONE):
+                assert self.table_output(cfg, a, b) == ZERO

@@ -1,0 +1,158 @@
+"""Unit tests for the simulator gate primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.primitives import (
+    AndGate,
+    BufGate,
+    CElementGate,
+    ConstGate,
+    NorGate,
+    OrGate,
+    TableGate,
+    XorGate,
+)
+from repro.sim.scheduler import Simulator
+from repro.sim.values import ONE, X, ZERO
+
+
+def run_combinational(gate_cls, in_values, **kw):
+    """Build one gate, drive inputs, return the settled output value."""
+    sim = Simulator()
+    ins = [sim.net(f"i{k}") for k in range(len(in_values))]
+    y = sim.net("y")
+    sim.add(gate_cls("g", ins, y, **kw))
+    for n, v in zip(ins, in_values):
+        sim.drive(n, v)
+    sim.run(until=10)
+    return y.value
+
+
+class TestSimpleGates:
+    @given(bits=st.lists(st.sampled_from([ZERO, ONE]), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_and_or_nor(self, bits):
+        assert run_combinational(AndGate, bits) == (ONE if all(bits) else ZERO)
+        assert run_combinational(OrGate, bits) == (ONE if any(bits) else ZERO)
+        assert run_combinational(NorGate, bits) == (ZERO if any(bits) else ONE)
+
+    def test_xor(self):
+        assert run_combinational(XorGate, [ZERO, ONE]) == ONE
+        assert run_combinational(XorGate, [ONE, ONE]) == ZERO
+
+    def test_xor_arity_checked(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            XorGate("x", [sim.net("a")], sim.net("y"))
+
+    def test_buf_passes_x(self):
+        assert run_combinational(BufGate, [X]) == X
+
+    def test_const(self):
+        sim = Simulator()
+        y = sim.net("y")
+        sim.add(ConstGate("c", y, ONE))
+        sim.run(until=5)
+        assert y.value == ONE
+
+    def test_const_validated(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ConstGate("c", sim.net("y"), X)
+
+
+class TestTableGate:
+    def test_majority_function(self):
+        # table index = i0 + 2*i1 + 4*i2; majority of three.
+        table = [0, 0, 0, 1, 0, 1, 1, 1]
+        for bits in [(0, 0, 0), (1, 1, 0), (1, 0, 0), (1, 1, 1)]:
+            idx = bits[0] + 2 * bits[1] + 4 * bits[2]
+            got = run_combinational(
+                lambda n, i, y: TableGate(n, i, y, table), list(bits)
+            )
+            assert got == table[idx], bits
+
+    def test_wrong_table_size_rejected(self):
+        sim = Simulator()
+        ins = [sim.net("a"), sim.net("b")]
+        with pytest.raises(ValueError):
+            TableGate("t", ins, sim.net("y"), [0, 1])
+
+    def test_x_input_poisons(self):
+        got = run_combinational(lambda n, i, y: TableGate(n, i, y, [0, 1]), [X])
+        assert got == X
+
+    @given(
+        table=st.lists(st.integers(0, 1), min_size=4, max_size=4),
+        a=st.integers(0, 1),
+        b=st.integers(0, 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_2in_table(self, table, a, b):
+        got = run_combinational(lambda n, i, y: TableGate(n, i, y, table), [a, b])
+        assert got == table[a + 2 * b]
+
+
+class TestCElement:
+    def test_follows_agreeing_inputs(self):
+        sim = Simulator()
+        a, b, c = sim.net("a"), sim.net("b"), sim.net("c")
+        sim.add(CElementGate("c", [a, b], c))
+        sim.drive(a, ZERO)
+        sim.drive(b, ZERO)
+        sim.run(until=10)
+        assert c.value == ZERO
+        sim.drive(a, ONE)
+        sim.drive(b, ONE)
+        sim.run(until=20)
+        assert c.value == ONE
+
+    def test_holds_on_disagreement(self):
+        sim = Simulator()
+        a, b, c = sim.net("a"), sim.net("b"), sim.net("c")
+        sim.add(CElementGate("c", [a, b], c))
+        sim.drive(a, ONE)
+        sim.drive(b, ONE)
+        sim.run(until=10)
+        sim.drive(a, ZERO)  # inputs now disagree
+        sim.run(until=20)
+        assert c.value == ONE  # held
+        sim.drive(b, ZERO)  # agree again
+        sim.run(until=30)
+        assert c.value == ZERO
+
+    def test_x_until_first_agreement(self):
+        sim = Simulator()
+        a, b, c = sim.net("a"), sim.net("b"), sim.net("c")
+        sim.add(CElementGate("c", [a, b], c))
+        sim.drive(a, ONE)
+        sim.drive(b, ZERO)
+        sim.run(until=10)
+        assert c.value == X
+
+    def test_arity_checked(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CElementGate("c", [sim.net("a")], sim.net("y"))
+
+    def test_c_element_equation(self):
+        # c_next = a.b + a.c + b.c — exhaustive check against the paper's
+        # equation (Section 4.1) for all defined (a, b, c_prev).
+        for a in (0, 1):
+            for b in (0, 1):
+                for c_prev in (0, 1):
+                    expect = (a & b) | (a & c_prev) | (b & c_prev)
+                    sim = Simulator()
+                    na, nb, nc = sim.net("a"), sim.net("b"), sim.net("c")
+                    g = CElementGate("c", [na, nb], nc)
+                    sim.add(g)
+                    # Establish c_prev by first agreeing both inputs.
+                    sim.drive(na, c_prev)
+                    sim.drive(nb, c_prev)
+                    sim.run(until=10)
+                    sim.drive(na, a)
+                    sim.drive(nb, b)
+                    sim.run(until=20)
+                    assert nc.value == expect, (a, b, c_prev)

@@ -1,0 +1,141 @@
+"""Unit tests for the four-valued logic algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.values import (
+    ONE,
+    X,
+    Z,
+    ZERO,
+    and_,
+    format_value,
+    from_bool,
+    invert,
+    is_defined,
+    nand,
+    or_,
+    resolve,
+    to_bool,
+    xor2,
+)
+
+defined = st.sampled_from([ZERO, ONE])
+anyval = st.sampled_from([ZERO, ONE, X, Z])
+
+
+class TestBasics:
+    def test_is_defined(self):
+        assert is_defined(ZERO) and is_defined(ONE)
+        assert not is_defined(X) and not is_defined(Z)
+
+    def test_bool_round_trip(self):
+        assert to_bool(from_bool(True)) is True
+        assert to_bool(from_bool(False)) is False
+
+    def test_to_bool_rejects_undefined(self):
+        with pytest.raises(ValueError):
+            to_bool(X)
+        with pytest.raises(ValueError):
+            to_bool(Z)
+
+    def test_invert(self):
+        assert invert(ZERO) == ONE
+        assert invert(ONE) == ZERO
+        assert invert(X) == X
+        assert invert(Z) == X
+
+    def test_format(self):
+        assert [format_value(v) for v in (ZERO, ONE, X, Z)] == ["0", "1", "X", "Z"]
+
+
+class TestNand:
+    def test_truth_table(self):
+        assert nand([ZERO, ZERO]) == ONE
+        assert nand([ZERO, ONE]) == ONE
+        assert nand([ONE, ZERO]) == ONE
+        assert nand([ONE, ONE]) == ZERO
+
+    def test_empty_is_one(self):
+        # A NAND row with no enabled crosspoints has no pull-down path, so
+        # its output rests high (Fig. 4's constant-1 configuration).
+        assert nand([]) == ONE
+
+    def test_controlling_zero_beats_x(self):
+        assert nand([ZERO, X]) == ONE
+        assert nand([Z, ZERO, ONE]) == ONE
+
+    def test_x_poisons_otherwise(self):
+        assert nand([ONE, X]) == X
+        assert nand([ONE, Z]) == X
+
+    def test_single_input_is_inverter(self):
+        assert nand([ZERO]) == ONE
+        assert nand([ONE]) == ZERO
+
+    @given(st.lists(defined, min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_boolean_nand(self, bits):
+        expect = from_bool(not all(b == ONE for b in bits))
+        assert nand(bits) == expect
+
+
+class TestAndOrXor:
+    @given(st.lists(defined, min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_and_matches(self, bits):
+        assert and_(bits) == from_bool(all(b == ONE for b in bits))
+
+    @given(st.lists(defined, min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_or_matches(self, bits):
+        assert or_(bits) == from_bool(any(b == ONE for b in bits))
+
+    def test_or_one_dominates_x(self):
+        assert or_([ONE, X]) == ONE
+
+    def test_and_zero_dominates_x(self):
+        assert and_([ZERO, X]) == ZERO
+
+    @given(a=defined, b=defined)
+    @settings(max_examples=20, deadline=None)
+    def test_xor_matches(self, a, b):
+        assert xor2(a, b) == from_bool(a != b)
+
+    def test_xor_poisoned_by_x(self):
+        assert xor2(ONE, X) == X
+        assert xor2(Z, ZERO) == X
+
+
+class TestResolve:
+    def test_all_z_floats(self):
+        assert resolve([Z, Z, Z]) == Z
+        assert resolve([]) == Z
+
+    def test_single_driver_wins(self):
+        assert resolve([Z, ONE, Z]) == ONE
+        assert resolve([ZERO]) == ZERO
+
+    def test_conflict_is_x(self):
+        assert resolve([ONE, ZERO]) == X
+
+    def test_agreeing_drivers_ok(self):
+        assert resolve([ONE, Z, ONE]) == ONE
+
+    def test_x_driver_poisons(self):
+        assert resolve([X, ONE]) == X
+
+    @given(st.lists(anyval, max_size=5))
+    @settings(max_examples=200, deadline=None)
+    def test_resolve_order_independent(self, drivers):
+        import itertools
+
+        base = resolve(drivers)
+        for perm in itertools.islice(itertools.permutations(drivers), 6):
+            assert resolve(perm) == base
+
+    @given(st.lists(anyval, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_adding_z_never_changes_resolution(self, drivers):
+        assert resolve(drivers + [Z]) == resolve(drivers)

@@ -1,0 +1,124 @@
+"""Unit tests for hazard-free covers and the fundamental-mode stepper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.asyncfsm import (
+    FlowTable,
+    c_element_table,
+    count_sic_hazards,
+    d_latch_table,
+    dff_master_table,
+    dff_slave_table,
+    ecse_table,
+    hazard_free_cover,
+)
+from repro.synth.qm import cover_is_correct, minimise
+from repro.synth.truthtable import TruthTable
+
+
+class TestHazardFreeCover:
+    def test_latch_gets_consensus_term(self):
+        # The classic example: minimal q+ = G.D + G'.q has a static-1
+        # hazard on the G transition with D=q=1; the hazard-free cover
+        # must include the consensus D.q.
+        t = d_latch_table()
+        minimal = minimise(t)
+        hf = hazard_free_cover(t)
+        assert count_sic_hazards(t, minimal) > 0
+        assert count_sic_hazards(t, hf) == 0
+        assert len(hf) >= len(minimal)
+
+    def test_cover_still_exact(self):
+        for t in (d_latch_table(), dff_master_table(), dff_slave_table(), ecse_table()):
+            assert cover_is_correct(t, hazard_free_cover(t))
+
+    def test_c_element_already_hazard_free(self):
+        t = c_element_table()
+        assert count_sic_hazards(t, hazard_free_cover(t)) == 0
+
+    @given(seed=st.integers(0, 100_000), n=st.integers(2, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_random_functions_hazard_free_and_exact(self, seed, n):
+        t = TruthTable.random(n, np.random.default_rng(seed))
+        hf = hazard_free_cover(t)
+        assert cover_is_correct(t, hf)
+        assert count_sic_hazards(t, hf) == 0
+
+    def test_storage_equations_fit_cell_pair(self):
+        # The macros depend on every storage equation fitting the pair's
+        # six product rows after hazard-freeing.
+        assert len(hazard_free_cover(d_latch_table())) <= 6
+        assert len(hazard_free_cover(dff_master_table())) <= 6
+        assert len(hazard_free_cover(ecse_table())) <= 6
+
+
+class TestFlowTable:
+    def make_dff(self) -> FlowTable:
+        # Variables: D (in0), C (in1), then state m, q.
+        # m+ = C'.D + C.m + D.m over (D, C, m); extend to (D, C, m, q).
+        m_next = TruthTable.from_function(
+            4, lambda d, c, m, q: ((not c) and d) or (c and m) or (d and m)
+        )
+        q_next = TruthTable.from_function(
+            4, lambda d, c, m, q: (c and m) or ((not c) and q) or (m and q)
+        )
+        return FlowTable(n_inputs=2, next_state=(m_next, q_next))
+
+    def test_stability_detection(self):
+        ft = self.make_dff()
+        assert ft.is_stable((0, 0), (0, 0))
+        assert not ft.is_stable((1, 0), (0, 0))  # master wants to load 1
+
+    def test_settle_loads_master_when_clock_low(self):
+        ft = self.make_dff()
+        state = ft.settle((1, 0), (0, 0))
+        assert state == (1, 0)  # m follows D, q unchanged
+
+    def test_rising_edge_transfers(self):
+        ft = self.make_dff()
+        state = ft.settle((1, 0), (0, 0))  # load master
+        state = ft.settle((1, 1), state)  # clock rises
+        assert state == (1, 1)  # q took the captured value
+
+    def test_data_change_while_high_ignored(self):
+        ft = self.make_dff()
+        state = ft.settle((1, 0), (0, 0))
+        state = ft.settle((1, 1), state)
+        state = ft.settle((0, 1), state)  # D drops while clock high
+        assert state == (1, 1)  # q holds; m holds
+
+    def test_full_clock_cycle_sequence(self):
+        ft = self.make_dff()
+        state = (0, 0)
+        for d, expect_q in [(1, 1), (0, 0), (1, 1), (1, 1)]:
+            state = ft.settle((d, 0), state)  # clock low: load master
+            state = ft.settle((d, 1), state)  # rising edge: transfer
+            assert state[1] == expect_q
+
+    def test_no_critical_race_in_dff(self):
+        ft = self.make_dff()
+        for d in (0, 1):
+            for c in (0, 1):
+                for m in (0, 1):
+                    for q in (0, 1):
+                        assert not ft.has_critical_race((d, c), (m, q))
+
+    def test_oscillating_machine_detected(self):
+        # next = NOT state: never settles.
+        t = TruthTable.from_function(1, lambda s: not s)
+        ft = FlowTable(n_inputs=0, next_state=(t,))
+        with pytest.raises(RuntimeError, match="settle"):
+            ft.settle((), (0,))
+
+    def test_arity_validation(self):
+        t = TruthTable.constant(2, 0)
+        with pytest.raises(ValueError):
+            FlowTable(n_inputs=2, next_state=(t,))  # needs 3 vars
+
+    def test_excite_arity_checked(self):
+        ft = self.make_dff()
+        with pytest.raises(ValueError):
+            ft.excite((0,), (0, 0))

@@ -1,0 +1,301 @@
+"""Integration tests: the macro library simulated on the fabric.
+
+These are the reproduction's core structural checks — the paper's Fig. 9
+(LUT + flip-flop), Fig. 10 (adder slice), Fig. 12 (ECSE) and the Section
+4.1 C-element, each placed on a CellArray, compiled to the event simulator
+and exercised functionally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fabric.array import CellArray
+from repro.sim.values import ONE, ZERO
+from repro.synth.macros import (
+    c_element_pair,
+    complement_cell,
+    d_latch_pair,
+    dff_pair,
+    ecse_pair,
+    feedthrough_cell,
+    full_adder_slice,
+    lut_pair,
+    lut_pair_from_table,
+    place,
+)
+from repro.synth.qm import minimise
+from repro.synth.truthtable import TruthTable
+
+SETTLE = 60  # generous settle window per input change (sim time units)
+
+
+def run_macro(macro, drives, observe, pre_drives=(), array_shape=(2, 6)):
+    """Place a macro at (0,0), apply drives sequentially, read outputs.
+
+    ``drives`` is a list of dicts {port: value}; after each dict the sim
+    settles.  ``pre_drives`` is an optional initialisation sequence whose
+    observations are discarded (state elements power up at X and need an
+    initialising event, exactly like real hardware).  Returns the list of
+    {port: value} observations of ``observe`` after each drive step.
+    """
+    array = CellArray(*array_shape)
+    placed = place(macro, array, 0, 0)
+    sim = array.compile_into().sim
+    out = []
+    t = 0
+    pre = list(pre_drives)
+    for step in pre + list(drives):
+        for port, v in step.items():
+            sim.drive(placed.inputs[port], v, at=t)
+        t += SETTLE
+        sim.run(until=t)
+        out.append({p: sim.value(placed.outputs[p]) for p in observe})
+    return out[len(pre):]
+
+
+class TestComplementCell:
+    @pytest.mark.parametrize("bits", [(0, 0, 0), (1, 0, 1), (1, 1, 1), (0, 1, 0)])
+    def test_all_polarities(self, bits):
+        macro = complement_cell(3)
+        drives = [{f"x{k}": b for k, b in enumerate(bits)}]
+        obs = run_macro(macro, drives, [f"x{k}" for k in range(3)] + [f"x{k}_n" for k in range(3)])
+        for k, b in enumerate(bits):
+            assert obs[0][f"x{k}"] == b
+            assert obs[0][f"x{k}_n"] == 1 - b
+
+    def test_var_count_validated(self):
+        with pytest.raises(ValueError):
+            complement_cell(4)
+
+
+class TestLUTPair:
+    def drive_vars(self, bits):
+        d = {}
+        for k, b in enumerate(bits):
+            d[f"x{k}"] = b
+            d[f"x{k}_n"] = 1 - b
+        return d
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_3var_functions(self, seed):
+        t = TruthTable.random(3, np.random.default_rng(seed))
+        macro = lut_pair_from_table(t)
+        for idx in range(8):
+            bits = [(idx >> k) & 1 for k in range(3)]
+            obs = run_macro(macro, [self.drive_vars(bits)], ["f", "f_n"])
+            assert obs[0]["f"] == int(t.outputs[idx]), (seed, bits)
+            assert obs[0]["f_n"] == 1 - int(t.outputs[idx])
+
+    def test_fig9_function_or_of_complements(self):
+        # Fig. 9's example LUT: x' + y' + z' (the printed "x + y + z" lost
+        # its overbars) = NAND(x, y, z); as SOP it is three single-literal
+        # products.
+        t = TruthTable.from_function(3, lambda x, y, z: (not x) or (not y) or (not z))
+        cover = minimise(t)
+        assert len(cover) == 3  # x' + y' + z'
+        macro = lut_pair(cover, 3)
+        obs = run_macro(macro, [self.drive_vars([1, 1, 1])], ["f"])
+        assert obs[0]["f"] == ZERO
+        obs = run_macro(macro, [self.drive_vars([1, 0, 1])], ["f"])
+        assert obs[0]["f"] == ONE
+
+    def test_constants(self):
+        one = lut_pair(minimise(TruthTable.constant(3, 1)), 3)
+        zero = lut_pair(minimise(TruthTable.constant(3, 0)), 3)
+        obs1 = run_macro(one, [self.drive_vars([0, 1, 0])], ["f"])
+        obs0 = run_macro(zero, [self.drive_vars([0, 1, 0])], ["f"])
+        assert obs1[0]["f"] == ONE
+        assert obs0[0]["f"] == ZERO
+
+    def test_cover_size_limit(self):
+        from repro.synth.qm import Implicant
+
+        too_many = [Implicant(0b111, k) for k in range(7)]
+        with pytest.raises(ValueError, match="6"):
+            lut_pair(too_many, 3)
+
+    def test_cell_pair_budget(self):
+        # The paper's claim: a pair of cells is a small LUT.
+        assert lut_pair_from_table(TruthTable.random(3, np.random.default_rng(1))).n_cells == 2
+
+
+class TestDLatch:
+    def test_transparent_and_hold(self):
+        macro = d_latch_pair()
+        obs = run_macro(
+            macro,
+            [
+                {"d": 1, "g": 1, "g_n": 0},  # transparent: q = 1
+                {"g": 0, "g_n": 1},          # close the latch
+                {"d": 0},                    # d changes: q must hold
+                {"g": 1, "g_n": 0},          # open: q follows d = 0
+            ],
+            ["q"],
+        )
+        assert [o["q"] for o in obs] == [ONE, ONE, ONE, ZERO]
+
+    def test_pair_budget(self):
+        assert d_latch_pair().n_cells == 2
+
+
+class TestDFF:
+    #: Initialising sequence: capture d=0 on one full clock cycle so q
+    #: leaves its power-up X state (exactly as real hardware needs).
+    INIT = (
+        {"d": 0, "clk": 0, "clk_n": 1},
+        {"d": 0, "clk": 1, "clk_n": 0},
+        {"d": 0, "clk": 0, "clk_n": 1},
+    )
+
+    def clocked_sequence(self, macro, seq):
+        """Apply (d, clk) pairs after initialisation; return q per step."""
+        drives = [{"d": d, "clk": clk, "clk_n": 1 - clk} for d, clk in seq]
+        return [
+            o["q"]
+            for o in run_macro(macro, drives, ["q"], pre_drives=self.INIT)
+        ]
+
+    def test_rising_edge_capture(self):
+        macro = dff_pair()
+        qs = self.clocked_sequence(
+            macro,
+            [(1, 0), (1, 1), (0, 1), (0, 0), (0, 1)],
+        )
+        # Load master with 1, rising edge -> q=1; d falls while high: hold;
+        # clock low: hold; next rising edge captures 0.
+        assert qs == [ZERO, ONE, ONE, ONE, ZERO]
+
+    def test_data_change_between_edges_invisible(self):
+        macro = dff_pair()
+        qs = self.clocked_sequence(
+            macro,
+            [(1, 0), (0, 0), (1, 0), (1, 1)],
+        )
+        # d wiggles while clock low: q stays 0 until the edge.
+        assert qs == [ZERO, ZERO, ZERO, ONE]
+
+    def test_q_n_complements_q(self):
+        macro = dff_pair()
+        obs = run_macro(
+            macro,
+            [
+                {"d": 1, "clk": 0, "clk_n": 1},
+                {"clk": 1, "clk_n": 0},
+            ],
+            ["q", "q_n"],
+            pre_drives=self.INIT,
+        )
+        assert obs[-1]["q"] == ONE and obs[-1]["q_n"] == ZERO
+
+    def test_async_reset(self):
+        # Reset is also the initialiser: no clocking needed to leave X.
+        macro = dff_pair(with_reset=True)
+        drives = [
+            {"d": 1, "clk": 0, "clk_n": 1, "rst_n": 0},  # reset asserted
+            {"rst_n": 1},                                # released, clk low
+            {"clk": 1, "clk_n": 0},                      # rising edge: q <- 1
+            {"rst_n": 0},                                # async clear, clk high
+            {"rst_n": 1, "clk": 0, "clk_n": 1},
+        ]
+        obs = run_macro(macro, drives, ["q"])
+        assert [o["q"] for o in obs] == [ZERO, ZERO, ONE, ZERO, ZERO]
+
+    def test_two_cells_as_paper_claims(self):
+        # Fig. 9: the flip-flop occupies two cells of the four-cell tile.
+        assert dff_pair().n_cells == 2
+        assert dff_pair(with_reset=True).n_cells == 2
+
+    def test_five_shared_product_terms(self):
+        # m/q equations share C.m: 5 products for the whole flip-flop.
+        macro = dff_pair()
+        a_cell = macro.cells[(0, 0)]
+        n_products = sum(1 for r in range(6) if a_cell.row_kind(r) == "nand")
+        assert n_products == 5
+
+
+class TestCElement:
+    def test_follows_and_holds(self):
+        macro = c_element_pair()
+        obs = run_macro(
+            macro,
+            [
+                {"a": 0, "b": 0},  # agree low
+                {"a": 1},          # disagree: hold 0
+                {"b": 1},          # agree high: c -> 1
+                {"a": 0},          # disagree: hold 1
+                {"b": 0},          # agree low: c -> 0
+            ],
+            ["c"],
+        )
+        assert [o["c"] for o in obs] == [ZERO, ZERO, ONE, ONE, ZERO]
+
+    def test_pair_budget(self):
+        assert c_element_pair().n_cells == 2
+
+
+class TestECSE:
+    def test_two_phase_capture_pass(self):
+        macro = ecse_pair()
+
+        def phase(r, a, din):
+            return {"req": r, "req_n": 1 - r, "ack": a, "ack_n": 1 - a, "din": din}
+
+        obs = run_macro(
+            macro,
+            [
+                phase(0, 0, 1),  # transparent (phases agree): z = 1
+                phase(1, 0, 1),  # request event: capture, hold
+                phase(1, 0, 0),  # din changes while opaque: hold 1
+                phase(1, 1, 0),  # ack event: transparent again: z = 0
+            ],
+            ["z"],
+        )
+        assert [o["z"] for o in obs] == [ONE, ONE, ONE, ZERO]
+
+    def test_pair_budget(self):
+        assert ecse_pair().n_cells == 2
+
+
+class TestFullAdder:
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    @pytest.mark.parametrize("cin", [0, 1])
+    def test_exhaustive(self, a, b, cin):
+        macro = full_adder_slice()
+        drives = [{
+            "a": a, "a_n": 1 - a,
+            "b": b, "b_n": 1 - b,
+            "cin": cin, "cin_n": 1 - cin,
+        }]
+        obs = run_macro(macro, drives, ["s", "cout", "cout_n"], array_shape=(2, 4))
+        total = a + b + cin
+        assert obs[0]["s"] == total % 2, (a, b, cin)
+        assert obs[0]["cout"] == total // 2, (a, b, cin)
+        assert obs[0]["cout_n"] == 1 - total // 2, (a, b, cin)
+
+    def test_five_product_terms_in_plane(self):
+        # The paper's Fig. 10 claim: the adder needs just five terms.
+        macro = full_adder_slice()
+        a_cell = macro.cells[(0, 0)]
+        n_products = sum(1 for r in range(6) if a_cell.row_kind(r) == "nand")
+        assert n_products == 5
+
+    def test_ripple_polarity_pair(self):
+        # The carry leaves on two lines (cout, cout') matching the next
+        # bit's (cin, cin') columns — the paper's "two horizontal
+        # connections".
+        macro = full_adder_slice()
+        assert macro.outputs["cout"][2] == 4 == macro.inputs["cin"][2]
+        assert macro.outputs["cout_n"][2] == 5 == macro.inputs["cin_n"][2]
+
+
+class TestFeedthrough:
+    def test_identity_routing(self):
+        macro = feedthrough_cell({0: 0, 3: 3})
+        obs = run_macro(macro, [{"in0": 1, "in3": 0}], ["out0", "out3"])
+        assert obs[0]["out0"] == ONE and obs[0]["out3"] == ZERO
+
+    def test_line_remap(self):
+        macro = feedthrough_cell({2: 5})
+        obs = run_macro(macro, [{"in2": 1}], ["out5"])
+        assert obs[0]["out5"] == ONE

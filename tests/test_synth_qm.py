@@ -1,0 +1,143 @@
+"""Unit tests for the Quine-McCluskey/Petrick minimiser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.qm import (
+    Implicant,
+    cover_is_correct,
+    cover_to_table,
+    minimise,
+    prime_implicants,
+)
+from repro.synth.truthtable import TruthTable
+
+
+class TestImplicant:
+    def test_covers(self):
+        p = Implicant(mask=0b011, value=0b001)  # x0 . x1'
+        assert p.covers(0b001)
+        assert p.covers(0b101)
+        assert not p.covers(0b011)
+
+    def test_literals(self):
+        p = Implicant(mask=0b101, value=0b100)
+        assert p.literals(3) == [(0, False), (2, True)]
+
+    def test_to_string(self):
+        p = Implicant(mask=0b011, value=0b001)
+        assert p.to_string() == "x0.x1'"
+        assert Implicant(0, 0).to_string() == "1"
+        assert p.to_string(names=["a", "b", "c"]) == "a.b'"
+
+    def test_n_literals(self):
+        assert Implicant(0b1011, 0).n_literals() == 3
+
+
+class TestKnownMinimisations:
+    def test_xor_needs_two_products(self):
+        t = TruthTable.from_function(2, lambda a, b: a ^ b)
+        cover = minimise(t)
+        assert len(cover) == 2
+        assert cover_is_correct(t, cover)
+
+    def test_and_is_single_product(self):
+        t = TruthTable.from_function(3, lambda a, b, c: a and b and c)
+        cover = minimise(t)
+        assert len(cover) == 1
+        assert cover[0].n_literals() == 3
+
+    def test_majority_three_products(self):
+        t = TruthTable.from_function(3, lambda a, b, c: (a + b + c) >= 2)
+        cover = minimise(t)
+        assert len(cover) == 3  # ab + ac + bc
+        assert cover_is_correct(t, cover)
+
+    def test_parity3_four_products(self):
+        t = TruthTable.from_function(3, lambda a, b, c: (a + b + c) % 2 == 1)
+        cover = minimise(t)
+        assert len(cover) == 4  # parity has no merging
+        assert all(p.n_literals() == 3 for p in cover)
+
+    def test_constant_one(self):
+        cover = minimise(TruthTable.constant(3, 1))
+        assert cover == [Implicant(0, 0)]
+
+    def test_constant_zero(self):
+        assert minimise(TruthTable.constant(3, 0)) == []
+
+    def test_classic_redundancy_collapses(self):
+        # f = a'b' + ab + a'b = a' + b: 2 products.
+        t = TruthTable.from_function(2, lambda a, b: (not a) or b)
+        cover = minimise(t)
+        assert len(cover) == 2
+        assert cover_is_correct(t, cover)
+
+    def test_single_minterm(self):
+        t = TruthTable.from_minterms(4, [9])
+        cover = minimise(t)
+        assert len(cover) == 1
+        assert cover[0].covers(9)
+
+
+class TestPrimeImplicants:
+    def test_majority_primes(self):
+        t = TruthTable.from_function(3, lambda a, b, c: (a + b + c) >= 2)
+        primes = prime_implicants(t)
+        # Exactly ab, ac, bc.
+        assert len(primes) == 3
+        assert all(p.n_literals() == 2 for p in primes)
+
+    def test_constant_zero_no_primes(self):
+        assert prime_implicants(TruthTable.constant(2, 0)) == []
+
+    def test_all_primes_inside_onset(self):
+        rng = np.random.default_rng(5)
+        t = TruthTable.random(4, rng)
+        for p in prime_implicants(t):
+            for m in range(16):
+                if p.covers(m):
+                    assert t.outputs[m] == 1
+
+
+class TestExactnessProperties:
+    @given(seed=st.integers(0, 100_000), n=st.integers(1, 4))
+    @settings(max_examples=120, deadline=None)
+    def test_cover_always_correct(self, seed, n):
+        t = TruthTable.random(n, np.random.default_rng(seed))
+        cover = minimise(t)
+        assert cover_is_correct(t, cover)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_minimality_against_brute_force_3vars(self, seed):
+        # Exhaustively verify no smaller prime cover exists (3 vars only).
+        from itertools import combinations
+
+        t = TruthTable.random(3, np.random.default_rng(seed))
+        cover = minimise(t)
+        primes = prime_implicants(t)
+        ones = t.minterms()
+        if not ones:
+            assert cover == []
+            return
+        for size in range(len(cover)):
+            for subset in combinations(primes, size):
+                covered = all(any(p.covers(m) for p in subset) for m in ones)
+                assert not covered, (
+                    f"found smaller cover of size {size} < {len(cover)}"
+                )
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_three_var_functions_fit_one_cell_pair(self, seed):
+        # The architecture relies on any 3-variable function mapping onto
+        # the pair's 6 product rows; the worst case (parity) needs 4.
+        t = TruthTable.random(3, np.random.default_rng(seed))
+        assert len(minimise(t)) <= 6
+
+    def test_cover_to_table_round_trip(self):
+        t = TruthTable.from_minterms(3, [0, 3, 5, 6])
+        assert cover_to_table(3, minimise(t)) == t

@@ -1,0 +1,114 @@
+"""Unit tests for the truth-table representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.truthtable import TruthTable
+
+
+class TestConstruction:
+    def test_from_minterms(self):
+        t = TruthTable.from_minterms(2, [1, 2])  # XOR
+        assert t.outputs.tolist() == [0, 1, 1, 0]
+
+    def test_minterm_range_checked(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_minterms(2, [4])
+
+    def test_from_function(self):
+        t = TruthTable.from_function(3, lambda a, b, c: a and b and not c)
+        assert t.minterms() == [3]  # a=1, b=1, c=0 -> index 0b011
+
+    def test_constant(self):
+        assert TruthTable.constant(2, 1).count_ones() == 4
+        assert TruthTable.constant(2, 0).count_ones() == 0
+
+    def test_projection(self):
+        t = TruthTable.projection(3, 1)
+        for idx in range(8):
+            assert t.outputs[idx] == (idx >> 1) & 1
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            TruthTable(2, [0, 1])
+        with pytest.raises(ValueError):
+            TruthTable(1, [0, 2])
+
+    def test_outputs_immutable(self):
+        t = TruthTable.constant(1, 0)
+        with pytest.raises(ValueError):
+            t.outputs[0] = 1
+
+
+class TestEvaluation:
+    def test_evaluate_lsb_first(self):
+        t = TruthTable.from_minterms(3, [5])  # x0=1, x1=0, x2=1
+        assert t.evaluate([1, 0, 1]) == 1
+        assert t.evaluate([1, 0, 0]) == 0
+
+    def test_evaluate_arity_checked(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(2, 0).evaluate([0])
+
+    def test_evaluate_indices_vectorised(self):
+        t = TruthTable.from_minterms(2, [0, 3])
+        np.testing.assert_array_equal(t.evaluate_indices([0, 1, 2, 3]), [1, 0, 0, 1])
+
+
+class TestAlgebra:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_de_morgan(self, seed):
+        rng = np.random.default_rng(seed)
+        f = TruthTable.random(3, rng)
+        g = TruthTable.random(3, rng)
+        assert ~(f & g) == (~f | ~g)
+        assert ~(f | g) == (~f & ~g)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_xor_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        f = TruthTable.random(3, rng)
+        assert (f ^ f) == TruthTable.constant(3, 0)
+        assert (f ^ TruthTable.constant(3, 0)) == f
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(2, 0) & TruthTable.constant(3, 0)
+
+    def test_hashable(self):
+        a = TruthTable.from_minterms(2, [1])
+        b = TruthTable.from_minterms(2, [1])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestCofactors:
+    def test_shannon_expansion(self):
+        rng = np.random.default_rng(7)
+        f = TruthTable.random(3, rng)
+        for var in range(3):
+            f0 = f.cofactor(var, 0)
+            f1 = f.cofactor(var, 1)
+            # Rebuild: f = x'.f0 + x.f1, checked pointwise.
+            for idx in range(8):
+                bit = (idx >> var) & 1
+                low = idx & ((1 << var) - 1)
+                high = (idx >> (var + 1)) << var
+                sub = high | low
+                expect = f1.outputs[sub] if bit else f0.outputs[sub]
+                assert f.outputs[idx] == expect
+
+    def test_support_of_projection(self):
+        t = TruthTable.projection(4, 2)
+        assert t.support() == [2]
+
+    def test_support_of_constant_empty(self):
+        assert TruthTable.constant(3, 1).support() == []
+
+    def test_depends_on_xor(self):
+        t = TruthTable.from_function(2, lambda a, b: a ^ b)
+        assert t.depends_on(0) and t.depends_on(1)

@@ -1,0 +1,96 @@
+"""Unit tests for repro.util.constants."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.constants import (
+    back_gate_coupling,
+    db10,
+    logistic,
+    oxide_capacitance_f_per_m2,
+    softplus,
+    thermal_voltage,
+)
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, abs=1e-4)
+
+    def test_scales_linearly_with_temperature(self):
+        assert thermal_voltage(600.0) == pytest.approx(2 * thermal_voltage(300.0))
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            thermal_voltage(-10.0)
+
+
+class TestOxideCapacitance:
+    def test_paper_stack_value(self):
+        # 1.5 nm SiO2: C_ox = eps0 * 3.9 / 1.5e-9 ~ 0.023 F/m^2.
+        c = oxide_capacitance_f_per_m2(1.5)
+        assert c == pytest.approx(0.02302, rel=1e-3)
+
+    def test_thinner_oxide_higher_capacitance(self):
+        assert oxide_capacitance_f_per_m2(1.0) > oxide_capacitance_f_per_m2(2.0)
+
+    def test_rejects_nonpositive_thickness(self):
+        with pytest.raises(ValueError):
+            oxide_capacitance_f_per_m2(0.0)
+
+
+class TestBackGateCoupling:
+    def test_symmetric_stack_is_unity(self):
+        # The paper's Fig. 2 device: 1.5 nm top and bottom oxides.
+        assert back_gate_coupling(1.5, 1.5) == pytest.approx(1.0)
+
+    def test_thicker_back_oxide_reduces_coupling(self):
+        assert back_gate_coupling(1.5, 3.0) == pytest.approx(0.5)
+
+
+class TestSoftplus:
+    def test_limits(self):
+        assert softplus(50.0) == pytest.approx(50.0, rel=1e-6)
+        assert softplus(-50.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_at_zero(self):
+        assert softplus(0.0) == pytest.approx(math.log(2.0))
+
+    def test_no_overflow_at_extremes(self):
+        out = softplus(np.array([-1e4, 0.0, 1e4]))
+        assert np.all(np.isfinite(out))
+
+    def test_scale_parameter(self):
+        # softplus(x, s) = s * softplus(x/s).
+        assert softplus(1.0, 0.1) == pytest.approx(0.1 * softplus(10.0))
+
+    def test_monotone(self):
+        x = np.linspace(-5, 5, 101)
+        y = softplus(x)
+        assert np.all(np.diff(y) > 0)
+
+
+class TestLogistic:
+    def test_midpoint(self):
+        assert logistic(0.0) == pytest.approx(0.5)
+
+    def test_saturation(self):
+        assert logistic(100.0) == pytest.approx(1.0)
+        assert logistic(-100.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_array_shape_preserved(self):
+        x = np.zeros((3, 4))
+        assert logistic(x).shape == (3, 4)
+
+
+class TestDb10:
+    def test_decade(self):
+        assert db10(10.0) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            db10(0.0)

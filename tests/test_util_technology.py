@@ -1,0 +1,50 @@
+"""Unit tests for the technology-node table."""
+
+import pytest
+
+from repro.util.technology import NODES, lambda_nm, node, nodes_descending
+
+
+class TestNodeLookup:
+    def test_known_node(self):
+        n = node("130nm")
+        assert n.feature_nm == 130.0
+
+    def test_unknown_node_lists_alternatives(self):
+        with pytest.raises(KeyError, match="250nm"):
+            node("7nm")
+
+    def test_lambda_is_half_feature(self):
+        assert lambda_nm("90nm") == pytest.approx(45.0)
+
+
+class TestScalingMonotonicity:
+    """The scaling arguments of Section 2 rely on these trends."""
+
+    def test_gate_delay_shrinks_with_feature(self):
+        ladder = nodes_descending()
+        delays = [n.gate_delay_ps for n in ladder]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_wire_resistance_grows_as_wires_narrow(self):
+        ladder = nodes_descending()
+        rs = [n.wire_r_ohm_per_um for n in ladder]
+        assert rs == sorted(rs)
+
+    def test_wire_rc_coefficient_grows(self):
+        # Distributed RC per um^2 worsens with scaling: the root cause of
+        # the paper's "interconnect will dominate" argument.
+        ladder = nodes_descending()
+        rc = [n.wire_rc_ps_per_um2 for n in ladder]
+        assert rc == sorted(rc)
+
+    def test_supply_voltage_non_increasing(self):
+        ladder = nodes_descending()
+        vdd = [n.vdd for n in ladder]
+        assert all(a >= b for a, b in zip(vdd, vdd[1:]))
+
+    def test_ladder_covers_paper_range(self):
+        # From the paper's present (250 nm) into the DSM future it argues
+        # about.
+        names = set(NODES)
+        assert {"250nm", "130nm", "90nm", "22nm"} <= names

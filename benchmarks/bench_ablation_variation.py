@@ -4,13 +4,25 @@ The paper's device-level argument — "the undoped channel region eliminates
 performance variations ... due to random dopant dispersion" — quantified as
 fabric configurability yield: Monte-Carlo over whole arrays of leaf cells,
 with the analytic Gaussian cross-check.
+
+Second half: the *functional* Monte-Carlo (gate-level fault sweep over the
+Fig. 10 adder slice) run on both simulation backends, measuring the
+configurations-per-second speedup the bit-parallel batch engine delivers
+over one-at-a-time event simulation.
 """
 
 import numpy as np
 
-from repro.arch.montecarlo import analytic_cell_yield, compare_device_options
+from repro.arch.montecarlo import (
+    analytic_cell_yield,
+    cell_fail_probability,
+    compare_device_options,
+    functional_fabric_yield,
+)
 from repro.core.report import ExperimentReport
 from repro.devices.variation import bulk_rdf_sigma_vt, dg_geometric_sigma_vt
+from repro.netlist import BatchBackend, EventBackend
+from repro.synth.macros import full_adder_testbench
 
 
 def run_mc():
@@ -47,3 +59,54 @@ def test_variation_ablation(benchmark):
         print(f"    {length:4.0f} nm: bulk {bulk_rdf_sigma_vt(length, length) * 1e3:6.1f}"
               f"  dg {float(dg_geometric_sigma_vt(length)) * 1e3:5.2f}")
     assert rep.all_match()
+
+
+def run_functional_yield_comparison(
+    n_event_configs: int = 40, n_batch_configs: int = 4000
+):
+    """Functional yield on both backends; returns the two results.
+
+    The batch run evaluates 100x the configurations of the event run —
+    the throughput metric (configs/second) is what is compared.
+    """
+    nl, stim, golden = full_adder_testbench()
+    p_fail = cell_fail_probability(bulk_rdf_sigma_vt(10.0, 10.0))
+    event = functional_fabric_yield(
+        nl, stim, golden, p_fail, n_event_configs,
+        rng=np.random.default_rng(42), backend=EventBackend(),
+        label="event one-at-a-time",
+    )
+    batch = functional_fabric_yield(
+        nl, stim, golden, p_fail, n_batch_configs,
+        rng=np.random.default_rng(42), backend=BatchBackend(),
+        label="batch bit-parallel",
+    )
+    return event, batch
+
+
+def test_functional_yield_batch_speedup(benchmark):
+    event, batch = benchmark(run_functional_yield_comparison)
+    speedup = batch.configs_per_second / event.configs_per_second
+    rep = ExperimentReport(
+        "mc-backends", "Monte-Carlo functional yield: batch vs event backend"
+    )
+    rep.add(
+        "event throughput", "baseline (1 config per simulation)",
+        f"{event.configs_per_second:,.0f} configs/s",
+    )
+    rep.add(
+        "batch throughput", ">= 10x the event backend",
+        f"{batch.configs_per_second:,.0f} configs/s ({speedup:,.0f}x)",
+        verdict="match" if speedup >= 10 else "deviation",
+    )
+    rep.add(
+        "yield agreement", "both engines sample the same model",
+        f"event {event.functional_yield:.3f} vs batch {batch.functional_yield:.3f}",
+        verdict="match"
+        if abs(event.functional_yield - batch.functional_yield) < 0.15
+        else "deviation",
+    )
+    print()
+    print(rep.render())
+    assert rep.all_match()
+    assert speedup >= 10.0

@@ -9,6 +9,8 @@ interconnect.  Layers, bottom up:
 * :mod:`repro.devices`   — compact DG-MOSFET / RTD / tunnelling-SRAM models
 * :mod:`repro.circuits`  — DC solvers and the configurable gate structures
 * :mod:`repro.fabric`    — the polymorphic NAND-array cell and its tiling
+* :mod:`repro.netlist`   — backend-neutral netlist IR and the pluggable
+  simulation backends (event-driven reference + bit-parallel batch)
 * :mod:`repro.sim`       — event-driven 4-valued logic simulator
 * :mod:`repro.synth`     — minimisation, NAND mapping, async-FSM synthesis,
   place & route, macro library
@@ -17,16 +19,17 @@ interconnect.  Layers, bottom up:
 * :mod:`repro.arch`      — area, power, config-bit and scaling analytics
 * :mod:`repro.core`      — the high-level :class:`PolymorphicPlatform` API
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-versus-measured record.
+See ARCHITECTURE.md for the layer diagram, the netlist IR contract and a
+dual-backend quickstart.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "devices",
     "circuits",
     "fabric",
+    "netlist",
     "sim",
     "synth",
     "asynclogic",

@@ -27,6 +27,14 @@ from repro.arch.configbits import (
     polymorphic_bits_per_block,
 )
 from repro.arch.fpga_baseline import FpgaBaseline, FpgaCost
+from repro.arch.montecarlo import (
+    FunctionalYieldResult,
+    YieldResult,
+    analytic_cell_yield,
+    cell_fail_probability,
+    compare_device_options,
+    functional_fabric_yield,
+)
 from repro.arch.power import (
     clock_power_saving,
     clock_tree_power_w,
@@ -58,6 +66,12 @@ __all__ = [
     "density_cells_per_cm2",
     "fpga_area_l2",
     "polymorphic_area_l2",
+    "FunctionalYieldResult",
+    "YieldResult",
+    "analytic_cell_yield",
+    "cell_fail_probability",
+    "compare_device_options",
+    "functional_fabric_yield",
     "area_claims_report",
     "config_bits_report",
     "power_claim_report",

@@ -6,10 +6,26 @@ force-on / force-off margins intact at the +/-2 V levels.  This module
 samples whole arrays and reports cell and array yield, for the undoped
 double-gate device versus a doped bulk device of the same geometry — the
 quantified version of the paper's Section 3 manufacturability argument.
+
+Two granularities:
+
+* the margin model (:func:`compare_device_options`) — a leaf cell is
+  good/bad from its threshold sample alone, no logic evaluated;
+* the **functional** model (:func:`functional_fabric_yield`) — a
+  configured design is lowered once to the netlist IR, XOR
+  fault-injection points are spliced onto its internal nets
+  (:func:`repro.netlist.with_fault_points`), and each Monte-Carlo
+  configuration sample (a Bernoulli draw of flipped nets) is checked
+  against the golden truth table over a stimulus set.  On the
+  :class:`repro.netlist.BatchBackend` all ``n_configs x n_vectors``
+  lanes evaluate in one bit-parallel sweep — the build-once /
+  evaluate-many structure that makes whole-array yield studies cheap.
 """
 
 from __future__ import annotations
 
+import time
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,6 +35,8 @@ from repro.devices.variation import (
     config_margin_yield,
     dg_geometric_sigma_vt,
 )
+from repro.netlist.backends import BatchBackend, SimBackend
+from repro.netlist.ir import Netlist, with_fault_points
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,3 +144,117 @@ def analytic_cell_yield(
 def _unused_strict_yield(sigma_vt: float) -> float:
     """Force-margin-only yield (kept for the sensitivity bench)."""
     return config_margin_yield(sigma_vt)
+
+
+# ----------------------------------------------------------------------
+# Gate-level functional yield on the netlist IR
+# ----------------------------------------------------------------------
+
+def cell_fail_probability(
+    sigma_vt: float,
+    vt_nominal: float = 0.25,
+    gamma: float = 0.6,
+    bias: float = 2.0,
+    swing: float = 1.0,
+    margin: float = 0.1,
+    active_window: float = 0.15,
+) -> float:
+    """Probability one configured net misbehaves under variation.
+
+    The complement of :func:`analytic_cell_yield` — the Bernoulli
+    parameter the functional Monte-Carlo samples per fault point.
+    """
+    return 1.0 - analytic_cell_yield(
+        sigma_vt, vt_nominal, gamma, bias, swing, margin, active_window
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionalYieldResult:
+    """Outcome of one gate-level functional yield run.
+
+    Attributes
+    ----------
+    label:
+        Option / backend description.
+    backend:
+        Name of the engine that evaluated the lanes.
+    n_configs:
+        Monte-Carlo configuration samples drawn.
+    n_vectors:
+        Stimulus vectors checked per configuration.
+    functional_yield:
+        Fraction of configurations matching the golden responses on
+        every vector.
+    elapsed_s:
+        Wall time of the evaluation.
+    """
+
+    label: str
+    backend: str
+    n_configs: int
+    n_vectors: int
+    functional_yield: float
+    elapsed_s: float
+
+    @property
+    def configs_per_second(self) -> float:
+        """Monte-Carlo throughput (the batching figure of merit)."""
+        return self.n_configs / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+
+def functional_fabric_yield(
+    netlist: Netlist,
+    stimulus: Mapping[str, np.ndarray],
+    golden: Mapping[str, np.ndarray],
+    fail_prob: float,
+    n_configs: int,
+    rng: np.random.Generator | None = None,
+    backend: SimBackend | None = None,
+    label: str = "",
+) -> FunctionalYieldResult:
+    """Monte-Carlo functional yield of a configured design.
+
+    ``stimulus`` maps the design's free inputs to equal-length vectors of
+    test patterns; ``golden`` the expected responses.  Each of the
+    ``n_configs`` samples flips every internal net independently with
+    probability ``fail_prob`` (via XOR fault points); a configuration is
+    functional when all its patterns match.  All ``n_configs *
+    n_vectors`` lanes go to the backend in **one** call, so the batch
+    engine amortises the whole sweep into a single levelized pass.
+    """
+    if not 0.0 <= fail_prob <= 1.0:
+        raise ValueError(f"fail_prob must be in [0, 1], got {fail_prob!r}")
+    if n_configs < 1:
+        raise ValueError(f"n_configs must be >= 1, got {n_configs}")
+    if not stimulus or not golden:
+        raise ValueError("stimulus and golden must each name at least one net")
+    rng = rng or np.random.default_rng(0)
+    backend = backend or BatchBackend()
+    faulty, fault_nets = with_fault_points(netlist)
+    vectors = {k: np.atleast_1d(np.asarray(v, dtype=np.uint8)) for k, v in stimulus.items()}
+    n_vec = next(iter(vectors.values())).shape[0]
+    lanes: dict[str, np.ndarray] = {
+        # Per config, replay the whole pattern set.
+        k: np.tile(v, n_configs) for k, v in vectors.items()
+    }
+    flips = (rng.random((n_configs, len(fault_nets))) < fail_prob).astype(np.uint8)
+    for j, f in enumerate(fault_nets):
+        lanes[f] = np.repeat(flips[:, j], n_vec)
+    out_names = list(golden)
+    t0 = time.perf_counter()
+    res = backend.evaluate(faulty, lanes, outputs=out_names)
+    elapsed = time.perf_counter() - t0
+    ok = np.ones(n_configs * n_vec, dtype=bool)
+    for name in out_names:
+        expect = np.tile(np.asarray(golden[name], dtype=np.uint8), n_configs)
+        ok &= res[name] == expect
+    config_ok = ok.reshape(n_configs, n_vec).all(axis=1)
+    return FunctionalYieldResult(
+        label=label or netlist.name,
+        backend=getattr(backend, "name", type(backend).__name__),
+        n_configs=n_configs,
+        n_vectors=n_vec,
+        functional_yield=float(config_ok.mean()),
+        elapsed_s=elapsed,
+    )

@@ -20,7 +20,11 @@ from repro.asynclogic.handshake import (
     cycle_times,
     two_phase_event_counts,
 )
-from repro.asynclogic.micropipeline import MicropipelineSim, PipelineModel
+from repro.asynclogic.micropipeline import (
+    MicropipelineSim,
+    PipelineModel,
+    micropipeline_netlist,
+)
 
 __all__ = [
     "MutexElement",
@@ -38,4 +42,5 @@ __all__ = [
     "two_phase_event_counts",
     "MicropipelineSim",
     "PipelineModel",
+    "micropipeline_netlist",
 ]

@@ -1,11 +1,15 @@
 """Sutherland micropipelines (paper Fig. 11).
 
-Two complementary models:
+Three complementary models:
 
-* :class:`MicropipelineSim` — a gate-level build on the event simulator:
-  the Fig. 11 control chain of two-input Muller C-elements (one input
-  inverted, all elements cleared at power-on), matched delay buffers, and
-  one event-controlled storage element per data bit per stage.  Tokens are
+* :func:`micropipeline_netlist` — the structural description: the Fig. 11
+  control chain of two-input Muller C-elements (one input inverted, all
+  elements cleared at power-on), matched delay buffers, and one
+  event-controlled storage element per data bit per stage, emitted as a
+  backend-neutral :class:`repro.netlist.Netlist`.  Build once, elaborate
+  on any :class:`repro.netlist.SimBackend`.
+* :class:`MicropipelineSim` — the netlist elaborated onto the event
+  simulator with token-level push/drain/observe helpers.  Tokens are
   injected by toggling the input request and are individually tracked.
 * :class:`PipelineModel` — the standard token-flow performance model of a
   micropipeline (forward latency per stage, reverse latency per stage),
@@ -20,9 +24,85 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.primitives import BufGate, CElementGate, EventLatchGate, NotGate
-from repro.sim.scheduler import Simulator
+from repro.netlist.backends import EventBackend
+from repro.netlist.ir import Netlist
+from repro.sim.limits import SimLimits
 from repro.sim.values import ONE, ZERO, is_defined
+
+
+def micropipeline_netlist(
+    n_stages: int,
+    data_width: int = 4,
+    c_delay: int = 2,
+    latch_delay: int = 2,
+    matched_delay: int = 4,
+    auto_sink: bool = True,
+) -> tuple[Netlist, dict[str, object]]:
+    """Emit the Fig. 11 n-stage two-phase micropipeline as a netlist.
+
+    Returns ``(netlist, ports)`` where ``ports`` names the interface nets:
+    ``req_in``, ``data_in`` (list), ``c`` (per-stage C-element outputs),
+    ``ack_out``, ``req_out`` and ``data_out`` (list).  With ``auto_sink``
+    the output request is acknowledged immediately by a 1-delay buffer (a
+    consumer that is never the bottleneck); without it, ``ack_out`` is a
+    free input for back-pressure experiments.
+    """
+    if n_stages < 1:
+        raise ValueError(f"n_stages must be >= 1, got {n_stages}")
+    if data_width < 1:
+        raise ValueError(f"data_width must be >= 1, got {data_width}")
+    nl = Netlist(name=f"micropipeline{n_stages}x{data_width}")
+    req_in = nl.add_input("req_in")
+    data_in = [nl.add_input(f"din[{b}]") for b in range(data_width)]
+    c = [nl.net(f"c[{i}]") for i in range(n_stages)]
+    ack_out = nl.net("ack_out")
+
+    # Control chain: c[i] = C(delayed req from stage i-1, NOT c[i+1]).
+    stage_req = req_in
+    stage_reqs = []
+    for i in range(n_stages):
+        delayed = nl.add("buf", f"delay[{i}]", [stage_req], f"rd[{i}]", delay=matched_delay)
+        nxt = c[i + 1] if i + 1 < n_stages else ack_out
+        inv = nl.add("not", f"ackinv[{i}]", [nxt], f"ai[{i}]")
+        nl.add("celement", f"c[{i}]", [delayed, inv], c[i], delay=c_delay, init=ZERO)
+        stage_reqs.append(delayed)
+        stage_req = c[i]
+    req_out = c[-1]
+    if auto_sink:
+        nl.add("buf", "sink", [req_out], ack_out, delay=1)
+    else:
+        nl.add_input("ack_out")
+
+    # Data path: stage i latches din when c[i] toggles (capture) and
+    # releases when the next stage has taken it.
+    prev = data_in
+    stage_data = []
+    for i in range(n_stages):
+        nxt_ack = c[i + 1] if i + 1 < n_stages else ack_out
+        outs = []
+        for b in range(data_width):
+            out = nl.add(
+                "eventlatch", f"lat[{i}][{b}]",
+                [prev[b], c[i], nxt_ack], f"d[{i}][{b}]",
+                delay=latch_delay, init=ZERO,
+            )
+            outs.append(out)
+        stage_data.append(outs)
+        prev = outs
+    for b in range(data_width):
+        nl.add_output(prev[b])
+    nl.add_output(req_out)
+    nl.add_output(ack_out)
+    ports: dict[str, object] = {
+        "req_in": req_in.name,
+        "data_in": [n.name for n in data_in],
+        "c": [n.name for n in c],
+        "ack_out": ack_out.name,
+        "req_out": req_out.name,
+        "data_out": [n.name for n in prev],
+        "stage_reqs": [n.name for n in stage_reqs],
+    }
+    return nl, ports
 
 
 class MicropipelineSim:
@@ -36,71 +116,33 @@ class MicropipelineSim:
         latch_delay: int = 2,
         matched_delay: int = 4,
     ) -> None:
-        if n_stages < 1:
-            raise ValueError(f"n_stages must be >= 1, got {n_stages}")
-        if data_width < 1:
-            raise ValueError(f"data_width must be >= 1, got {data_width}")
         self.n_stages = int(n_stages)
         self.data_width = int(data_width)
-        self.sim = Simulator()
+        #: The design as data: built once, elaborated below onto the
+        #: event backend (the netlist can be handed to any SimBackend).
+        self.netlist, self.ports = micropipeline_netlist(
+            n_stages,
+            data_width=data_width,
+            c_delay=c_delay,
+            latch_delay=latch_delay,
+            matched_delay=matched_delay,
+        )
+        self.sim = EventBackend(SimLimits()).elaborate(self.netlist)
         sim = self.sim
 
         #: External request / data-in; acknowledged on ack_in.
-        self.req_in = sim.net("req_in")
-        self.data_in = [sim.net(f"din[{b}]") for b in range(data_width)]
-
-        # Control chain: c[i] = C(delayed req from stage i-1, NOT c[i+1]).
-        # c[n] region is the sink: it acknowledges immediately.
-        self.c = [sim.net(f"c[{i}]") for i in range(n_stages)]
-        self.ack_out = sim.net("ack_out")  # sink-side acknowledge
-        stage_req = self.req_in
-        self.stage_reqs = []
-        for i in range(n_stages):
-            delayed = sim.net(f"rd[{i}]")
-            sim.add(BufGate(f"delay[{i}]", [stage_req], delayed, delay=matched_delay))
-            inv = sim.net(f"ai[{i}]")
-            nxt = self.c[i + 1] if i + 1 < n_stages else self.ack_out
-            sim.add(NotGate(f"ackinv[{i}]", [nxt], inv, delay=1))
-            sim.add(
-                CElementGate(
-                    f"c[{i}]", [delayed, inv], self.c[i], delay=c_delay, init=ZERO
-                )
-            )
-            self.stage_reqs.append(delayed)
-            stage_req = self.c[i]
-
+        self.req_in = sim.net(self.ports["req_in"])
+        self.data_in = [sim.net(n) for n in self.ports["data_in"]]
+        self.c = [sim.net(n) for n in self.ports["c"]]
+        self.ack_out = sim.net(self.ports["ack_out"])  # sink-side acknowledge
+        self.stage_reqs = [sim.net(n) for n in self.ports["stage_reqs"]]
         #: The last stage's request is the FIFO's output request.
         self.req_out = self.c[-1]
-
-        # Sink: acknowledge every output request immediately (a consumer
-        # that is never the bottleneck).  Tests may instead drive ack_out
-        # externally for back-pressure experiments.
-        self._auto_sink = sim.add(
-            BufGate("sink", [self.req_out], self.ack_out, delay=1)
-        )
-
-        # Data path: stage i latches din when c[i] toggles (capture) and
-        # releases when the next stage has taken it.
-        self.stage_data = []
-        prev = self.data_in
-        for i in range(n_stages):
-            nxt_ack = self.c[i + 1] if i + 1 < n_stages else self.ack_out
-            outs = []
-            for b in range(data_width):
-                out = sim.net(f"d[{i}][{b}]")
-                sim.add(
-                    EventLatchGate(
-                        f"lat[{i}][{b}]",
-                        [prev[b], self.c[i], nxt_ack],
-                        out,
-                        delay=latch_delay,
-                        init=ZERO,
-                    )
-                )
-                outs.append(out)
-            self.stage_data.append(outs)
-            prev = outs
-        self.data_out = prev
+        self.stage_data = [
+            [sim.net(f"d[{i}][{b}]") for b in range(data_width)]
+            for i in range(n_stages)
+        ]
+        self.data_out = [sim.net(n) for n in self.ports["data_out"]]
 
         sim.trace("req_in", "ack_out", *(n.name for n in self.c))
         self._req_phase = 0

@@ -3,7 +3,7 @@
 This layer regenerates the paper's circuit-level evidence (Figs. 3-5) from
 the compact device models.  It is intentionally small: the polymorphic
 fabric only ever uses static complementary topologies, so a full nodal
-simulator is unnecessary (see DESIGN.md).
+simulator is unnecessary (see ARCHITECTURE.md).
 """
 
 from repro.circuits.dc import (
@@ -19,6 +19,7 @@ from repro.circuits.gates import (
     ConfigurableNAND2,
     TristateDriver,
     VTCResult,
+    lower_fig4_function,
 )
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "ConfigurableNAND2",
     "TristateDriver",
     "VTCResult",
+    "lower_fig4_function",
 ]

@@ -37,6 +37,7 @@ from repro.circuits.dc import (
     switching_threshold,
 )
 from repro.devices.dgmosfet import DGMosfet, DGMosfetParams, Polarity
+from repro.netlist.ir import NetRef, Netlist
 
 
 @dataclass(frozen=True, slots=True)
@@ -211,6 +212,58 @@ class ConfigurableNAND2:
         }
         return named.get(bits, "OTHER")
 
+    def lower_into(
+        self,
+        netlist: Netlist,
+        name: str,
+        bias_a: float,
+        bias_b: float,
+        a: NetRef | str,
+        b: NetRef | str,
+        output: NetRef | str,
+        delay: int = 1,
+    ) -> NetRef:
+        """Classify the configured function and emit it as a netlist cell.
+
+        The bridge from the analog layer to the digital IR: solve the DC
+        behaviour under (``bias_a``, ``bias_b``), name the Fig. 4 row it
+        lands on, and lower that row via :func:`lower_fig4_function`.
+        """
+        return lower_fig4_function(
+            netlist, name, self.classify(bias_a, bias_b), a, b, output, delay=delay
+        )
+
+
+def lower_fig4_function(
+    netlist: Netlist,
+    name: str,
+    function: str,
+    a: NetRef | str,
+    b: NetRef | str,
+    output: NetRef | str,
+    delay: int = 1,
+) -> NetRef:
+    """Lower one classified Fig. 4 configuration onto the netlist IR.
+
+    ``function`` is a row of the Fig. 4 table — ``"NAND"``, ``"NOT_A"``,
+    ``"NOT_B"``, ``"ONE"`` or ``"ZERO"``; ``"OTHER"`` (a degenerate analog
+    configuration) has no digital meaning and raises ``ValueError``.
+    """
+    if function == "NAND":
+        return netlist.add("nand", name, [a, b], output, delay=delay)
+    if function == "NOT_A":
+        return netlist.add("not", name, [a], output, delay=delay)
+    if function == "NOT_B":
+        return netlist.add("not", name, [b], output, delay=delay)
+    if function == "ONE":
+        return netlist.add("const", name, [], output, delay=delay, value=1)
+    if function == "ZERO":
+        return netlist.add("const", name, [], output, delay=delay, value=0)
+    raise ValueError(
+        f"Fig. 4 function {function!r} has no digital lowering"
+        + (" (degenerate analog levels)" if function == "OTHER" else "")
+    )
+
 
 class TristateDriver:
     """The Fig. 5 output structure: inverting / non-inverting / open.
@@ -268,6 +321,27 @@ class TristateDriver:
         if mode == "INVERTING":
             return first
         return self._inv.logic_output(first, 0.0)
+
+    def lower_into(
+        self,
+        netlist: Netlist,
+        name: str,
+        mode: str,
+        din: NetRef | str,
+        output: NetRef | str,
+        delay: int = 1,
+    ) -> NetRef | None:
+        """Emit the Fig. 5 driver in ``mode`` as a netlist cell.
+
+        INVERTING -> ``not``, NON_INVERTING -> ``buf``; OPEN contributes
+        no cell at all (the row's driver is off) and returns ``None``.
+        """
+        if mode not in self.MODES:
+            raise ValueError(f"unknown driver mode {mode!r}; expected one of {self.MODES}")
+        if mode == "OPEN":
+            return None
+        kind = "not" if mode == "INVERTING" else "buf"
+        return netlist.add(kind, name, [din], output, delay=delay)
 
     def analog_vtc(self, mode: str, n_points: int = 201) -> VTCResult | None:
         """DC transfer curve of the driver in an active mode; None when OPEN."""

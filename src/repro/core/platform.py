@@ -17,9 +17,15 @@ reported as ``folded_routes``.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
-from repro.fabric.array import CellArray, CompiledFabric
+import numpy as np
+
+from repro.fabric.array import CellArray, CompiledFabric, elaborate_fabric
+from repro.netlist.backends import BatchBackend, SimBackend
+from repro.netlist.ir import Netlist
+from repro.sim.limits import SimLimits
 from repro.sim.primitives import BufGate, NotGate
 from repro.sim.scheduler import Simulator
 from repro.sim.values import ONE, ZERO
@@ -56,10 +62,12 @@ class PlatformStats:
 class PolymorphicPlatform:
     """A configurable array plus its compiled simulation."""
 
-    def __init__(self, n_rows: int, n_cols: int) -> None:
+    def __init__(self, n_rows: int, n_cols: int, limits: SimLimits | None = None) -> None:
         self.array = CellArray(n_rows, n_cols)
+        self.limits = limits or SimLimits()
         self._fabric: CompiledFabric | None = None
         self._folded = 0
+        self._folds: list[tuple[str, str, str, bool]] = []  # (name, src, dst, invert)
         self._placements: list[PlacedMacro] = []
 
     # ------------------------------------------------------------------
@@ -94,9 +102,17 @@ class PolymorphicPlatform:
     # Compilation
     # ------------------------------------------------------------------
     def compile(self) -> CompiledFabric:
-        """Lower the array onto a fresh simulator (idempotent)."""
+        """Lower the array to a netlist and elaborate it (idempotent).
+
+        Folded routes recorded before compilation become ordinary netlist
+        cells, so they are visible to every backend — not just the event
+        simulator.
+        """
         if self._fabric is None:
-            self._fabric = self.array.compile_into(Simulator())
+            fn = self.array.to_netlist()
+            for name, src, dst, invert in self._folds:
+                fn.netlist.add("not" if invert else "buf", name, [src], dst)
+            self._fabric = elaborate_fabric(fn, limits=self.limits)
         return self._fabric
 
     @property
@@ -104,18 +120,47 @@ class PolymorphicPlatform:
         """The simulator (compiles on first access)."""
         return self.compile().sim
 
+    @property
+    def netlist(self) -> Netlist:
+        """The backend-neutral IR of the design (compiles on first access)."""
+        fabric = self.compile()
+        assert fabric.netlist is not None
+        return fabric.netlist
+
     def connect(self, src_wire: str, dst_wire: str, invert: bool = False) -> None:
         """Insert an ideal folded route from one wire to another.
 
         See the module docstring for why this exists.  The connection is a
-        1-delay buffer (or inverter) driving ``dst_wire``.
+        1-delay buffer (or inverter) driving ``dst_wire``.  Before
+        compilation the fold is recorded into the netlist; afterwards it
+        is patched into both the netlist and the live simulator.
         """
-        sim = self.sim
         name = f"fold{self._folded}[{src_wire}->{dst_wire}]"
-        src, dst = sim.net(src_wire), sim.net(dst_wire)
-        gate_cls = NotGate if invert else BufGate
-        sim.add(gate_cls(name, [src], dst))
+        self._folds.append((name, src_wire, dst_wire, invert))
         self._folded += 1
+        if self._fabric is not None:
+            self.netlist.add("not" if invert else "buf", name, [src_wire], dst_wire)
+            sim = self._fabric.sim
+            src, dst = sim.net(src_wire), sim.net(dst_wire)
+            gate_cls = NotGate if invert else BufGate
+            sim.add(gate_cls(name, [src], dst))
+
+    def evaluate_batch(
+        self,
+        stimuli: Mapping[str, Sequence[int]],
+        outputs: Sequence[str] | None = None,
+        backend: SimBackend | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Evaluate N stimulus vectors against the compiled design.
+
+        Defaults to the bit-parallel :class:`BatchBackend` (with automatic
+        event fallback for designs outside the two-valued combinational
+        model).  ``outputs`` defaults to the fabric's primary outputs.
+        """
+        backend = backend or BatchBackend(self.limits)
+        if outputs is None:
+            outputs = self.compile().output_wires
+        return backend.evaluate(self.netlist, stimuli, outputs=outputs)
 
     # ------------------------------------------------------------------
     # Stimulus and observation

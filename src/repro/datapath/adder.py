@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.platform import PolymorphicPlatform
 from repro.fabric.array import wire_name
 from repro.synth.macros import full_adder_slice
@@ -105,6 +107,51 @@ class RippleCarryAdder:
         self.apply(a, b, cin)
         s, cout = self.result()
         return s | (cout << self.n_bits)
+
+    def add_batch(self, a_values, b_values, cin_values=None) -> np.ndarray:
+        """Add N operand pairs in one bit-parallel pass.
+
+        The adder's netlist is a pure combinational cone, so the platform
+        routes this through :class:`repro.netlist.BatchBackend`: all N
+        vectors are packed into uint64 lanes and the ripple evaluates
+        once per gate, not once per stimulus.  Returns the (n+1)-bit sums.
+        """
+        a = np.asarray(a_values, dtype=np.int64)
+        b = np.asarray(b_values, dtype=np.int64)
+        if a.shape != b.shape or a.ndim != 1:
+            raise ValueError("a_values and b_values must be equal-length 1-D")
+        cin = (
+            np.zeros_like(a)
+            if cin_values is None
+            else np.asarray(cin_values, dtype=np.int64)
+        )
+        if cin.shape != a.shape:
+            raise ValueError("cin_values must match the operand shape")
+        limit = 1 << self.n_bits
+        if a.min(initial=0) < 0 or b.min(initial=0) < 0 or cin.min(initial=0) < 0:
+            raise ValueError("operands must be non-negative")
+        if a.max(initial=0) >= limit or b.max(initial=0) >= limit:
+            raise ValueError(f"operands must fit in {self.n_bits} bits")
+        if cin.max(initial=0) > 1:
+            raise ValueError("cin values must be 0/1")
+        stimuli: dict[str, np.ndarray] = {}
+        for k in range(self.n_bits):
+            abit = ((a >> k) & 1).astype(np.uint8)
+            bbit = ((b >> k) & 1).astype(np.uint8)
+            stimuli[self.ports.a[k]] = abit
+            stimuli[self.ports.a_n[k]] = 1 - abit
+            stimuli[self.ports.b[k]] = bbit
+            stimuli[self.ports.b_n[k]] = 1 - bbit
+        cbit = (cin & 1).astype(np.uint8)
+        stimuli[self.ports.cin] = cbit
+        stimuli[self.ports.cin_n] = 1 - cbit
+        wires = list(self.ports.s) + [self.ports.cout]
+        res = self.platform.evaluate_batch(stimuli, outputs=wires)
+        total = np.zeros_like(a)
+        for k, wire in enumerate(self.ports.s):
+            total |= res[wire].astype(np.int64) << k
+        total |= res[self.ports.cout].astype(np.int64) << self.n_bits
+        return total
 
     def _check_operand(self, name: str, value: int) -> None:
         if not 0 <= value < (1 << self.n_bits):

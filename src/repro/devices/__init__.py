@@ -1,7 +1,7 @@
 """Compact device models: double-gate MOSFETs, RTDs and the tunnelling SRAM.
 
 These are the behavioural substitutes for the paper's physical devices (see
-DESIGN.md, section 2).  Everything is analytic, numpy-vectorised and
+ARCHITECTURE.md).  Everything is analytic, numpy-vectorised and
 deterministic.
 """
 

@@ -22,7 +22,7 @@ smooth, monotone in both V_GS and V_DS, vectorises over numpy arrays, and
 reproduces the Fig. 3 voltage-transfer-curve family (see
 ``benchmarks/bench_fig3_inverter_vtc.py``).
 
-It is *not* a predictive TCAD model — see DESIGN.md section 2 for why the
+It is *not* a predictive TCAD model — see ARCHITECTURE.md for why the
 substitution preserves the behaviour the paper relies on.
 """
 

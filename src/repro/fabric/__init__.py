@@ -10,6 +10,7 @@ from repro.fabric.array import (
     CellArray,
     CompiledFabric,
     ConfigurationError,
+    FabricNetlist,
     LFB_DELAY,
     ROW_DELAY,
     lfb_net_name,
@@ -58,6 +59,7 @@ from repro.fabric.nandcell import (
 __all__ = [
     "CellArray",
     "CompiledFabric",
+    "FabricNetlist",
     "ConfigurationError",
     "LFB_DELAY",
     "ROW_DELAY",

@@ -1,6 +1,7 @@
 """Tiled cell array with rotated abutment and local feedback (paper Fig. 8).
 
-Wiring model (see DESIGN.md for the derivation from Fig. 8):
+Wiring model (see ARCHITECTURE.md for the derivation from Fig. 8 and the
+layer diagram this compiler sits in):
 
 * ``wire (r, c, i)`` is the shared **input line** ``i`` of the cell at grid
   position (r, c).  It can be driven by up to two upstream neighbours —
@@ -16,11 +17,14 @@ Wiring model (see DESIGN.md for the derivation from Fig. 8):
   downstream partner (:class:`repro.fabric.nandcell.LfbPartner`), giving
   the purely-local feedback the paper's state elements rely on.
 
-``compile_into`` lowers the configured array onto the event-driven
-simulator: every NAND row becomes a :class:`NandGate` (or a constant),
-every active driver a Not/Buf gate onto its abutment wire, every lfb tap a
-buffer.  Delays: 2 units per NAND row (series stack), 1 per driver (2 for
-PASS mode), 1 per lfb tap.
+``to_netlist`` lowers the configured array into the backend-neutral
+:class:`repro.netlist.Netlist` IR: every NAND row becomes a ``nand`` cell
+(or a constant), every active driver a ``not``/``buf`` cell onto its
+abutment wire, every lfb tap a buffer.  Delays: 2 units per NAND row
+(series stack), 1 per driver (2 for PASS mode), 1 per lfb tap.
+``compile_into`` then elaborates that netlist onto the event-driven
+simulator (reference semantics); the same netlist feeds the bit-parallel
+:class:`repro.netlist.BatchBackend` for build-once / evaluate-many sweeps.
 """
 
 from __future__ import annotations
@@ -38,8 +42,9 @@ from repro.fabric.nandcell import (
     N_LFB,
     N_ROWS,
 )
-from repro.sim.primitives import BufGate, ConstGate, NandGate, NotGate
-from repro.sim.scheduler import Net, Simulator
+from repro.netlist.backends import EventBackend
+from repro.netlist.ir import NetRef, Netlist
+from repro.sim.scheduler import Simulator
 from repro.sim.values import ONE, ZERO
 
 #: Simulator delay of a NAND row (the 6-high series stack).
@@ -68,6 +73,31 @@ class ConfigurationError(ValueError):
 
 
 @dataclass
+class FabricNetlist:
+    """A configured array lowered to the backend-neutral IR.
+
+    Attributes
+    ----------
+    netlist:
+        The :class:`repro.netlist.Netlist` describing the fabric, with
+        the boundary wires declared as ports.
+    n_gates:
+        Number of cells instantiated (area/activity statistics).
+    input_wires:
+        Names of boundary wires with no internal driver — the primary
+        inputs a stimulus may drive.
+    output_wires:
+        Names of wires past the east/north edges that are driven — the
+        primary outputs.
+    """
+
+    netlist: Netlist
+    n_gates: int
+    input_wires: list[str] = field(default_factory=list)
+    output_wires: list[str] = field(default_factory=list)
+
+
+@dataclass
 class CompiledFabric:
     """Handle returned by :meth:`CellArray.compile_into`.
 
@@ -83,12 +113,15 @@ class CompiledFabric:
     output_wires:
         Names of wires past the east/north edges that are driven — the
         primary outputs.
+    netlist:
+        The backend-neutral IR the simulator was elaborated from.
     """
 
     sim: Simulator
     n_gates: int
     input_wires: list[str] = field(default_factory=list)
     output_wires: list[str] = field(default_factory=list)
+    netlist: Netlist | None = None
 
 
 class CellArray:
@@ -151,14 +184,14 @@ class CellArray:
         return arr
 
     # ------------------------------------------------------------------
-    # Lowering onto the simulator
+    # Lowering onto the netlist IR
     # ------------------------------------------------------------------
-    def _column_net(self, sim: Simulator, r: int, c: int, col: int) -> Net:
+    def _column_net(self, nl: Netlist, r: int, c: int, col: int) -> NetRef:
         """Resolve a cell's input-column source to a net."""
         cfg = self.configs[r][c]
         sel = cfg.input_select[col]
         if sel is InputSource.ABUT:
-            return sim.net(wire_name(r, c, col))
+            return nl.net(wire_name(r, c, col))
         k = 0 if sel is InputSource.LFB0 else 1
         partner = cfg.lfb_partner
         if partner is LfbPartner.SELF:
@@ -178,11 +211,11 @@ class CellArray:
                 f"cell ({r},{c}) column {col} reads lfb{k} of ({pr},{pc}) "
                 "but that line has no tap configured"
             )
-        return sim.net(lfb_net_name(pr, pc, k))
+        return nl.net(lfb_net_name(pr, pc, k))
 
-    def compile_into(self, sim: Simulator | None = None) -> CompiledFabric:
-        """Lower the configured array into simulator gates and nets."""
-        sim = sim or Simulator()
+    def to_netlist(self) -> FabricNetlist:
+        """Lower the configured array into the backend-neutral IR."""
+        nl = Netlist(name=f"fabric{self.n_rows}x{self.n_cols}")
         n_gates = 0
         for r in range(self.n_rows):
             for c in range(self.n_cols):
@@ -191,9 +224,9 @@ class CellArray:
                     continue
                 cfg.validate()
                 col_nets = [
-                    self._column_net(sim, r, c, col) for col in range(N_INPUTS)
+                    self._column_net(nl, r, c, col) for col in range(N_INPUTS)
                 ]
-                row_nets = [sim.net(row_net_name(r, c, j)) for j in range(N_ROWS)]
+                row_nets = [nl.net(row_net_name(r, c, j)) for j in range(N_ROWS)]
                 needed = set(cfg.used_rows())
                 for j in range(N_ROWS):
                     if j not in needed:
@@ -201,63 +234,85 @@ class CellArray:
                     kind = cfg.row_kind(j)
                     gname = f"cell[{r}][{c}].row{j}"
                     if kind == "const1":
-                        sim.add(ConstGate(gname, row_nets[j], ONE, delay=ROW_DELAY))
+                        nl.add("const", gname, [], row_nets[j], delay=ROW_DELAY, value=ONE)
                     elif kind == "const0":
-                        sim.add(ConstGate(gname, row_nets[j], ZERO, delay=ROW_DELAY))
+                        nl.add("const", gname, [], row_nets[j], delay=ROW_DELAY, value=ZERO)
                     else:
                         ins = [col_nets[col] for col in cfg.active_columns(j)]
-                        sim.add(NandGate(gname, ins, row_nets[j], delay=ROW_DELAY))
+                        nl.add("nand", gname, ins, row_nets[j], delay=ROW_DELAY)
                     n_gates += 1
                 for j in range(N_ROWS):
                     mode = cfg.drivers[j]
                     if mode is DriverMode.OFF:
                         continue
                     if cfg.directions[j] is Direction.EAST:
-                        target = sim.net(wire_name(r, c + 1, j))
+                        target = nl.net(wire_name(r, c + 1, j))
                     else:
-                        target = sim.net(wire_name(r + 1, c, j))
+                        target = nl.net(wire_name(r + 1, c, j))
                     gname = f"cell[{r}][{c}].drv{j}"
                     delay = DRIVER_DELAY[mode]
-                    if mode is DriverMode.INVERT:
-                        sim.add(NotGate(gname, [row_nets[j]], target, delay=delay))
-                    else:
-                        sim.add(BufGate(gname, [row_nets[j]], target, delay=delay))
+                    kind = "not" if mode is DriverMode.INVERT else "buf"
+                    nl.add(kind, gname, [row_nets[j]], target, delay=delay)
                     n_gates += 1
                 for k in range(N_LFB):
                     tap = cfg.lfb_taps[k]
                     if tap is None:
                         continue
                     gname = f"cell[{r}][{c}].lfb{k}"
-                    sim.add(
-                        BufGate(
-                            gname,
-                            [row_nets[tap]],
-                            sim.net(lfb_net_name(r, c, k)),
-                            delay=LFB_DELAY,
-                        )
+                    nl.add(
+                        "buf", gname, [row_nets[tap]],
+                        nl.net(lfb_net_name(r, c, k)), delay=LFB_DELAY,
                     )
                     n_gates += 1
-        inputs, outputs = self._classify_boundary(sim)
-        return CompiledFabric(
-            sim=sim, n_gates=n_gates, input_wires=inputs, output_wires=outputs
+        inputs, outputs = self._classify_boundary(nl)
+        for name in inputs:
+            nl.add_input(name)
+        for name in outputs:
+            nl.add_output(name)
+        return FabricNetlist(
+            netlist=nl, n_gates=n_gates, input_wires=inputs, output_wires=outputs
         )
 
-    def _classify_boundary(self, sim: Simulator) -> tuple[list[str], list[str]]:
+    def compile_into(self, sim: Simulator | None = None) -> CompiledFabric:
+        """Lower the array to a netlist and elaborate it onto a simulator."""
+        return elaborate_fabric(self.to_netlist(), sim=sim)
+
+    def _classify_boundary(self, nl: Netlist) -> tuple[list[str], list[str]]:
         """Split instantiated wires into primary inputs and outputs."""
         inputs: list[str] = []
         outputs: list[str] = []
-        for name, net in sim.nets.items():
+        for name in nl.net_names():
             if not name.startswith("w["):
                 continue
-            has_gate_driver = any(not isinstance(k, str) for k in net.drivers)
-            if has_gate_driver:
+            if nl.drivers_of(name):
                 # Driven from inside; wires beyond the edges are outputs.
                 r, c, _ = _parse_wire(name)
                 if r >= self.n_rows or c >= self.n_cols:
                     outputs.append(name)
-            elif net.fanout:
+            elif nl.readers_of(name):
                 inputs.append(name)
         return sorted(inputs), sorted(outputs)
+
+
+def elaborate_fabric(
+    fn: FabricNetlist,
+    sim: Simulator | None = None,
+    limits=None,
+) -> CompiledFabric:
+    """Elaborate a lowered fabric onto the event simulator.
+
+    The single assembly point for :class:`CompiledFabric` — used by both
+    :meth:`CellArray.compile_into` and the platform layer (which patches
+    folded routes into ``fn.netlist`` first).
+    """
+    sim = EventBackend(limits).elaborate(fn.netlist, sim)
+    return CompiledFabric(
+        sim=sim,
+        n_gates=fn.n_gates,
+        input_wires=fn.input_wires,
+        output_wires=fn.output_wires,
+        netlist=fn.netlist,
+    )
 
 
 def _parse_wire(name: str) -> tuple[int, int, int]:

@@ -13,7 +13,7 @@ Row semantics (derived from the Fig. 4 configuration table):
 * a row whose crosspoints are all ``FORCE_ON`` conducts permanently ->
   constant 0.
 
-Interconnect interpretation (see DESIGN.md): every cell also owns
+Interconnect interpretation (see ARCHITECTURE.md): every cell also owns
 
 * a per-row **output direction** (EAST or NORTH) — Fig. 8's 90-degree
   rotation means each cell's outputs abut the inputs of its two downstream

@@ -1,0 +1,55 @@
+"""Backend-neutral netlist intermediate representation.
+
+The build-once / evaluate-many layer between the structural generators
+(fabric compiler, macro library, micropipeline builder, datapath
+generators) and the simulation engines.  A design is described **as
+data** — a :class:`Netlist` of :class:`Cell` records over named nets —
+and then handed to any :class:`SimBackend`:
+
+* :class:`EventBackend` — the reference engine: elaborates the netlist
+  onto the 4-valued inertial-delay event scheduler
+  (:mod:`repro.sim.scheduler`), one stimulus vector at a time;
+* :class:`BatchBackend` — a numpy bit-parallel two-valued levelized
+  evaluator that packs N stimulus vectors into uint64 lanes and sweeps
+  combinational cones in topological order, falling back to the event
+  engine for netlists that touch tristate, feedback or X/Z stimulus.
+
+See ARCHITECTURE.md for the layer diagram and a worked example.
+"""
+
+from repro.netlist.backends import (
+    BackendError,
+    BatchBackend,
+    EventBackend,
+    SimBackend,
+)
+from repro.netlist.ir import (
+    BATCH_KINDS,
+    CELL_KINDS,
+    STATEFUL_KINDS,
+    Cell,
+    CyclicNetlistError,
+    NetRef,
+    Netlist,
+    NetlistError,
+    with_fault_points,
+)
+from repro.sim.limits import DEFAULT_LIMITS, SimLimits
+
+__all__ = [
+    "BackendError",
+    "BatchBackend",
+    "EventBackend",
+    "SimBackend",
+    "BATCH_KINDS",
+    "CELL_KINDS",
+    "STATEFUL_KINDS",
+    "Cell",
+    "CyclicNetlistError",
+    "NetRef",
+    "Netlist",
+    "NetlistError",
+    "with_fault_points",
+    "DEFAULT_LIMITS",
+    "SimLimits",
+]

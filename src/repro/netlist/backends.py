@@ -1,0 +1,397 @@
+"""Pluggable simulation backends over the netlist IR.
+
+Two engines implement the :class:`SimBackend` protocol:
+
+* :class:`EventBackend` — reference semantics.  Elaborates the netlist
+  onto :class:`repro.sim.scheduler.Simulator` (4-valued, inertial delay,
+  tristate resolution) and evaluates stimulus vectors one at a time.
+  This is byte-for-byte the engine the seed repo drove directly; the
+  netlist layer only decouples *building* a design from *running* it.
+* :class:`BatchBackend` — throughput semantics.  Compiles a combinational
+  netlist into a levelized bit-parallel program: N stimulus vectors are
+  packed into ``ceil(N/64)`` uint64 lane words per net and every cell is
+  one (or a few) vectorised bitwise ops, evaluated in topological order.
+  Netlists the two-valued model cannot express — tristate drivers,
+  multi-driven nets, feedback, stateful cells, X/Z stimulus — fall back
+  transparently to the event engine, so callers always get an answer
+  with reference semantics.
+
+Both backends thread the same :class:`repro.sim.limits.SimLimits` through
+to the scheduler, so the oscillation guard fires identically no matter
+which engine a design reaches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.netlist.ir import (
+    AND,
+    BATCH_KINDS,
+    BUF,
+    CELEMENT,
+    CONST,
+    CyclicNetlistError,
+    EVENTLATCH,
+    NAND,
+    NOR,
+    NOT,
+    Netlist,
+    NetlistError,
+    OR,
+    TABLE,
+    TRISTATE,
+    XOR,
+    Cell,
+)
+from repro.sim.limits import SimLimits
+from repro.sim.primitives import (
+    AndGate,
+    BufGate,
+    CElementGate,
+    ConstGate,
+    EventLatchGate,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    TableGate,
+    TristateGate,
+    XorGate,
+)
+from repro.sim.scheduler import Gate, Simulator
+from repro.sim.values import ONE, X, ZERO
+
+
+class BackendError(RuntimeError):
+    """A backend was asked to execute a netlist it cannot express."""
+
+
+@runtime_checkable
+class SimBackend(Protocol):
+    """What every simulation engine offers: batched vector evaluation.
+
+    ``stimuli`` maps free-input net names to equal-length sequences of
+    logic values; the result maps each requested output net to a numpy
+    array of the same length.
+    """
+
+    name: str
+
+    def evaluate(
+        self,
+        netlist: Netlist,
+        stimuli: Mapping[str, Sequence[int]],
+        outputs: Sequence[str] | None = None,
+        limits: SimLimits | None = None,
+    ) -> dict[str, np.ndarray]: ...
+
+
+def _resolve_outputs(netlist: Netlist, outputs: Sequence[str] | None) -> list[str]:
+    if outputs is not None:
+        return list(outputs)
+    if not netlist.outputs:
+        raise NetlistError(
+            f"netlist {netlist.name!r} declares no output ports; "
+            "pass outputs=[...] explicitly"
+        )
+    return list(netlist.outputs)
+
+
+def _normalise_stimuli(
+    stimuli: Mapping[str, Sequence[int]],
+) -> tuple[dict[str, np.ndarray], int]:
+    if not stimuli:
+        raise NetlistError("stimuli must cover at least one input net")
+    arrays: dict[str, np.ndarray] = {}
+    n = -1
+    for name, vals in stimuli.items():
+        arr = np.atleast_1d(np.asarray(vals, dtype=np.uint8))
+        if arr.ndim != 1:
+            raise NetlistError(f"stimulus for {name!r} must be 1-D")
+        if n < 0:
+            n = arr.shape[0]
+        elif arr.shape[0] != n:
+            raise NetlistError(
+                f"stimulus length mismatch: {name!r} has {arr.shape[0]}, "
+                f"expected {n}"
+            )
+        arrays[name] = arr
+    return arrays, n
+
+
+# ----------------------------------------------------------------------
+# Event backend
+# ----------------------------------------------------------------------
+
+def _build_gate(cell: Cell, sim: Simulator) -> Gate:
+    """Lower one IR cell onto a scheduler primitive."""
+    ins = [sim.net(n) for n in cell.inputs]
+    out = sim.net(cell.output)
+    kind, name, delay = cell.kind, cell.name, cell.delay
+    if kind == NAND:
+        return NandGate(name, ins, out, delay=delay)
+    if kind == AND:
+        return AndGate(name, ins, out, delay=delay)
+    if kind == OR:
+        return OrGate(name, ins, out, delay=delay)
+    if kind == NOR:
+        return NorGate(name, ins, out, delay=delay)
+    if kind == XOR:
+        return XorGate(name, ins, out, delay=delay)
+    if kind == NOT:
+        return NotGate(name, ins, out, delay=delay)
+    if kind == BUF:
+        return BufGate(name, ins, out, delay=delay)
+    if kind == CONST:
+        return ConstGate(name, out, cell.param("value"), delay=delay)
+    if kind == TABLE:
+        return TableGate(name, ins, out, cell.param("table"), delay=delay)
+    if kind == TRISTATE:
+        return TristateGate(
+            name, ins, out, delay=delay, inverting=bool(cell.param("inverting", False))
+        )
+    if kind == CELEMENT:
+        return CElementGate(name, ins, out, delay=delay, init=cell.param("init", X))
+    if kind == EVENTLATCH:
+        return EventLatchGate(name, ins, out, delay=delay, init=cell.param("init", X))
+    raise BackendError(f"no scheduler lowering for cell kind {kind!r}")
+
+
+class EventBackend:
+    """Reference backend: the 4-valued inertial-delay event scheduler."""
+
+    name = "event"
+
+    def __init__(self, limits: SimLimits | None = None) -> None:
+        self.limits = limits or SimLimits()
+
+    def elaborate(self, netlist: Netlist, sim: Simulator | None = None) -> Simulator:
+        """Instantiate every net and cell of ``netlist`` on a simulator."""
+        sim = sim if sim is not None else Simulator(limits=self.limits)
+        for net in netlist.net_names():
+            sim.net(net)
+        for cell in netlist.cells:
+            sim.add(_build_gate(cell, sim))
+        return sim
+
+    def evaluate(
+        self,
+        netlist: Netlist,
+        stimuli: Mapping[str, Sequence[int]],
+        outputs: Sequence[str] | None = None,
+        limits: SimLimits | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Evaluate N stimulus vectors, one event simulation at a time.
+
+        Combinational netlists reuse one elaborated simulator across
+        vectors; anything stateful is re-elaborated per vector so every
+        vector sees power-on conditions (the batch backend's semantics).
+        Output values are 4-valued sim codes (0, 1, X=2, Z=3).
+        """
+        limits = limits or self.limits
+        out_names = _resolve_outputs(netlist, outputs)
+        arrays, n = _normalise_stimuli(stimuli)
+        reusable = not netlist.has_stateful_cells()
+        if reusable:
+            try:
+                netlist.topo_order()
+            except CyclicNetlistError:
+                reusable = False
+        results = {o: np.zeros(n, dtype=np.uint8) for o in out_names}
+        sim: Simulator | None = None
+        for k in range(n):
+            if sim is None or not reusable:
+                sim = Simulator(limits=limits)
+                self.elaborate(netlist, sim)
+            for name, arr in arrays.items():
+                sim.drive(name, int(arr[k]))
+            sim.run_to_quiescence(max_time=sim.now + limits.max_time)
+            for o in out_names:
+                results[o][k] = sim.value(o)
+        return results
+
+
+# ----------------------------------------------------------------------
+# Batch backend
+# ----------------------------------------------------------------------
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _pack(bits: np.ndarray, n_words: int) -> np.ndarray:
+    """0/1 vector -> little-endian uint64 lane words."""
+    packed = np.packbits(bits, bitorder="little")
+    buf = np.zeros(n_words * 8, dtype=np.uint8)
+    buf[: packed.shape[0]] = packed
+    return buf.view(np.uint64)
+
+def _unpack(words: np.ndarray, n: int) -> np.ndarray:
+    """uint64 lane words -> 0/1 vector of length n."""
+    return np.unpackbits(words.view(np.uint8), bitorder="little")[:n]
+
+
+class BatchProgram:
+    """A combinational netlist compiled to a levelized lane-word sweep."""
+
+    def __init__(self, netlist: Netlist, order: list[Cell] | None = None) -> None:
+        self.netlist = netlist
+        self.order = netlist.topo_order() if order is None else order
+        self.free_inputs = set(netlist.free_inputs())
+
+    def run(
+        self,
+        stimuli: Mapping[str, Sequence[int]],
+        outputs: Sequence[str] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Evaluate all stimulus vectors in one bit-parallel sweep."""
+        arrays, n = _normalise_stimuli(stimuli)
+        return self.run_arrays(arrays, n, outputs)
+
+    def run_arrays(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        n: int,
+        outputs: Sequence[str] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Like :meth:`run`, for stimuli already normalised to arrays."""
+        out_names = _resolve_outputs(self.netlist, outputs)
+        missing = self.free_inputs - set(arrays)
+        if missing:
+            raise BackendError(
+                f"stimuli missing free inputs: {sorted(missing)[:8]}"
+            )
+        n_words = (n + 63) // 64
+        words: dict[str, np.ndarray] = {
+            name: _pack(arr, n_words) for name, arr in arrays.items()
+        }
+        for cell in self.order:
+            words[cell.output] = self._eval_cell(cell, words, n_words)
+        return {o: _unpack(self._word(o, words, n_words), n) for o in out_names}
+
+    def _word(
+        self, net: str, words: dict[str, np.ndarray], n_words: int
+    ) -> np.ndarray:
+        w = words.get(net)
+        if w is None:
+            raise BackendError(f"net {net!r} has no driver and no stimulus")
+        return w
+
+    def _eval_cell(
+        self, cell: Cell, words: dict[str, np.ndarray], n_words: int
+    ) -> np.ndarray:
+        ins = [self._word(n, words, n_words) for n in cell.inputs]
+        kind = cell.kind
+        if kind in (NAND, AND):
+            if not ins:
+                # Fabric convention: an empty NAND row rests pulled-up.
+                acc = np.full(n_words, _ALL_ONES if kind == NAND else 0, dtype=np.uint64)
+                return acc
+            acc = ins[0].copy()
+            for w in ins[1:]:
+                acc &= w
+            return ~acc if kind == NAND else acc
+        if kind in (OR, NOR):
+            acc = np.zeros(n_words, dtype=np.uint64)
+            for w in ins:
+                acc |= w
+            return ~acc if kind == NOR else acc
+        if kind == XOR:
+            return ins[0] ^ ins[1]
+        if kind == NOT:
+            return ~ins[0]
+        if kind == BUF:
+            return ins[0].copy()
+        if kind == CONST:
+            fill = _ALL_ONES if cell.param("value") else np.uint64(0)
+            return np.full(n_words, fill, dtype=np.uint64)
+        if kind == TABLE:
+            table = cell.param("table")
+            acc = np.zeros(n_words, dtype=np.uint64)
+            for idx, bit in enumerate(table):
+                if not bit:
+                    continue
+                term = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+                for k, w in enumerate(ins):
+                    term &= w if (idx >> k) & 1 else ~w
+                acc |= term
+            return acc
+        raise BackendError(f"batch evaluator cannot execute kind {kind!r}")
+
+
+class BatchBackend:
+    """Numpy bit-parallel two-valued levelized evaluator.
+
+    ``evaluate`` transparently falls back to the event backend whenever
+    the netlist (tristate, feedback, stateful cells, multi-driven nets)
+    or the stimulus (X/Z values, driven nets) leaves the two-valued
+    combinational model; ``compile`` is the strict entry point that
+    raises instead.
+    """
+
+    name = "batch"
+
+    def __init__(
+        self,
+        limits: SimLimits | None = None,
+        fallback: EventBackend | None = None,
+    ) -> None:
+        self.limits = limits or SimLimits()
+        self.fallback = fallback or EventBackend(self.limits)
+
+    def supports(self, netlist: Netlist) -> tuple[bool, str]:
+        """Can this netlist run bit-parallel?  Returns (ok, reason)."""
+        try:
+            self.compile(netlist)
+        except BackendError as e:
+            return False, str(e)
+        return True, ""
+
+    def compile(self, netlist: Netlist) -> BatchProgram:
+        """Compile to a reusable program; raises on unsupported netlists."""
+        bad = sorted({c.kind for c in netlist.cells} - BATCH_KINDS)
+        if bad:
+            raise BackendError(
+                f"netlist {netlist.name!r} is not batch-evaluable: "
+                f"unsupported cell kinds {bad}"
+            )
+        multi = netlist.multi_driven_nets()
+        if multi:
+            raise BackendError(
+                f"netlist {netlist.name!r} is not batch-evaluable: "
+                f"multi-driven nets {multi[:4]}"
+            )
+        try:
+            order = netlist.topo_order()
+        except CyclicNetlistError as e:
+            raise BackendError(
+                f"netlist {netlist.name!r} is not batch-evaluable: {e}"
+            ) from None
+        return BatchProgram(netlist, order=order)
+
+    def evaluate(
+        self,
+        netlist: Netlist,
+        stimuli: Mapping[str, Sequence[int]],
+        outputs: Sequence[str] | None = None,
+        limits: SimLimits | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Bit-parallel evaluation with automatic event-backend fallback."""
+        try:
+            program = self.compile(netlist)
+        except BackendError:
+            program = None
+        if program is not None:
+            arrays, n = _normalise_stimuli(stimuli)
+            two_valued = all(np.all(a <= ONE) for a in arrays.values())
+            driven = any(netlist.drivers_of(name) for name in arrays)
+            if two_valued and not driven:
+                try:
+                    return program.run_arrays(arrays, n, outputs)
+                except BackendError:
+                    pass  # e.g. an uncovered free input: X semantics needed
+        fb = self.fallback if limits is None else EventBackend(limits)
+        return fb.evaluate(netlist, stimuli, outputs, limits=limits)

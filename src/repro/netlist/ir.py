@@ -1,0 +1,417 @@
+"""The netlist intermediate representation.
+
+A :class:`Netlist` is a flat, ordered collection of :class:`Cell` records
+over string-named nets.  It carries no evaluation state whatsoever — the
+same netlist can be elaborated onto the event scheduler, compiled into a
+bit-parallel batch program, transformed (fault injection, flattening) or
+serialised, without rebuilding the design.
+
+Cell kinds mirror the primitive vocabulary of
+:mod:`repro.sim.primitives`; per-kind extras (a constant value, a truth
+table, a power-on init) travel in ``Cell.params``.  Hierarchy is handled
+by *flattening at construction time*: :meth:`Netlist.instantiate` copies a
+sub-netlist into the parent under a prefix, splicing its ports onto parent
+nets — the fabric's abutment wiring and the macro library both build on
+this.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class NetlistError(ValueError):
+    """Malformed netlist construction or use."""
+
+
+class CyclicNetlistError(NetlistError):
+    """A topological order was requested for a netlist with feedback."""
+
+
+# ----------------------------------------------------------------------
+# Cell kinds
+# ----------------------------------------------------------------------
+
+NAND = "nand"
+AND = "and"
+OR = "or"
+NOR = "nor"
+XOR = "xor"
+NOT = "not"
+BUF = "buf"
+CONST = "const"
+TABLE = "table"
+TRISTATE = "tristate"
+CELEMENT = "celement"
+EVENTLATCH = "eventlatch"
+
+#: Every legal cell kind.
+CELL_KINDS: frozenset[str] = frozenset(
+    (NAND, AND, OR, NOR, XOR, NOT, BUF, CONST, TABLE, TRISTATE, CELEMENT, EVENTLATCH)
+)
+
+#: Kinds that hold internal state (power-on init, capture/pass semantics).
+STATEFUL_KINDS: frozenset[str] = frozenset((CELEMENT, EVENTLATCH))
+
+#: Two-valued combinational kinds the batch evaluator can execute directly.
+BATCH_KINDS: frozenset[str] = frozenset((NAND, AND, OR, NOR, XOR, NOT, BUF, CONST, TABLE))
+
+#: Fixed input arity per kind; ``None`` means variadic (n >= 0).
+_ARITY: dict[str, int | None] = {
+    NAND: None,
+    AND: None,
+    OR: None,
+    NOR: None,
+    XOR: 2,
+    NOT: 1,
+    BUF: 1,
+    CONST: 0,
+    TABLE: None,
+    TRISTATE: 2,
+    CELEMENT: 2,
+    EVENTLATCH: 3,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class NetRef:
+    """A lightweight handle to a named net inside one netlist."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """One primitive instance: kind, input nets, output net, delay, params.
+
+    ``params`` carries kind-specific extras:
+
+    * ``const``      — ``value`` (0/1);
+    * ``table``      — ``table`` (tuple of 0/1, length 2**n_inputs);
+    * ``tristate``   — ``inverting`` (bool, default False);
+    * ``celement`` / ``eventlatch`` — ``init`` (a 4-valued sim value).
+    """
+
+    name: str
+    kind: str
+    inputs: tuple[str, ...]
+    output: str
+    delay: int = 1
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Fetch a kind-specific parameter."""
+        return self.params.get(key, default)
+
+
+def _net_name(net: NetRef | str) -> str:
+    return net.name if isinstance(net, NetRef) else str(net)
+
+
+class Netlist:
+    """An ordered, backend-neutral gate-level design description."""
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = str(name)
+        self._cells: dict[str, Cell] = {}
+        self._nets: dict[str, NetRef] = {}
+        self._drivers: dict[str, list[str]] = {}
+        self._readers: dict[str, list[str]] = {}
+        #: Declared primary input / output port names (order preserved).
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def net(self, name: NetRef | str) -> NetRef:
+        """Register (or fetch) the net called ``name``."""
+        key = _net_name(name)
+        ref = self._nets.get(key)
+        if ref is None:
+            ref = NetRef(key)
+            self._nets[key] = ref
+            self._drivers[key] = []
+            self._readers[key] = []
+        return ref
+
+    def add_input(self, name: NetRef | str) -> NetRef:
+        """Declare a primary input port."""
+        ref = self.net(name)
+        if ref.name not in self.inputs:
+            self.inputs.append(ref.name)
+        return ref
+
+    def add_output(self, name: NetRef | str) -> NetRef:
+        """Declare a primary output port."""
+        ref = self.net(name)
+        if ref.name not in self.outputs:
+            self.outputs.append(ref.name)
+        return ref
+
+    def add(
+        self,
+        kind: str,
+        name: str,
+        inputs: list[NetRef | str] | tuple[NetRef | str, ...],
+        output: NetRef | str,
+        delay: int = 1,
+        **params: Any,
+    ) -> NetRef:
+        """Append a cell; returns a ref to its output net."""
+        if kind not in CELL_KINDS:
+            raise NetlistError(f"unknown cell kind {kind!r}")
+        if name in self._cells:
+            raise NetlistError(f"duplicate cell name {name!r}")
+        if delay < 1:
+            raise NetlistError(f"cell {name!r}: delay must be >= 1, got {delay}")
+        ins = tuple(_net_name(n) for n in inputs)
+        arity = _ARITY[kind]
+        if arity is not None and len(ins) != arity:
+            raise NetlistError(
+                f"cell {name!r}: kind {kind!r} needs {arity} inputs, got {len(ins)}"
+            )
+        if kind == CONST:
+            if params.get("value") not in (0, 1):
+                raise NetlistError(
+                    f"cell {name!r}: const needs value=0/1, got {params.get('value')!r}"
+                )
+        if kind == TABLE:
+            table = tuple(int(bool(b)) for b in params.get("table", ()))
+            if len(table) != (1 << len(ins)):
+                raise NetlistError(
+                    f"cell {name!r}: table needs {1 << len(ins)} entries for "
+                    f"{len(ins)} inputs, got {len(table)}"
+                )
+            params["table"] = table
+        out = self.net(output)
+        cell = Cell(
+            name=name, kind=kind, inputs=ins, output=out.name,
+            delay=int(delay), params=dict(params),
+        )
+        self._cells[name] = cell
+        for n in ins:
+            self.net(n)
+            self._readers[n].append(name)
+        self._drivers[out.name].append(name)
+        return out
+
+    def instantiate(
+        self,
+        sub: "Netlist",
+        prefix: str,
+        bindings: Mapping[str, NetRef | str] | None = None,
+    ) -> dict[str, NetRef]:
+        """Flatten ``sub`` into this netlist under ``prefix``.
+
+        ``bindings`` maps sub-netlist port names (declared inputs/outputs)
+        to parent nets; unbound ports and internal nets are copied as
+        ``{prefix}.{net}``.  Returns the port-name -> parent-net mapping,
+        so callers can wire up the instance.
+        """
+        bindings = dict(bindings or {})
+        ports = list(sub.inputs) + [p for p in sub.outputs if p not in sub.inputs]
+        unknown = set(bindings) - set(ports)
+        if unknown:
+            raise NetlistError(
+                f"instantiate {sub.name!r}: bindings for non-port nets {sorted(unknown)}"
+            )
+        rename: dict[str, str] = {}
+        for net in sub._nets:
+            if net in bindings:
+                rename[net] = _net_name(bindings[net])
+            else:
+                rename[net] = f"{prefix}.{net}"
+        for cell in sub.cells:
+            self.add(
+                cell.kind,
+                f"{prefix}.{cell.name}",
+                [rename[n] for n in cell.inputs],
+                rename[cell.output],
+                delay=cell.delay,
+                **dict(cell.params),
+            )
+        return {p: self.net(rename[p]) for p in ports}
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> list[Cell]:
+        """All cells, in insertion order."""
+        return list(self._cells.values())
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells."""
+        return len(self._cells)
+
+    def cell(self, name: str) -> Cell:
+        """Fetch a cell by name."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise NetlistError(f"no cell named {name!r}") from None
+
+    def net_names(self) -> list[str]:
+        """All registered nets, in registration order."""
+        return list(self._nets)
+
+    def drivers_of(self, net: NetRef | str) -> list[Cell]:
+        """Cells driving ``net``."""
+        return [self._cells[c] for c in self._drivers.get(_net_name(net), ())]
+
+    def readers_of(self, net: NetRef | str) -> list[Cell]:
+        """Cells with ``net`` among their inputs."""
+        return [self._cells[c] for c in self._readers.get(_net_name(net), ())]
+
+    def free_inputs(self) -> list[str]:
+        """Nets that are read (or exported) but driven by no cell.
+
+        These are the nets a stimulus must supply; declared input ports
+        come first, in declaration order.
+        """
+        seen: list[str] = []
+        for n in self.inputs:
+            if not self._drivers[n]:
+                seen.append(n)
+        for n, drvs in self._drivers.items():
+            if drvs or n in seen:
+                continue
+            if self._readers[n] or n in self.outputs:
+                seen.append(n)
+        return seen
+
+    def multi_driven_nets(self) -> list[str]:
+        """Nets with more than one driver (tristate bus candidates)."""
+        return [n for n, d in self._drivers.items() if len(d) > 1]
+
+    def kind_counts(self) -> dict[str, int]:
+        """Histogram of cell kinds (area/composition statistics)."""
+        out: dict[str, int] = {}
+        for c in self._cells.values():
+            out[c.kind] = out.get(c.kind, 0) + 1
+        return out
+
+    def has_stateful_cells(self) -> bool:
+        """True when any cell holds internal state."""
+        return any(c.kind in STATEFUL_KINDS for c in self._cells.values())
+
+    def topo_order(self) -> list[Cell]:
+        """Cells sorted so every cell follows the drivers of its inputs.
+
+        Raises :class:`CyclicNetlistError` on combinational feedback.
+        """
+        indeg: dict[str, int] = {}
+        dependents: dict[str, list[str]] = {c: [] for c in self._cells}
+        for cell in self._cells.values():
+            preds = {
+                d.name
+                for n in cell.inputs
+                for d in self.drivers_of(n)
+                if d.name != cell.name
+            }
+            indeg[cell.name] = len(preds)
+            for p in preds:
+                dependents[p].append(cell.name)
+        ready = [c for c in self._cells if indeg[c] == 0]
+        order: list[Cell] = []
+        while ready:
+            name = ready.pop()
+            order.append(self._cells[name])
+            for d in dependents[name]:
+                indeg[d] -= 1
+                if indeg[d] == 0:
+                    ready.append(d)
+        if len(order) != len(self._cells):
+            stuck = sorted(c for c, k in indeg.items() if k > 0)
+            raise CyclicNetlistError(
+                f"netlist {self.name!r} has feedback through cells {stuck[:8]}"
+            )
+        return order
+
+    def is_combinational(self) -> bool:
+        """True when the batch evaluator can execute this netlist directly:
+        two-valued kinds only, single-driven nets, no feedback."""
+        if not all(c.kind in BATCH_KINDS for c in self._cells.values()):
+            return False
+        if self.multi_driven_nets():
+            return False
+        try:
+            self.topo_order()
+        except CyclicNetlistError:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Netlist({self.name!r}: {self.n_cells} cells, "
+            f"{len(self._nets)} nets)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Transforms
+# ----------------------------------------------------------------------
+
+def with_fault_points(
+    netlist: Netlist,
+    nets: list[str] | None = None,
+    prefix: str = "fault",
+) -> tuple[Netlist, list[str]]:
+    """Rewrite a netlist with an XOR fault-injection point on each net.
+
+    Every selected single-driven net ``n`` becomes ``n = n__raw XOR
+    fault_i`` where ``n__raw`` is the original driver's output and
+    ``fault_i`` a fresh primary input.  Driving all fault inputs 0
+    reproduces the original function; a 1 flips that net — the standard
+    functional fault model the Monte-Carlo yield analysis samples over.
+
+    ``nets`` defaults to every single-driven cell output.  Returns the
+    rewritten netlist and the fault input names (in net order).
+    """
+    multi = set(netlist.multi_driven_nets())
+    if nets is None:
+        targets = [
+            c.output for c in netlist.cells if c.output not in multi
+        ]
+        # Preserve order but drop duplicates (one fault point per net).
+        targets = list(dict.fromkeys(targets))
+    else:
+        targets = []
+        for n in dict.fromkeys(nets):  # one fault point per net
+            if n in multi:
+                raise NetlistError(
+                    f"cannot place a fault point on multi-driven net {n!r}"
+                )
+            if not netlist.drivers_of(n):
+                raise NetlistError(
+                    f"cannot place a fault point on undriven net {n!r}"
+                )
+            targets.append(n)
+    target_set = set(targets)
+    out = Netlist(name=f"{netlist.name}+faults")
+    for cell in netlist.cells:
+        dest = (
+            f"{cell.output}__raw" if cell.output in target_set else cell.output
+        )
+        out.add(
+            cell.kind, cell.name, list(cell.inputs), dest,
+            delay=cell.delay, **dict(cell.params),
+        )
+    fault_names: list[str] = []
+    for i, n in enumerate(targets):
+        f = f"{prefix}[{i}]"
+        out.add_input(f)
+        out.add(XOR, f"{prefix}[{i}].xor", [f"{n}__raw", f], n)
+        fault_names.append(f)
+    for p in netlist.inputs:
+        out.add_input(p)
+    for p in netlist.outputs:
+        out.add_output(p)
+    return out, fault_names

@@ -19,6 +19,7 @@ from repro.sim.primitives import (
     TristateGate,
     XorGate,
 )
+from repro.sim.limits import DEFAULT_LIMITS, SimLimits
 from repro.sim.scheduler import Gate, Net, OscillationError, Simulator
 from repro.sim.values import (
     ALL_VALUES,
@@ -56,6 +57,8 @@ __all__ = [
     "TableGate",
     "TristateGate",
     "XorGate",
+    "DEFAULT_LIMITS",
+    "SimLimits",
     "Gate",
     "Net",
     "OscillationError",

@@ -1,0 +1,45 @@
+"""Simulation resource limits, shared by every backend.
+
+Historically the oscillation guard (events allowed at one timestamp), the
+total event cap and the quiescence horizon were three per-call magic
+numbers scattered across :class:`repro.sim.scheduler.Simulator` call
+sites.  :class:`SimLimits` gathers them into one immutable config that is
+threaded through the event scheduler *and* the netlist backends
+(:mod:`repro.netlist.backends`), so a design runs under the same safety
+envelope no matter which engine evaluates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SimLimits:
+    """Caps that turn a non-quiescing design into an error, not a hang.
+
+    Attributes
+    ----------
+    max_events_per_time:
+        Events applied at a single timestamp before the scheduler declares
+        a combinational oscillation (:class:`OscillationError`).
+    max_events:
+        Total events one :meth:`Simulator.run` call may apply.
+    max_time:
+        Simulated-time horizon for :meth:`Simulator.run_to_quiescence`;
+        activity beyond it means the design does not settle.
+    """
+
+    max_events_per_time: int = 10_000
+    max_events: int = 5_000_000
+    max_time: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        for name in ("max_events_per_time", "max_events", "max_time"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v < 1:
+                raise ValueError(f"{name} must be a positive int, got {v!r}")
+
+
+#: Shared default instance (SimLimits is immutable, so this is safe).
+DEFAULT_LIMITS = SimLimits()

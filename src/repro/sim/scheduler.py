@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Iterable
 
+from repro.sim.limits import SimLimits
 from repro.sim.values import VALUE_NAMES, X, Z, resolve
 
 
@@ -105,10 +106,14 @@ class Simulator:
         assert y.value == ZERO
     """
 
-    #: Events allowed at one timestamp before declaring oscillation.
+    #: Legacy default for the oscillation guard; still honoured when no
+    #: explicit :class:`SimLimits` is supplied (subclasses may override).
     MAX_EVENTS_PER_TIME = 10_000
 
-    def __init__(self) -> None:
+    def __init__(self, limits: SimLimits | None = None) -> None:
+        self.limits = limits or SimLimits(
+            max_events_per_time=self.MAX_EVENTS_PER_TIME
+        )
         self.nets: dict[str, Net] = {}
         self.gates: list[Gate] = []
         self.now: int = 0
@@ -217,10 +222,10 @@ class Simulator:
             return
         net.value = resolved
         self._events_at_now += 1
-        if self._events_at_now > self.MAX_EVENTS_PER_TIME:
+        if self._events_at_now > self.limits.max_events_per_time:
             raise OscillationError(
                 f"net {net.name!r} still toggling after "
-                f"{self.MAX_EVENTS_PER_TIME} events at t={self.now}; "
+                f"{self.limits.max_events_per_time} events at t={self.now}; "
                 "combinational loop without settling?"
             )
         if net.history is not None:
@@ -239,12 +244,15 @@ class Simulator:
         for g in self.gates:
             self._schedule_gate(g)
 
-    def run(self, until: int | None = None, max_events: int = 5_000_000) -> int:
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
         """Process events up to (and including) time ``until``.
 
         Returns the number of events applied.  With ``until=None`` the
         queue is drained completely (the design must quiesce).
+        ``max_events`` defaults to the simulator's :class:`SimLimits`.
         """
+        if max_events is None:
+            max_events = self.limits.max_events
         self.initialise()
         count = 0
         while self._queue:
@@ -267,8 +275,13 @@ class Simulator:
             self.now = until
         return count
 
-    def run_to_quiescence(self, max_time: int = 10_000_000) -> int:
-        """Drain all pending events; error if activity passes ``max_time``."""
+    def run_to_quiescence(self, max_time: int | None = None) -> int:
+        """Drain all pending events; error if activity passes ``max_time``.
+
+        ``max_time`` defaults to the simulator's :class:`SimLimits`.
+        """
+        if max_time is None:
+            max_time = self.limits.max_time
         self.initialise()
         count = 0
         while self._queue:

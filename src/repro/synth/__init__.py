@@ -26,8 +26,10 @@ from repro.synth.macros import (
     ecse_pair,
     feedthrough_cell,
     full_adder_slice,
+    full_adder_testbench,
     lut_pair,
     lut_pair_from_table,
+    macro_netlist,
     place,
 )
 from repro.synth.qm import (
@@ -37,7 +39,12 @@ from repro.synth.qm import (
     minimise,
     prime_implicants,
 )
-from repro.synth.route import grid_route, routing_cost, straight_channel
+from repro.synth.route import (
+    grid_route,
+    route_reaches,
+    routing_cost,
+    straight_channel,
+)
 from repro.synth.truthtable import TruthTable
 
 __all__ = [
@@ -59,8 +66,10 @@ __all__ = [
     "ecse_pair",
     "feedthrough_cell",
     "full_adder_slice",
+    "full_adder_testbench",
     "lut_pair",
     "lut_pair_from_table",
+    "macro_netlist",
     "place",
     "Implicant",
     "cover_is_correct",
@@ -68,6 +77,7 @@ __all__ = [
     "minimise",
     "prime_implicants",
     "grid_route",
+    "route_reaches",
     "routing_cost",
     "straight_channel",
     "TruthTable",

@@ -61,7 +61,7 @@ class Macro:
     inputs / outputs:
         Port name -> (dr, dc, line): the wire ``w[r+dr][c+dc][line]``.
     notes:
-        Free-text record of the mapping decisions (kept for DESIGN.md
+        Free-text record of the mapping decisions (kept for ARCHITECTURE.md
         cross-reference).
     """
 
@@ -110,6 +110,48 @@ def place(macro: Macro, array: CellArray, row: int, col: int) -> PlacedMacro:
         for name, (dr, dc, line) in macro.outputs.items()
     }
     return PlacedMacro(macro=macro, row=row, col=col, inputs=ins, outputs=outs)
+
+
+def macro_netlist(macro: Macro):
+    """Lower a macro, placed alone at the origin, to the netlist IR.
+
+    Returns ``(netlist, inputs, outputs)`` where the port dicts map the
+    macro's port names to concrete wire names — the build-once handle the
+    batch backend (truth-table extraction, Monte-Carlo fault sweeps)
+    consumes without ever touching the event simulator.
+    """
+    n_rows = 1 + max(dr for dr, _ in macro.cells)
+    n_cols = 1 + max(dc for _, dc in macro.cells)
+    array = CellArray(n_rows, n_cols)
+    placed = place(macro, array, 0, 0)
+    fn = array.to_netlist()
+    return fn.netlist, dict(placed.inputs), dict(placed.outputs)
+
+
+def full_adder_testbench():
+    """The Fig. 10 adder slice plus its exhaustive legal testbench.
+
+    Returns ``(netlist, stimulus, golden)``: the slice's netlist, the 8
+    complement-consistent (a, b, cin) input patterns keyed by wire name,
+    and the expected sum/carry responses — the fixture the functional
+    Monte-Carlo yield sweep and the backend-equivalence checks share.
+    """
+    import numpy as np
+
+    nl, ins, outs = macro_netlist(full_adder_slice())
+    idx = np.arange(8)
+    a, b, cin = idx & 1, (idx >> 1) & 1, (idx >> 2) & 1
+    stimulus = {
+        ins["a"]: a, ins["a_n"]: 1 - a,
+        ins["b"]: b, ins["b_n"]: 1 - b,
+        ins["cin"]: cin, ins["cin_n"]: 1 - cin,
+    }
+    total = a + b + cin
+    golden = {
+        outs["s"]: (total & 1).astype(np.uint8),
+        outs["cout"]: (total >> 1).astype(np.uint8),
+    }
+    return nl, stimulus, golden
 
 
 # ----------------------------------------------------------------------

@@ -93,6 +93,30 @@ def grid_route(
     return path
 
 
+def route_reaches(array: CellArray, src_wire: str, dst_wire: str) -> bool:
+    """Verify a configured route by traversing the lowered netlist.
+
+    Lowers the array to the backend-neutral IR and walks cell fanout from
+    ``src_wire``; True when ``dst_wire`` is reachable.  This checks what
+    the configuration *actually* connects — a router bug that drops a
+    feed-through shows up here without running any simulation.
+    """
+    nl = array.to_netlist().netlist
+    if src_wire not in nl.net_names():
+        return False
+    frontier = [src_wire]
+    visited = {src_wire}
+    while frontier:
+        net = frontier.pop()
+        if net == dst_wire:
+            return True
+        for cell in nl.readers_of(net):
+            if cell.output not in visited:
+                visited.add(cell.output)
+                frontier.append(cell.output)
+    return dst_wire in visited
+
+
 def routing_cost(path: list[tuple[int, int]]) -> dict[str, int]:
     """Cells and leaf devices consumed by a route (area accounting)."""
     cells = max(0, len(path) - 1)

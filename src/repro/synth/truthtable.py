@@ -75,6 +75,45 @@ class TruthTable:
         """Uniformly random function (deterministic given the generator)."""
         return cls(n_vars, rng.integers(0, 2, size=1 << n_vars, dtype=np.uint8))
 
+    @classmethod
+    def from_netlist(
+        cls,
+        netlist,
+        input_names,
+        output_name: str,
+        backend=None,
+    ) -> "TruthTable":
+        """Extract the exhaustive truth table of one netlist output.
+
+        All ``2**len(input_names)`` assignments are evaluated in a single
+        batched backend call (bit-parallel on the default
+        :class:`repro.netlist.BatchBackend` — hundreds of vectors per
+        pass instead of one event simulation per row).  Raises when the
+        output is not a defined 0/1 for some assignment.
+        """
+        n_vars = len(input_names)
+        if n_vars > cls.MAX_VARS:
+            raise ValueError(
+                f"truth-table extraction supports up to {cls.MAX_VARS} "
+                f"inputs, got {n_vars}"
+            )
+        if backend is None:
+            from repro.netlist.backends import BatchBackend
+
+            backend = BatchBackend()
+        idx = np.arange(1 << n_vars, dtype=np.int64)
+        stimuli = {
+            name: ((idx >> k) & 1).astype(np.uint8)
+            for k, name in enumerate(input_names)
+        }
+        vals = backend.evaluate(netlist, stimuli, outputs=[output_name])[output_name]
+        if not np.all(vals <= 1):
+            bad = int(np.argmax(vals > 1))
+            raise ValueError(
+                f"output {output_name!r} is undefined (X/Z) at assignment {bad}"
+            )
+        return cls(n_vars, vals)
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------

@@ -205,3 +205,56 @@ class TestReports:
     def test_render_contains_rows(self):
         text = area_claims_report().render()
         assert "lambda^2" in text and "measured" in text
+
+
+class TestFunctionalYield:
+    @staticmethod
+    def _adder_fixture():
+        from repro.synth.macros import full_adder_testbench
+
+        return full_adder_testbench()
+
+    def test_fault_free_fabric_is_fully_functional(self):
+        from repro.arch.montecarlo import functional_fabric_yield
+
+        nl, stim, golden = self._adder_fixture()
+        res = functional_fabric_yield(nl, stim, golden, 0.0, 8)
+        assert res.functional_yield == 1.0
+        assert res.n_vectors == 8
+
+    def test_yield_decreases_with_fail_probability(self):
+        import numpy as np
+
+        from repro.arch.montecarlo import functional_fabric_yield
+
+        nl, stim, golden = self._adder_fixture()
+        lo = functional_fabric_yield(
+            nl, stim, golden, 0.01, 400, rng=np.random.default_rng(1)
+        )
+        hi = functional_fabric_yield(
+            nl, stim, golden, 0.2, 400, rng=np.random.default_rng(1)
+        )
+        assert lo.functional_yield > hi.functional_yield
+
+    def test_backends_agree_on_sampled_configs(self):
+        import numpy as np
+
+        from repro.arch.montecarlo import functional_fabric_yield
+        from repro.netlist import BatchBackend, EventBackend
+
+        nl, stim, golden = self._adder_fixture()
+        results = [
+            functional_fabric_yield(
+                nl, stim, golden, 0.05, 30,
+                rng=np.random.default_rng(9), backend=be,
+            )
+            for be in (BatchBackend(), EventBackend())
+        ]
+        assert results[0].functional_yield == results[1].functional_yield
+
+    def test_fail_probability_from_margin_model(self):
+        from repro.arch.montecarlo import analytic_cell_yield, cell_fail_probability
+
+        assert cell_fail_probability(0.05) == pytest.approx(
+            1.0 - analytic_cell_yield(0.05)
+        )

@@ -1,0 +1,202 @@
+"""Backend equivalence and SimLimits tests.
+
+The load-bearing property: for any feedback-free cone of defined-value
+logic, the bit-parallel :class:`BatchBackend` and the 4-valued event
+scheduler wrapped by :class:`EventBackend` must produce identical
+outputs for identical stimulus batches.  Randomised netlists +
+randomised stimulus exercise it; hypothesis drives the generation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import (
+    BackendError,
+    BatchBackend,
+    EventBackend,
+    Netlist,
+    SimLimits,
+)
+from repro.sim.scheduler import OscillationError
+from repro.sim.values import ONE, X, ZERO
+from repro.sim.scheduler import Simulator
+from repro.sim.primitives import EventLatchGate, NotGate
+
+
+def random_cone(seed: int, n_inputs: int, n_cells: int) -> Netlist:
+    """A random feedback-free NAND/NOT/BUF/XOR cone over n_inputs."""
+    rng = np.random.default_rng(seed)
+    nl = Netlist(f"cone{seed}")
+    nets = [nl.add_input(f"in{i}").name for i in range(n_inputs)]
+    for k in range(n_cells):
+        kind = ["nand", "not", "buf", "xor"][rng.integers(0, 4)]
+        if kind == "nand":
+            n_in = int(rng.integers(1, min(4, len(nets)) + 1))
+        elif kind == "xor":
+            n_in = 2
+        else:
+            n_in = 1
+        ins = [nets[int(i)] for i in rng.integers(0, len(nets), n_in)]
+        out = nl.add(kind, f"g{k}", ins, f"n{k}", delay=int(rng.integers(1, 4)))
+        nets.append(out.name)
+    # Every net is observable; the last few are the "primary" outputs.
+    for name in nets[-min(4, len(nets)):]:
+        nl.add_output(name)
+    return nl
+
+
+class TestBackendEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_inputs=st.integers(1, 5),
+        n_cells=st.integers(1, 24),
+        stim_seed=st.integers(0, 2**31 - 1),
+    )
+    def test_random_cones_agree(self, seed, n_inputs, n_cells, stim_seed):
+        nl = random_cone(seed, n_inputs, n_cells)
+        rng = np.random.default_rng(stim_seed)
+        n_vec = int(rng.integers(1, 130))  # crosses the 64-bit lane boundary
+        stimuli = {
+            f"in{i}": rng.integers(0, 2, n_vec, dtype=np.uint8)
+            for i in range(n_inputs)
+        }
+        event = EventBackend().evaluate(nl, stimuli)
+        batch = BatchBackend().evaluate(nl, stimuli)
+        for name in event:
+            assert (event[name] == batch[name]).all(), name
+
+    def test_const_and_table_agree(self):
+        nl = Netlist("mix")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        one = nl.add("const", "k1", [], "one", value=1)
+        nl.add("table", "t", [a, b, one], "y", table=[0, 1, 1, 0, 1, 0, 0, 1])
+        nl.add_output("y")
+        stim = {"a": [0, 0, 1, 1], "b": [0, 1, 0, 1]}
+        event = EventBackend().evaluate(nl, stim)
+        batch = BatchBackend().evaluate(nl, stim)
+        assert (event["y"] == batch["y"]).all()
+
+    def test_empty_nand_row_is_pulled_up(self):
+        # The fabric convention: a NAND row with no crosspoints rests at 1.
+        nl = Netlist()
+        nl.add_input("tick")
+        nl.add("nand", "g", [], "y")
+        nl.add_output("y")
+        for backend in (EventBackend(), BatchBackend()):
+            assert backend.evaluate(nl, {"tick": [0]})["y"][0] == ONE
+
+
+class TestBatchFallback:
+    def _tristate_bus(self) -> Netlist:
+        nl = Netlist("bus")
+        for p in ("d0", "e0", "d1", "e1"):
+            nl.add_input(p)
+        nl.add("tristate", "t0", ["d0", "e0"], "bus")
+        nl.add("tristate", "t1", ["d1", "e1"], "bus")
+        nl.add_output("bus")
+        return nl
+
+    def test_tristate_falls_back_to_event(self):
+        nl = self._tristate_bus()
+        ok, reason = BatchBackend().supports(nl)
+        assert not ok and "tristate" in reason
+        res = BatchBackend().evaluate(
+            nl, {"d0": [1, 0], "e0": [1, 0], "d1": [0, 0], "e1": [0, 1]}
+        )
+        assert list(res["bus"]) == [ONE, ZERO]
+
+    def test_x_stimulus_falls_back_to_event(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add("not", "g", ["a"], "y")
+        nl.add_output("y")
+        res = BatchBackend().evaluate(nl, {"a": [ZERO, ONE, X]})
+        assert list(res["y"]) == [ONE, ZERO, X]
+
+    def test_strict_compile_raises(self):
+        with pytest.raises(BackendError, match="not batch-evaluable"):
+            BatchBackend().compile(self._tristate_bus())
+
+
+class TestSimLimits:
+    def _unstable_ring(self) -> Netlist:
+        # q = latch(NOT q) with req == ack: transparent, toggles forever.
+        nl = Netlist("unstable-ring")
+        nl.add_input("en")
+        nl.add("not", "inv", ["q"], "qn")
+        nl.add("eventlatch", "lat", ["qn", "en", "en"], "q", init=0)
+        nl.add_output("q")
+        return nl
+
+    def test_oscillation_fires_through_both_backends(self):
+        ring = self._unstable_ring()
+        limits = SimLimits(max_time=2_000)
+        for backend in (EventBackend(limits), BatchBackend(limits)):
+            with pytest.raises(OscillationError):
+                backend.evaluate(ring, {"en": [1]})
+
+    def test_stable_enable_settles(self):
+        ring = self._unstable_ring()
+        # en = 0: req != ack never... req == ack == 0 holds the latch shut?
+        # With en=0 the phases still agree, so the latch stays transparent
+        # and oscillates; break the loop by keeping din undefined instead.
+        nl = Netlist("stable")
+        nl.add_input("en")
+        nl.add("eventlatch", "lat", ["d", "en", "en"], "q", init=0)
+        nl.add_output("q")
+        res = EventBackend(SimLimits(max_time=2_000)).evaluate(nl, {"en": [1]})
+        assert res["q"][0] == ZERO  # din undefined: latch holds its init
+        del ring
+
+    def test_simulator_threads_limits(self):
+        limits = SimLimits(max_events_per_time=123, max_events=456, max_time=789)
+        sim = Simulator(limits=limits)
+        assert sim.limits.max_events_per_time == 123
+
+    def test_simulator_run_caps_events(self):
+        sim = Simulator(limits=SimLimits(max_events=50))
+        en = sim.net("en")
+        qn, q = sim.net("qn"), sim.net("q")
+        sim.add(NotGate("inv", [q], qn))
+        sim.add(EventLatchGate("lat", [qn, en, en], q, init=ZERO))
+        sim.drive(en, ONE)
+        with pytest.raises(OscillationError, match="does not quiesce"):
+            sim.run()
+
+    def test_limits_validated(self):
+        with pytest.raises(ValueError, match="max_events"):
+            SimLimits(max_events=0)
+
+
+class TestFabricThroughBackends:
+    def test_adder_batch_matches_event(self):
+        from repro.datapath.adder import RippleCarryAdder
+
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 16, 40)
+        b = rng.integers(0, 16, 40)
+        adder = RippleCarryAdder(4)
+        batch = adder.add_batch(a, b)
+        assert (batch == a + b).all()
+        # Spot-check the event path on the same platform design.
+        other = RippleCarryAdder(4)
+        for x, y in [(0, 0), (7, 9), (15, 15)]:
+            assert other.add(x, y) == x + y
+
+    def test_micropipeline_netlist_elaborates_everywhere(self):
+        from repro.asynclogic.micropipeline import micropipeline_netlist
+
+        nl, ports = micropipeline_netlist(3, data_width=2)
+        ok, reason = BatchBackend().supports(nl)
+        assert not ok  # stateful cells: batch must decline...
+        assert "celement" in reason or "eventlatch" in reason
+        # ...and the shared netlist still runs on the event engine.
+        sim = EventBackend().elaborate(nl)
+        sim.drive(ports["req_in"], ZERO)
+        for n in ports["data_in"]:
+            sim.drive(n, ZERO)
+        sim.run(until=50)
+        assert sim.value(ports["c"][0]) == ZERO

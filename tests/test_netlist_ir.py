@@ -1,0 +1,169 @@
+"""Tests for the backend-neutral netlist IR."""
+
+import pytest
+
+from repro.netlist import (
+    Cell,
+    CyclicNetlistError,
+    NetRef,
+    Netlist,
+    NetlistError,
+    with_fault_points,
+)
+
+
+def _nand_cone() -> Netlist:
+    nl = Netlist("cone")
+    a, b = nl.add_input("a"), nl.add_input("b")
+    nab = nl.add("nand", "g1", [a, b], "nab", delay=2)
+    nl.add("not", "g2", [nab], "y")
+    nl.add_output("y")
+    return nl
+
+
+class TestConstruction:
+    def test_add_returns_output_ref(self):
+        nl = Netlist()
+        out = nl.add("nand", "g", ["a", "b"], "y")
+        assert isinstance(out, NetRef)
+        assert out.name == "y"
+
+    def test_cells_in_insertion_order(self):
+        nl = _nand_cone()
+        assert [c.name for c in nl.cells] == ["g1", "g2"]
+        assert nl.n_cells == 2
+
+    def test_cell_lookup(self):
+        nl = _nand_cone()
+        cell = nl.cell("g1")
+        assert isinstance(cell, Cell)
+        assert cell.kind == "nand"
+        assert cell.inputs == ("a", "b")
+        assert cell.delay == 2
+        with pytest.raises(NetlistError, match="no cell"):
+            nl.cell("nope")
+
+    def test_duplicate_cell_name_rejected(self):
+        nl = _nand_cone()
+        with pytest.raises(NetlistError, match="duplicate"):
+            nl.add("buf", "g1", ["a"], "z")
+
+    def test_unknown_kind_rejected(self):
+        nl = Netlist()
+        with pytest.raises(NetlistError, match="unknown cell kind"):
+            nl.add("frobnicate", "g", ["a"], "y")
+
+    def test_arity_enforced(self):
+        nl = Netlist()
+        with pytest.raises(NetlistError, match="needs 1 inputs"):
+            nl.add("not", "g", ["a", "b"], "y")
+        with pytest.raises(NetlistError, match="needs 2 inputs"):
+            nl.add("xor", "g", ["a"], "y")
+
+    def test_delay_must_be_positive(self):
+        nl = Netlist()
+        with pytest.raises(NetlistError, match="delay"):
+            nl.add("buf", "g", ["a"], "y", delay=0)
+
+    def test_const_requires_value(self):
+        nl = Netlist()
+        with pytest.raises(NetlistError, match="value"):
+            nl.add("const", "g", [], "y")
+        nl.add("const", "ok", [], "y", value=1)
+        assert nl.cell("ok").param("value") == 1
+
+    def test_table_length_checked(self):
+        nl = Netlist()
+        with pytest.raises(NetlistError, match="table needs 4 entries"):
+            nl.add("table", "g", ["a", "b"], "y", table=[0, 1])
+        nl.add("table", "ok", ["a", "b"], "y", table=[0, 1, 1, 0])
+
+
+class TestConnectivity:
+    def test_drivers_and_readers(self):
+        nl = _nand_cone()
+        assert [c.name for c in nl.drivers_of("nab")] == ["g1"]
+        assert [c.name for c in nl.readers_of("nab")] == ["g2"]
+        assert nl.drivers_of("a") == []
+
+    def test_free_inputs(self):
+        nl = _nand_cone()
+        assert nl.free_inputs() == ["a", "b"]
+
+    def test_multi_driven_detection(self):
+        nl = Netlist()
+        nl.add("tristate", "d0", ["a", "e0"], "bus")
+        nl.add("tristate", "d1", ["b", "e1"], "bus")
+        assert nl.multi_driven_nets() == ["bus"]
+
+    def test_kind_counts(self):
+        nl = _nand_cone()
+        assert nl.kind_counts() == {"nand": 1, "not": 1}
+
+    def test_topo_order_respects_dependencies(self):
+        nl = Netlist()
+        nl.add("not", "late", ["mid"], "out")
+        nl.add("buf", "early", ["in"], "mid")
+        order = [c.name for c in nl.topo_order()]
+        assert order.index("early") < order.index("late")
+
+    def test_cycle_detected(self):
+        nl = Netlist()
+        nl.add("not", "g0", ["n1"], "n0")
+        nl.add("not", "g1", ["n0"], "n1")
+        with pytest.raises(CyclicNetlistError, match="feedback"):
+            nl.topo_order()
+        assert not nl.is_combinational()
+
+    def test_combinational_predicate(self):
+        assert _nand_cone().is_combinational()
+        nl = Netlist()
+        nl.add("celement", "c", ["a", "b"], "y")
+        assert not nl.is_combinational()
+
+
+class TestHierarchy:
+    def test_instantiate_flattens_with_prefix(self):
+        sub = _nand_cone()
+        top = Netlist("top")
+        ports = top.instantiate(sub, "u0", {"a": "p", "b": "q", "y": "r"})
+        assert ports["y"].name == "r"
+        assert {c.name for c in top.cells} == {"u0.g1", "u0.g2"}
+        # Internal net renamed under the prefix.
+        assert "u0.nab" in top.net_names()
+        assert [c.name for c in top.drivers_of("r")] == ["u0.g2"]
+
+    def test_instantiate_twice_no_collision(self):
+        sub = _nand_cone()
+        top = Netlist("top")
+        top.instantiate(sub, "u0", {"a": "p", "b": "q"})
+        top.instantiate(sub, "u1", {"a": "p", "b": "q"})
+        assert top.n_cells == 4
+
+    def test_binding_non_port_rejected(self):
+        sub = _nand_cone()
+        top = Netlist("top")
+        with pytest.raises(NetlistError, match="non-port"):
+            top.instantiate(sub, "u0", {"nab": "x"})
+
+
+class TestFaultPoints:
+    def test_fault_inputs_cover_cell_outputs(self):
+        nl = _nand_cone()
+        faulty, faults = with_fault_points(nl)
+        assert len(faults) == 2  # one per cell output
+        assert set(faults) <= set(faulty.inputs)
+        # Original ports survive the rewrite.
+        assert "a" in faulty.inputs and "y" in faulty.outputs
+
+    def test_fault_on_undriven_net_rejected(self):
+        nl = _nand_cone()
+        with pytest.raises(NetlistError, match="undriven"):
+            with_fault_points(nl, nets=["a"])
+
+    def test_fault_on_multi_driven_net_rejected(self):
+        nl = Netlist()
+        nl.add("tristate", "d0", ["a", "e0"], "bus")
+        nl.add("tristate", "d1", ["b", "e1"], "bus")
+        with pytest.raises(NetlistError, match="multi-driven"):
+            with_fault_points(nl, nets=["bus"])

@@ -112,3 +112,44 @@ class TestCofactors:
     def test_depends_on_xor(self):
         t = TruthTable.from_function(2, lambda a, b: a ^ b)
         assert t.depends_on(0) and t.depends_on(1)
+
+
+class TestNetlistExtraction:
+    def test_lut_pair_truth_table_recovered(self):
+        import numpy as np
+
+        from repro.synth.macros import lut_pair_from_table, macro_netlist
+
+        rng = np.random.default_rng(11)
+        want = TruthTable.random(2, rng)
+        nl, ins, outs = macro_netlist(lut_pair_from_table(want))
+        # Extract over the complemented-column convention: 4 physical
+        # wires, of which only the complement-consistent rows are legal.
+        got = TruthTable.from_netlist(
+            nl,
+            [ins["x0"], ins["x0_n"], ins["x1"], ins["x1_n"]],
+            outs["f"],
+        )
+        for a in (0, 1):
+            for b in (0, 1):
+                idx = a | ((1 - a) << 1) | (b << 2) | ((1 - b) << 3)
+                assert got.outputs[idx] == want.evaluate([a, b])
+
+    def test_backends_extract_identically(self):
+        from repro.netlist import BatchBackend, EventBackend
+        from repro.synth.macros import complement_cell, macro_netlist
+
+        nl, ins, outs = macro_netlist(complement_cell(1))
+        tables = [
+            TruthTable.from_netlist(nl, [ins["x0"]], outs["x0_n"], backend=be)
+            for be in (BatchBackend(), EventBackend())
+        ]
+        assert tables[0] == tables[1]
+        assert tables[0] == TruthTable.from_function(1, lambda a: not a)
+
+    def test_too_many_inputs_rejected(self):
+        from repro.netlist import Netlist
+
+        nl = Netlist()
+        with pytest.raises(ValueError, match="up to 16"):
+            TruthTable.from_netlist(nl, [f"i{k}" for k in range(17)], "y")

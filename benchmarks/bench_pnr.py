@@ -1,0 +1,92 @@
+"""Bench: place-and-route quality and throughput (`repro.pnr`).
+
+Records what the compile flow pays for position independence on the
+polymorphic fabric — wirelength, cells burned on routing versus logic,
+utilisation, and the routed-net fraction — across a suite of designs
+from the paper (the Fig. 10 adder slice, a micropipeline stage) and
+scaling ripple-carry adders.  `run_all.py` imports
+:func:`run_pnr_quality` and folds the numbers into
+``BENCH_results.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datapath.adder import ripple_carry_netlist
+from repro.netlist import Netlist
+from repro.pnr import compile_to_fabric, verify_equivalence
+
+
+def _suite() -> dict[str, Netlist]:
+    from repro.asynclogic.micropipeline import micropipeline_netlist
+    from repro.synth.macros import full_adder_testbench
+
+    fig10, _, _ = full_adder_testbench()
+    stage, _ = micropipeline_netlist(1, data_width=4, auto_sink=False)
+    return {
+        "fig10_adder_slice": fig10,
+        "micropipeline_stage": stage,
+        "rca4": ripple_carry_netlist(4),
+        "rca8": ripple_carry_netlist(8),
+    }
+
+
+def run_pnr_quality(verify_vectors: int = 256) -> dict[str, dict]:
+    """Compile the suite; return per-design quality metrics."""
+    results: dict[str, dict] = {}
+    for name, netlist in _suite().items():
+        t0 = time.perf_counter()
+        res = compile_to_fabric(netlist, seed=0)
+        compile_s = time.perf_counter() - t0
+        s = res.stats
+        entry = {
+            "source_cells": s.n_source_cells,
+            "mapped_gates": s.n_gates,
+            "cells_logic": s.cells_logic,
+            "cells_route": s.cells_route,
+            "routing_overhead": round(s.routing_overhead, 3),
+            "wirelength": s.wirelength,
+            "hpwl": s.hpwl,
+            "routed_net_fraction": s.routed_fraction,
+            "utilisation": round(s.utilisation, 4),
+            "array_side": res.array.n_rows,
+            "interconnect_area_l2": s.area.interconnect_l2,
+            "compile_s": round(compile_s, 4),
+        }
+        if not res.design.has_stateful_gates():
+            t0 = time.perf_counter()
+            verify_equivalence(res, n_vectors=verify_vectors, event_vectors=4)
+            entry["verify_s"] = round(time.perf_counter() - t0, 4)
+            entry["verified_vectors"] = verify_vectors
+        results[name] = entry
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (run_all.py executes this file under pytest)
+# ----------------------------------------------------------------------
+
+def test_pnr_quality_suite():
+    """Every suite design compiles fully routed; overheads stay sane."""
+    results = run_pnr_quality(verify_vectors=64)
+    assert set(results) == set(_suite())
+    for name, entry in results.items():
+        assert entry["routed_net_fraction"] == 1.0, name
+        # Paper Section 4: interconnect is cells; it should cost the
+        # same order as the logic, not dominate it wholesale.
+        assert entry["cells_route"] <= 3 * entry["cells_logic"], name
+
+
+def test_pnr_scales_with_adder_width(capsys):
+    rows = []
+    for n_bits in (2, 4, 8):
+        res = compile_to_fabric(ripple_carry_netlist(n_bits), seed=0)
+        s = res.stats
+        rows.append((n_bits, s.n_gates, s.cells_route, s.wirelength))
+    # Wirelength and routing burn grow with the design, not explode.
+    assert rows[-1][3] < 40 * rows[0][3]
+    with capsys.disabled():
+        print("\n  bits gates route wirelength")
+        for r in rows:
+            print(f"  {r[0]:4d} {r[1]:5d} {r[2]:5d} {r[3]:10d}")

@@ -127,6 +127,14 @@ def microbench_mc_yield() -> dict:
     }
 
 
+def microbench_pnr() -> dict:
+    """Place-and-route quality: wirelength, routing burn, utilisation."""
+    sys.path.insert(0, str(HERE))
+    from bench_pnr import run_pnr_quality
+
+    return run_pnr_quality()
+
+
 def main() -> int:
     quick = "--quick" in sys.argv[1:]
     sys.path.insert(0, str(SRC))
@@ -137,6 +145,7 @@ def main() -> int:
         "event_sim": microbench_event_throughput(),
         "batch_sim": microbench_batch_throughput(),
         "mc_yield": microbench_mc_yield(),
+        "pnr": microbench_pnr(),
     }
     results["microbench"] = micro
     print(f"  event scheduler : {micro['event_sim']['events_per_s']:>12,} events/s")
@@ -144,6 +153,12 @@ def main() -> int:
     print(
         f"  MC yield        : {micro['mc_yield']['batch_configs_per_s']:>12,} configs/s "
         f"({micro['mc_yield']['speedup']}x over event)"
+    )
+    fig10 = micro["pnr"]["fig10_adder_slice"]
+    print(
+        f"  PnR Fig.10      : {fig10['cells_logic']} logic + "
+        f"{fig10['cells_route']} route cells, wirelength "
+        f"{fig10['wirelength']}, compiled in {fig10['compile_s']}s"
     )
     out = HERE / "BENCH_results.json"
     out.write_text(json.dumps(results, indent=2) + "\n")

@@ -13,6 +13,7 @@ from repro.arch.area import (
     density_cells_per_cm2,
     fpga_area_l2,
     polymorphic_area_l2,
+    routed_area_breakdown,
 )
 from repro.arch.compare import (
     area_claims_report,
@@ -66,6 +67,7 @@ __all__ = [
     "density_cells_per_cm2",
     "fpga_area_l2",
     "polymorphic_area_l2",
+    "routed_area_breakdown",
     "FunctionalYieldResult",
     "YieldResult",
     "analytic_cell_yield",

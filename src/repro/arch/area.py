@@ -100,6 +100,31 @@ def area_ratio(
     return fpga / poly
 
 
+def routed_area_breakdown(
+    cells_logic: int,
+    cells_route: int,
+    pair_area_l2: float = CELL_PAIR_AREA_L2,
+) -> AreaBreakdown:
+    """Area of a placed-and-routed design (the `repro.pnr` flow).
+
+    On the polymorphic fabric interconnect is not a separate resource:
+    a route is just more cells (feed-throughs), priced identically to
+    logic.  This accounting makes the paper's Section 4 trade explicit —
+    ``interconnect_l2`` is the cells the router burned as wire, and the
+    configuration plane still costs nothing extra (it sits under the
+    logic in the vertical stack).
+    """
+    if cells_logic < 0 or cells_route < 0:
+        raise ValueError("cell counts must be >= 0")
+    check_positive("pair_area_l2", pair_area_l2)
+    per_cell = pair_area_l2 / 2.0
+    return AreaBreakdown(
+        logic_l2=cells_logic * per_cell,
+        interconnect_l2=cells_route * per_cell,
+        config_l2=0.0,
+    )
+
+
 def density_cells_per_cm2(lambda_nm: float, pair_area_l2: float = CELL_PAIR_AREA_L2) -> float:
     """Leaf-cell pairs per cm^2 at a given lambda — the 1e9 cells/cm^2 claim.
 

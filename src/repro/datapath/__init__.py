@@ -5,7 +5,7 @@ Section 4 serial-versus-parallel argument.
 """
 
 from repro.datapath.accumulator import Accumulator
-from repro.datapath.adder import AdderPorts, RippleCarryAdder
+from repro.datapath.adder import AdderPorts, RippleCarryAdder, ripple_carry_netlist
 from repro.datapath.multiplier import (
     MultiplierCost,
     ShiftAddMultiplier,
@@ -27,6 +27,7 @@ __all__ = [
     "Accumulator",
     "AdderPorts",
     "RippleCarryAdder",
+    "ripple_carry_netlist",
     "MultiplierCost",
     "ShiftAddMultiplier",
     "array_multiplier_cost",

@@ -171,3 +171,31 @@ class RippleCarryAdder:
         if not 0 <= k < self.n_bits:
             raise ValueError(f"k must be 0..{self.n_bits - 1}, got {k}")
         return wire_name(0, self.CELLS_PER_BIT * (k + 1), 4)
+
+
+def ripple_carry_netlist(n_bits: int):
+    """A pure-IR ripple-carry adder (no fabric placement).
+
+    The gate-level description the PnR flow compiles in the tests and
+    benches: per bit, two XORs for the sum and the AND/AND/OR majority
+    for the carry.  Inputs ``a{k}`` / ``b{k}`` / ``cin``; outputs
+    ``s{k}`` and the final carry ``c{n_bits}``.  Contrast with
+    :class:`RippleCarryAdder`, which instantiates the hand-mapped
+    Fig. 10 slice directly on an array.
+    """
+    from repro.netlist.ir import Netlist
+
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    nl = Netlist(f"rca{n_bits}")
+    cin = nl.add_input("cin").name
+    for k in range(n_bits):
+        a, b = nl.add_input(f"a{k}").name, nl.add_input(f"b{k}").name
+        nl.add("xor", f"x1_{k}", [a, b], f"t{k}")
+        nl.add("xor", f"x2_{k}", [f"t{k}", cin], nl.add_output(f"s{k}"))
+        nl.add("and", f"g1_{k}", [a, b], f"ab{k}")
+        nl.add("and", f"g2_{k}", [f"t{k}", cin], f"tc{k}")
+        nl.add("or", f"o_{k}", [f"ab{k}", f"tc{k}"], f"c{k+1}")
+        cin = f"c{k+1}"
+    nl.add_output(cin)
+    return nl

@@ -14,7 +14,32 @@ and then handed to any :class:`SimBackend`:
   combinational cones in topological order, falling back to the event
   engine for netlists that touch tristate, feedback or X/Z stimulus.
 
-See ARCHITECTURE.md for the layer diagram and a worked example.
+Quickstart — build a design once, evaluate many vectors at once:
+
+>>> from repro.netlist import BatchBackend, Netlist
+>>> nl = Netlist("demo")
+>>> a, b = nl.add_input("a"), nl.add_input("b")
+>>> _ = nl.add("nand", "g1", [a, b], "n1")
+>>> _ = nl.add("not", "g2", ["n1"], nl.add_output("y"))   # y = a AND b
+>>> out = BatchBackend().evaluate(
+...     nl, {"a": [0, 0, 1, 1], "b": [0, 1, 0, 1]})
+>>> out["y"].tolist()
+[0, 0, 0, 1]
+
+The same netlist elaborates unchanged onto the event engine when the
+4-valued timeline matters:
+
+>>> from repro.netlist import EventBackend
+>>> sim = EventBackend().elaborate(nl)
+>>> sim.drive("a", 1); sim.drive("b", 1)
+>>> _ = sim.run_to_quiescence(max_time=100)
+>>> sim.value("y")
+1
+
+Downstream, :func:`repro.pnr.compile_to_fabric` places and routes any
+such netlist onto a :class:`repro.fabric.array.CellArray` — see
+``docs/compile-flow.md`` for that flow.  See ARCHITECTURE.md for the
+layer diagram.
 """
 
 from repro.netlist.backends import (

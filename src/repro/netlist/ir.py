@@ -114,7 +114,33 @@ def _net_name(net: NetRef | str) -> str:
 
 
 class Netlist:
-    """An ordered, backend-neutral gate-level design description."""
+    """An ordered, backend-neutral gate-level design description.
+
+    The public construction API is four calls:
+
+    * :meth:`add_input` / :meth:`add_output` declare the ports;
+    * :meth:`add` appends one primitive cell and returns a
+      :class:`NetRef` to its output, so designs thread naturally;
+    * :meth:`instantiate` flattens a sub-netlist in under a prefix.
+
+    A netlist holds no evaluation state — hand it to
+    :class:`repro.netlist.EventBackend` or
+    :class:`repro.netlist.BatchBackend` to run it, or to
+    :func:`repro.pnr.compile_to_fabric` to place and route it onto a
+    cell array.
+
+    >>> nl = Netlist("mux2")
+    >>> a, b, s = nl.add_input("a"), nl.add_input("b"), nl.add_input("s")
+    >>> sn = nl.add("not", "i0", [s], "s_n")
+    >>> t0 = nl.add("and", "g0", [a, sn], "t0")
+    >>> t1 = nl.add("and", "g1", [b, s], "t1")
+    >>> _ = nl.add("or", "g2", [t0, t1], nl.add_output("y"))
+    >>> nl.n_cells, nl.free_inputs()
+    (4, ['a', 'b', 's'])
+    >>> order = [c.name for c in nl.topo_order()]
+    >>> order.index("g0") > order.index("i0")   # fan-in comes first
+    True
+    """
 
     def __init__(self, name: str = "netlist") -> None:
         self.name = str(name)
@@ -163,7 +189,17 @@ class Netlist:
         delay: int = 1,
         **params: Any,
     ) -> NetRef:
-        """Append a cell; returns a ref to its output net."""
+        """Append a cell; returns a ref to its output net.
+
+        ``kind`` is one of :data:`CELL_KINDS`; ``inputs`` and ``output``
+        accept net names or :class:`NetRef` handles (nets are registered
+        on first use, so there is no separate wire-declaration step).
+        Kind-specific extras travel in ``params`` — ``value=`` for
+        ``const``, ``table=`` for ``table``, ``init=`` for the stateful
+        kinds.  Arity, ``value`` and ``table`` are validated here, at
+        construction time; ``init`` is interpreted by whatever consumes
+        the netlist (backends, the PnR tech-mapper).
+        """
         if kind not in CELL_KINDS:
             raise NetlistError(f"unknown cell kind {kind!r}")
         if name in self._cells:

@@ -1,0 +1,75 @@
+"""Automatic place-and-route: any netlist onto the polymorphic fabric.
+
+The compile path the paper implies but never spells out — "the same
+components can be used interchangeably for logic and interconnection"
+(Section 4) — realised as four stages over the backend-neutral IR:
+
+1. **tech-map** (:mod:`repro.pnr.techmap`): IR cells to NAND-row gates
+   and stateful cell pairs;
+2. **place** (:mod:`repro.pnr.place`): greedy seeding plus simulated
+   annealing under the fabric's monotone east/north dominance rule;
+3. **route** (:mod:`repro.pnr.route`): A* maze routing that burns blank
+   cells as feed-throughs, with rip-up-and-retry;
+4. **emit** (:mod:`repro.pnr.emit`): validated ``CellConfig`` frames on
+   a :class:`repro.fabric.array.CellArray`, ready for bitstream
+   serialisation and either simulation backend.
+
+Entry points: :func:`compile_to_fabric` (one call, returns a
+:class:`PnrResult` with the configured array and pin map) and
+:func:`verify_equivalence` (random-vector proof against the source
+netlist on both backends).  See ``docs/compile-flow.md``.
+"""
+
+from repro.pnr.emit import EmitError, emit_design
+from repro.pnr.flow import (
+    PnrError,
+    PnrResult,
+    PnrStats,
+    VerificationError,
+    compile_to_fabric,
+    suggest_array,
+    verify_equivalence,
+)
+from repro.pnr.place import (
+    Placement,
+    PlacementError,
+    anneal_placement,
+    dominance_violations,
+    gate_levels,
+    hpwl,
+    initial_placement,
+)
+from repro.pnr.route import NetRoute, Router, RoutingError, RoutingState
+from repro.pnr.techmap import (
+    MappedDesign,
+    MappedGate,
+    TechMapError,
+    map_netlist,
+)
+
+__all__ = [
+    "EmitError",
+    "emit_design",
+    "PnrError",
+    "PnrResult",
+    "PnrStats",
+    "VerificationError",
+    "compile_to_fabric",
+    "suggest_array",
+    "verify_equivalence",
+    "Placement",
+    "PlacementError",
+    "anneal_placement",
+    "dominance_violations",
+    "gate_levels",
+    "hpwl",
+    "initial_placement",
+    "NetRoute",
+    "Router",
+    "RoutingError",
+    "RoutingState",
+    "MappedDesign",
+    "MappedGate",
+    "TechMapError",
+    "map_netlist",
+]

@@ -1,0 +1,386 @@
+"""The compile flow: netlist in, configured + verified fabric out.
+
+:func:`compile_to_fabric` chains the four stages — tech-map
+(:mod:`repro.pnr.techmap`), place (:mod:`repro.pnr.place`), route
+(:mod:`repro.pnr.route`), emit (:mod:`repro.pnr.emit`) — with seeded
+retry: a failed routing attempt re-places with a different annealing
+seed (and, when the array is flow-owned, a larger grid) before giving
+up.  See ``docs/compile-flow.md`` for the stage-by-stage walkthrough.
+
+:func:`verify_equivalence` closes the loop for combinational designs:
+the configured array is lowered back to the netlist IR and swept with
+random vectors on the bit-parallel :class:`repro.netlist.BatchBackend`
+and (a subset, they are slower) on the reference
+:class:`repro.netlist.EventBackend`, against the source netlist's
+response.  Designs that placed stateful pairs are exercised by driving
+event-level sequences instead (see ``examples/pnr_adder.py`` and the
+micropipeline tests).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.area import AreaBreakdown, routed_area_breakdown
+from repro.fabric.array import CellArray, wire_name
+from repro.fabric.floorplan import Region
+from repro.netlist.backends import BatchBackend, EventBackend
+from repro.netlist.ir import Netlist
+from repro.pnr.emit import emit_design
+from repro.pnr.place import (
+    Placement,
+    PlacementError,
+    anneal_placement,
+    gate_levels,
+    hpwl,
+    initial_placement,
+)
+from repro.pnr.route import NetRoute, Router, RoutingError
+from repro.pnr.techmap import MappedDesign, TechMapError, map_netlist
+
+
+class PnrError(RuntimeError):
+    """The design could not be compiled onto the fabric."""
+
+
+class VerificationError(AssertionError):
+    """The configured array disagrees with its source netlist."""
+
+
+@dataclass(frozen=True, slots=True)
+class PnrStats:
+    """Placement/routing quality numbers (the bench records these)."""
+
+    n_source_cells: int
+    n_gates: int
+    cells_logic: int
+    cells_route: int
+    wirelength: int
+    hpwl: int
+    routed_nets: int
+    total_nets: int
+    region_cells: int
+    area: AreaBreakdown
+
+    @property
+    def cells_used(self) -> int:
+        """Cells configured, logic plus interconnect."""
+        return self.cells_logic + self.cells_route
+
+    @property
+    def utilisation(self) -> float:
+        """Configured fraction of the placement region."""
+        return self.cells_used / self.region_cells if self.region_cells else 0.0
+
+    @property
+    def routing_overhead(self) -> float:
+        """Cells burned as wire per cell of logic (paper Section 4)."""
+        return self.cells_route / self.cells_logic if self.cells_logic else 0.0
+
+    @property
+    def routed_fraction(self) -> float:
+        """Nets fully routed (1.0 for a strict compile)."""
+        return self.routed_nets / self.total_nets if self.total_nets else 1.0
+
+
+@dataclass
+class PnrResult:
+    """A compiled design: the configured array plus its pin mapping.
+
+    ``input_wires`` / ``output_wires`` map *source netlist* net names to
+    fabric wire names — drive and observe those on any backend.  When
+    the design contained C-elements asking for a 0 power-on state,
+    ``reset_wire`` names the active-low rail to pulse first.
+    """
+
+    source: Netlist
+    design: MappedDesign
+    array: CellArray
+    region: Region
+    placement: Placement
+    routes: dict[str, NetRoute]
+    input_wires: dict[str, str]
+    output_wires: dict[str, str]
+    reset_wire: str | None
+    stats: PnrStats
+
+    def fabric_netlist(self):
+        """The configured array lowered to the IR.
+
+        Lowered afresh on each call: the array may have gained other
+        regions' configuration since this result was built.
+        """
+        return self.array.to_netlist()
+
+    def to_bitstream(self):
+        """Serialise the configured array (header + frames + CRC)."""
+        return self.array.to_bitstream()
+
+    def verify(self, **kwargs):
+        """Random-vector equivalence sweep; see :func:`verify_equivalence`."""
+        return verify_equivalence(self, **kwargs)
+
+
+def suggest_array(netlist_or_design, slack: int = 2) -> CellArray:
+    """A square array comfortably sized for a design.
+
+    Sizing must respect both capacity (3 cells per gate leaves routing
+    room) and the monotone-dataflow depth bound: a chain of ``d`` gates
+    needs ``rows + cols - 1 >= d``.
+    """
+    design = (
+        netlist_or_design
+        if isinstance(netlist_or_design, MappedDesign)
+        else map_netlist(netlist_or_design)
+    )
+    depth = max(gate_levels(design).values(), default=0) + 1
+    # The greedy placer advances roughly one column per level and
+    # ratchets rows upward at reconvergence, so budget a full side for
+    # the depth, not just half of the poset bound.  Stateful pairs pin
+    # their input columns, which costs extra delivery room around them.
+    side = max(
+        depth + 2,
+        math.ceil(math.sqrt(3 * max(1, design.n_cells))) + 1,
+        4,
+    ) + slack
+    if design.has_stateful_gates():
+        side += 2
+    return CellArray(side, side)
+
+
+def compile_to_fabric(
+    netlist: Netlist,
+    array: CellArray | None = None,
+    *,
+    region: Region | None = None,
+    seed: int = 0,
+    anneal_steps: int | None = None,
+    max_attempts: int = 6,
+) -> PnrResult:
+    """Place and route a netlist onto a cell array.
+
+    Parameters
+    ----------
+    netlist:
+        The design, in the backend-neutral IR.  Combinational kinds map
+        to product rows; ``celement`` / ``eventlatch`` map to the
+        stateful cell pairs; tristate buses are rejected.
+    array:
+        Target array.  ``None`` lets the flow size one with
+        :func:`suggest_array` (and grow it on retries).
+    region:
+        Restrict placement and routing to a floorplan region (the whole
+        array when ``None``) — cells there must be blank.
+    seed, anneal_steps, max_attempts:
+        Determinism and effort knobs; each retry reseeds the annealer.
+
+    Returns a :class:`PnrResult`; raises :class:`PnrError` when the
+    design cannot be mapped, placed or routed.
+    """
+    try:
+        design = map_netlist(netlist)
+        gate_levels(design)  # fail fast on grid-level feedback
+    except (TechMapError, PlacementError) as e:
+        raise PnrError(f"cannot compile {netlist.name!r}: {e}") from e
+    auto_array = array is None
+    last_error: Exception | None = None
+    for attempt in range(max_attempts):
+        if auto_array:
+            target = suggest_array(design, slack=2 + 2 * attempt)
+        else:
+            target = array
+        reg = region or Region("pnr", 0, 0, target.n_rows, target.n_cols)
+        _check_region(target, reg)
+        rng = random.Random(seed + 7919 * attempt)
+        try:
+            placement = initial_placement(design, reg, rng)
+            # Annealing compacts for wirelength, which can cost
+            # routability on congested designs — alternate attempts fall
+            # back to the (sparser) greedy seed.
+            if attempt % 2 == 0:
+                placement = anneal_placement(
+                    design, placement, rng, steps=anneal_steps
+                )
+            router = Router(
+                design, placement, (target.n_rows, target.n_cols), reg,
+                rng=rng, array=target,
+            )
+            routes = router.route_design(strict=True)
+        except (PlacementError, RoutingError) as e:
+            last_error = e
+            continue
+        counts = emit_design(target, router.state)
+        return _build_result(
+            netlist, design, target, reg, placement, routes, counts,
+            n_routable=len(router.routable_nets()),
+        )
+    raise PnrError(
+        f"could not compile {netlist.name!r} after {max_attempts} attempts: "
+        f"{last_error}"
+    ) from last_error
+
+
+def _check_region(array: CellArray, region: Region) -> None:
+    if (
+        region.row + region.n_rows > array.n_rows
+        or region.col + region.n_cols > array.n_cols
+    ):
+        raise PnrError(
+            f"region {region.name!r} exceeds the {array.n_rows}x"
+            f"{array.n_cols} array"
+        )
+    for r in range(region.row, region.row + region.n_rows):
+        for c in range(region.col, region.col + region.n_cols):
+            if not array.cell(r, c).is_blank():
+                raise PnrError(
+                    f"region {region.name!r} overlaps configured cell ({r},{c})"
+                )
+
+
+def _build_result(
+    netlist, design, array, region, placement, routes, counts, n_routable
+) -> PnrResult:
+    input_wires = {}
+    for net in design.inputs:
+        route = routes.get(net)
+        if route is not None and route.entry_wire is not None:
+            input_wires[net] = wire_name(*route.entry_wire)
+    output_wires = {}
+    for net in design.outputs:
+        route = routes.get(net)
+        if route is None:
+            continue
+        driven = [w for w in route.wires if w != route.entry_wire]
+        if driven:
+            output_wires[net] = wire_name(*driven[0])
+    wirelength = sum(r.wirelength for r in routes.values())
+    stats = PnrStats(
+        n_source_cells=netlist.n_cells,
+        n_gates=design.n_gates,
+        cells_logic=counts["cells_logic"],
+        cells_route=counts["cells_route"],
+        wirelength=wirelength,
+        hpwl=hpwl(design, placement),
+        routed_nets=len(routes),
+        total_nets=n_routable,
+        region_cells=region.cells,
+        area=routed_area_breakdown(counts["cells_logic"], counts["cells_route"]),
+    )
+    return PnrResult(
+        source=netlist,
+        design=design,
+        array=array,
+        region=region,
+        placement=placement,
+        routes=routes,
+        input_wires=input_wires,
+        output_wires=output_wires,
+        reset_wire=(
+            input_wires.get(design.reset_net) if design.reset_net else None
+        ),
+        stats=stats,
+    )
+
+
+def verify_equivalence(
+    result: PnrResult,
+    n_vectors: int = 1024,
+    seed: int = 0,
+    event_vectors: int = 16,
+) -> dict[str, object]:
+    """Prove the configured array matches its source netlist.
+
+    Sweeps ``n_vectors`` random input vectors through the source netlist
+    and the lowered fabric on the batch backend, then replays the first
+    ``event_vectors`` of them on the event backend (reference
+    semantics).  Only combinational designs qualify — stateful pairs
+    need sequence-level testbenches.  Raises
+    :class:`VerificationError` on the first mismatch.
+    """
+    if result.design.has_stateful_gates():
+        raise VerificationError(
+            "random-vector equivalence needs a combinational design; "
+            "drive the stateful fabric with event sequences instead"
+        )
+    if not result.output_wires:
+        raise VerificationError("the source netlist declares no outputs")
+    rng = np.random.default_rng(seed)
+    src = result.source
+    src_inputs = result.design.inputs
+    if not src_inputs:
+        return _verify_constant_design(result)
+    stimuli = {
+        name: rng.integers(0, 2, size=n_vectors, dtype=np.uint8)
+        for name in src_inputs
+    }
+    expected = BatchBackend().evaluate(src, stimuli, outputs=list(result.output_wires))
+    fabric = result.fabric_netlist().netlist
+    fab_stimuli = {
+        result.input_wires[name]: bits
+        for name, bits in stimuli.items()
+        if name in result.input_wires
+    }
+    # On a shared array the lowered netlist includes every region; tie
+    # the free inputs that are not ours low so the sweep stays two-valued.
+    zeros = np.zeros(n_vectors, dtype=np.uint8)
+    for name in fabric.free_inputs():
+        fab_stimuli.setdefault(name, zeros)
+    got = BatchBackend().evaluate(
+        fabric, fab_stimuli, outputs=list(result.output_wires.values())
+    )
+    for net, wire in result.output_wires.items():
+        if not np.array_equal(expected[net], got[wire]):
+            bad = int(np.argmax(expected[net] != got[wire]))
+            raise VerificationError(
+                f"batch mismatch on {net!r} (wire {wire}) at vector {bad}: "
+                f"expected {expected[net][bad]}, got {got[wire][bad]}"
+            )
+    n_event = min(event_vectors, n_vectors)
+    if n_event:
+        ev = EventBackend().evaluate(
+            fabric,
+            {w: bits[:n_event] for w, bits in fab_stimuli.items()},
+            outputs=list(result.output_wires.values()),
+        )
+        for net, wire in result.output_wires.items():
+            if not np.array_equal(expected[net][:n_event], ev[wire]):
+                bad = int(np.argmax(expected[net][:n_event] != ev[wire]))
+                raise VerificationError(
+                    f"event mismatch on {net!r} (wire {wire}) at vector "
+                    f"{bad}: expected {expected[net][bad]}, got {ev[wire][bad]}"
+                )
+    return {
+        "vectors_batch": n_vectors,
+        "vectors_event": n_event,
+        "outputs": len(result.output_wires),
+        "ok": True,
+    }
+
+
+def _verify_constant_design(result: PnrResult) -> dict[str, object]:
+    """Verify a design with no primary inputs (constants only).
+
+    The batch path needs at least one stimulus net, so settle both
+    netlists on the event scheduler instead and compare the single
+    reachable state.
+    """
+    ref = EventBackend().elaborate(result.source)
+    fab = EventBackend().elaborate(result.fabric_netlist().netlist)
+    ref.run_to_quiescence(max_time=10_000)
+    fab.run_to_quiescence(max_time=10_000)
+    for net, wire in result.output_wires.items():
+        if ref.value(net) != fab.value(wire):
+            raise VerificationError(
+                f"constant mismatch on {net!r} (wire {wire}): "
+                f"expected {ref.value(net)}, got {fab.value(wire)}"
+            )
+    return {
+        "vectors_batch": 0,
+        "vectors_event": 1,
+        "outputs": len(result.output_wires),
+        "ok": True,
+    }

@@ -1,0 +1,337 @@
+"""Stage 2 — placement: mapped gates onto the cell grid.
+
+The fabric's abutment wiring is *monotone*: a row drives its east or
+north neighbour only, so a net can reach a consumer only if the consumer
+sits in the up-right quadrant of its producer.  Placement therefore has a
+hard legality component on top of the usual wirelength objective: every
+gate-to-gate edge must be **dominance-compatible** (sink row >= source
+row AND sink column >= source column).  A corollary worth knowing: the
+longest combinational chain a ``R x C`` region can host is ``R + C - 1``
+gates — deep designs need proportionally large arrays.
+
+Two phases, in the spirit of the annealing placers in Kuree/cgra_pnr:
+
+* :func:`initial_placement` — greedy topological seeding.  Gates are
+  placed in topological order at the free cell nearest the centroid of
+  their placed fan-in, constrained to that fan-in's dominance quadrant —
+  so the seed is always legal.
+* :func:`anneal_placement` — simulated annealing over single-gate
+  relocations confined to each gate's dominance window, with
+  half-perimeter wirelength (HPWL) cost; every accepted state stays
+  legal by construction and the best state seen wins.
+
+Both operate inside a :class:`repro.fabric.floorplan.Region`, so a design
+can be compiled into a carved-out module slot of a shared array.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.fabric.floorplan import Region
+from repro.pnr.techmap import MappedDesign, MappedGate
+
+
+class PlacementError(RuntimeError):
+    """The design does not fit the region, or has unroutable feedback."""
+
+
+@dataclass
+class Placement:
+    """Gate positions inside a region.
+
+    ``positions`` maps gate name -> (row, col) of the gate's *input* cell;
+    a 2-cell pair extends one cell east (its output cell).
+    """
+
+    region: Region
+    positions: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def cells_of(self, gate: MappedGate) -> list[tuple[int, int]]:
+        """Grid cells the gate occupies."""
+        r, c = self.positions[gate.name]
+        return [(r, c + k) for k in range(gate.width)]
+
+    def input_cell(self, gate: MappedGate) -> tuple[int, int]:
+        """The cell whose input columns receive the gate's nets."""
+        return self.positions[gate.name]
+
+    def output_cell(self, gate: MappedGate) -> tuple[int, int]:
+        """The cell whose rows drive the gate's output."""
+        r, c = self.positions[gate.name]
+        return (r, c + gate.width - 1)
+
+
+def gate_levels(design: MappedDesign) -> dict[str, int]:
+    """Topological level of every gate (0 = fed by primary inputs only).
+
+    Raises :class:`PlacementError` on gate-to-gate feedback: a cycle
+    cannot satisfy the monotone east/north dominance constraint (each
+    edge would need a strictly-later grid position than the last).  The
+    fabric hosts feedback *inside* a cell pair (the lfb lines the
+    stateful macros use), not across the routed grid.
+    """
+    preds: dict[str, set[str]] = {name: set() for name in design.gates}
+    succs: dict[str, list[str]] = {name: [] for name in design.gates}
+    for g in design.gates.values():
+        for net in g.inputs:
+            src = design.source_of.get(net)
+            if src == g.name:
+                # A self-loop is the smallest grid-level cycle: the
+                # sink cell would have to dominate itself strictly.
+                raise PlacementError(
+                    f"gate {g.name!r} reads its own output {net!r}; the "
+                    "east/north fabric routes acyclic nets only (close "
+                    "loops through the environment or a cell pair's lfb)"
+                )
+            if src is not None:
+                preds[g.name].add(src)
+    for name, ps in preds.items():
+        for p in ps:
+            succs[p].append(name)
+    level: dict[str, int] = {}
+    ready = [name for name, ps in preds.items() if not ps]
+    indeg = {name: len(ps) for name, ps in preds.items()}
+    order = []
+    while ready:
+        name = ready.pop()
+        order.append(name)
+        level[name] = max(
+            (level[p] + 1 for p in preds[name]), default=0
+        )
+        for s in succs[name]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    if len(order) != len(design.gates):
+        stuck = sorted(set(design.gates) - set(order))
+        raise PlacementError(
+            f"design {design.name!r} has feedback through gates "
+            f"{stuck[:6]}; the east/north fabric routes acyclic nets only "
+            "(close loops through the environment or a cell pair's lfb)"
+        )
+    return level
+
+
+def _edges(design: MappedDesign) -> list[tuple[str, str]]:
+    """(source gate, sink gate) for every gate-to-gate connection."""
+    out = []
+    for g in design.gates.values():
+        for net in g.inputs:
+            src = design.source_of.get(net)
+            if src is not None and src != g.name:
+                out.append((src, g.name))
+    return out
+
+
+def dominance_violations(design: MappedDesign, placement: Placement) -> int:
+    """Edges whose sink is not in the up-right quadrant of its source."""
+    bad = 0
+    for src, dst in _edges(design):
+        sr, sc = placement.output_cell(design.gates[src])
+        tr, tc = placement.input_cell(design.gates[dst])
+        if tr < sr or tc < sc:
+            bad += 1
+    return bad
+
+
+def net_hpwl(design: MappedDesign, placement: Placement, net: str) -> int:
+    """Half-perimeter of one net's bounding box (source + sinks)."""
+    sinks = design.sinks_of.get(net, [])
+    pts = [placement.input_cell(design.gates[g]) for g, _ in sinks]
+    src = design.source_of.get(net)
+    if src is not None:
+        pts.append(placement.output_cell(design.gates[src]))
+    if len(pts) < 2:
+        return 0
+    rs = [p[0] for p in pts]
+    cs = [p[1] for p in pts]
+    return (max(rs) - min(rs)) + (max(cs) - min(cs))
+
+
+def hpwl(design: MappedDesign, placement: Placement) -> int:
+    """Total half-perimeter wirelength over all placed nets."""
+    return sum(net_hpwl(design, placement, net) for net in design.sinks_of)
+
+
+def initial_placement(
+    design: MappedDesign,
+    region: Region,
+    rng: random.Random,
+) -> Placement:
+    """Greedy legal seeding: topological order, dominance-constrained."""
+    capacity = region.cells
+    if design.n_cells > capacity:
+        raise PlacementError(
+            f"design needs {design.n_cells} cells but region "
+            f"{region.name!r} offers {capacity}"
+        )
+    levels = gate_levels(design)
+    order = sorted(design.gates, key=lambda n: (levels[n], n))
+    placement = Placement(region=region)
+    free: set[tuple[int, int]] = {
+        (r, c)
+        for r in range(region.row, region.row + region.n_rows)
+        for c in range(region.col, region.col + region.n_cols)
+    }
+    mid_row = region.row + region.n_rows // 2
+    #: Cells fixed-pin macros depend on for pin delivery (their west and
+    #: south neighbours): placing anything there, or making two macros
+    #: share one, invites routing contention.
+    soft_reserved: set[tuple[int, int]] = set()
+    for name in order:
+        gate = design.gates[name]
+        min_r, min_c = region.row, region.col
+        fan_rows, fan_cols = [], []
+        for net in gate.inputs:
+            src = design.source_of.get(net)
+            if src is None or src == name:
+                continue
+            sr, sc = placement.output_cell(design.gates[src])
+            min_r = max(min_r, sr)
+            min_c = max(min_c, sc)
+            fan_rows.append(sr)
+            fan_cols.append(sc)
+        want_r = round(sum(fan_rows) / len(fan_rows)) if fan_rows else mid_row
+        want_c = (max(fan_cols) + 1) if fan_cols else region.col
+        # Gates with many (or fixed-column) input pins need a usable
+        # west/south neighbour to deliver those pins from; weight
+        # crowded positions accordingly.
+        pin_weight = 3 if gate.width == 2 else (1 if len(gate.inputs) >= 3 else 0)
+        best, best_cost = None, None
+        for (r, c) in free:
+            if r < min_r or c < min_c:
+                continue
+            if gate.width == 2 and (
+                (r, c + 1) not in free
+                or c + 1 >= region.col + region.n_cols
+            ):
+                continue
+            cost = abs(r - want_r) + abs(c - want_c)
+            if pin_weight:
+                for feeder in ((r, c - 1), (r - 1, c)):
+                    if feeder not in free or feeder in soft_reserved:
+                        cost += pin_weight
+            for k in range(gate.width):
+                if (r, c + k) in soft_reserved:
+                    cost += 2
+            if best_cost is None or cost < best_cost or (
+                cost == best_cost and rng.random() < 0.5
+            ):
+                best, best_cost = (r, c), cost
+        if best is None:
+            raise PlacementError(
+                f"no legal cell for gate {name!r} (needs row >= {min_r}, "
+                f"col >= {min_c}, width {gate.width}) in region "
+                f"{region.name!r}"
+            )
+        placement.positions[name] = best
+        for cell in placement.cells_of(gate):
+            free.discard(cell)
+        if gate.width == 2:
+            br, bc = best
+            soft_reserved.update({(br, bc - 1), (br - 1, bc)})
+    return placement
+
+
+def anneal_placement(
+    design: MappedDesign,
+    placement: Placement,
+    rng: random.Random,
+    steps: int | None = None,
+    t_start: float | None = None,
+    t_end: float = 0.05,
+) -> Placement:
+    """Refine a legal placement by simulated annealing on HPWL.
+
+    Moves relocate one gate inside its **dominance window** — the
+    rectangle bounded below by its placed fan-ins' output cells and
+    above by its fan-outs' input cells — so every accepted state stays
+    legal by construction (the greedy seed is legal, and a window move
+    cannot break an edge that was satisfied).  Cost is incremental
+    HPWL over the nets incident to the moved gate.
+    """
+    region = placement.region
+    names = list(design.gates)
+    if len(names) < 2:
+        return placement
+    if steps is None:
+        steps = max(600, 80 * len(names))
+    if t_start is None:
+        t_start = 0.5 * (region.n_rows + region.n_cols)
+
+    positions = dict(placement.positions)
+    state = Placement(region=region, positions=positions)
+    occupied: dict[tuple[int, int], str] = {}
+    for name in names:
+        for cell in state.cells_of(design.gates[name]):
+            occupied[cell] = name
+
+    # Nets each gate touches (for incremental cost) and its neighbours.
+    incident: dict[str, list[str]] = {name: [] for name in names}
+    fanins: dict[str, list[str]] = {name: [] for name in names}
+    fanouts: dict[str, list[str]] = {name: [] for name in names}
+    for g in design.gates.values():
+        incident[g.name].append(g.output)
+        for net in dict.fromkeys(g.inputs):
+            incident[g.name].append(net)
+            src = design.source_of.get(net)
+            if src is not None and src != g.name:
+                fanins[g.name].append(src)
+                fanouts[src].append(g.name)
+
+    def window(name: str) -> tuple[int, int, int, int]:
+        gate = design.gates[name]
+        lo_r, lo_c = region.row, region.col
+        hi_r = region.row + region.n_rows - 1
+        hi_c = region.col + region.n_cols - gate.width
+        for f in fanins[name]:
+            fr, fc = state.output_cell(design.gates[f])
+            lo_r, lo_c = max(lo_r, fr), max(lo_c, fc)
+        for f in fanouts[name]:
+            fr, fc = state.input_cell(design.gates[f])
+            hi_r = min(hi_r, fr)
+            hi_c = min(hi_c, fc - (gate.width - 1))
+        return lo_r, lo_c, hi_r, hi_c
+
+    def incident_cost(name: str) -> int:
+        return sum(net_hpwl(design, state, net) for net in incident[name])
+
+    best_positions = dict(positions)
+    best_delta = 0
+    total_delta = 0
+    cooling = (t_end / t_start) ** (1.0 / max(1, steps - 1))
+    temp = t_start
+    for _ in range(steps):
+        temp *= cooling
+        name = rng.choice(names)
+        gate = design.gates[name]
+        lo_r, lo_c, hi_r, hi_c = window(name)
+        if lo_r > hi_r or lo_c > hi_c:
+            continue
+        target = (rng.randint(lo_r, hi_r), rng.randint(lo_c, hi_c))
+        if target == positions[name]:
+            continue
+        span = [(target[0], target[1] + k) for k in range(gate.width)]
+        if any(occupied.get(cell, name) != name for cell in span):
+            continue
+        old = positions[name]
+        before = incident_cost(name)
+        for cell in state.cells_of(gate):
+            del occupied[cell]
+        positions[name] = target
+        d = incident_cost(name) - before
+        if d <= 0 or rng.random() < math.exp(-d / max(temp, 1e-9)):
+            for cell in state.cells_of(gate):
+                occupied[cell] = name
+            total_delta += d
+            if total_delta < best_delta:
+                best_delta = total_delta
+                best_positions = dict(positions)
+        else:
+            positions[name] = old
+            for cell in state.cells_of(gate):
+                occupied[cell] = name
+    return Placement(region=region, positions=best_positions)

@@ -1,0 +1,680 @@
+"""Stage 3 — routing: nets onto the abutment wiring, cells as wire.
+
+The paper's Section 4 area argument is that interconnect is not a
+separate resource: a route is a chain of ordinary cells configured as
+feed-throughs (one single-input NAND row + INVERT driver per hop — a
+buffer), each hop landing on the next cell's input line.  This router
+implements that literally, generalising :mod:`repro.synth.route` from
+straight channels to arbitrary nets:
+
+* nets are routed as **trees**, one A* (maze) search per sink over wire
+  nodes ``w[r][c][i]``, seeded from everything the net already drives —
+  so fan-out branches wherever convenient (a feed-through re-drives its
+  input column on several rows, one per branch direction);
+* a source gate fans out by replicating its product row (same columns,
+  another row, another direction) — exactly the trick
+  :func:`repro.synth.macros.full_adder_slice` plays by hand;
+* **logic cells carry through-traffic**: a placed gate's spare rows and
+  columns are fair game for unrelated nets, so logic and interconnect
+  genuinely share cells ("used interchangeably for logic and
+  interconnection") — only the stateful pair macros are opaque, since
+  their row/column budget is fully committed;
+* primary inputs enter on any free, undriven wire (the fabric declares
+  every read-but-undriven wire a primary input), chosen by the search;
+* congestion is handled by ordering (short nets first), a cost ladder
+  that prefers reusing cells the net (or anything else) already
+  occupies over burning fresh blanks, and rip-up-and-retry passes that
+  reroute failed nets first.
+
+Routing is monotone by construction — rows drive east or north only —
+so every search is confined to the dominance quadrant between source
+and sink, and routed netlists can never acquire feedback.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+
+from repro.fabric.floorplan import Region
+from repro.fabric.nandcell import N_INPUTS, N_ROWS, Direction
+from repro.pnr.place import Placement
+from repro.pnr.techmap import (
+    MappedDesign,
+    MappedGate,
+    PAIR_CELEMENT,
+    PAIR_EVENTLATCH,
+)
+
+#: Wire owner marking a pair macro's internal product lines.
+MACRO_OWNER = "__macro__"
+
+#: Wire owner marking wires already driven or read by pre-existing
+#: configuration on the target array (e.g. another floorplan region).
+EXISTING_OWNER = "__existing__"
+
+#: Product rows a pair macro drives into its collector cell (cell B
+#: columns), by kind — these wires are consumed at placement time.
+PAIR_INTERNAL_ROWS: dict[str, int] = {
+    PAIR_CELEMENT: 3,
+    PAIR_EVENTLATCH: 5,
+}
+
+
+class RoutingError(RuntimeError):
+    """A net could not be routed with the available cells and wires."""
+
+
+@dataclass
+class NetRoute:
+    """Everything one routed net occupies."""
+
+    net: str
+    wires: list[tuple[int, int, int]] = field(default_factory=list)
+    entry_wire: tuple[int, int, int] | None = None
+    sink_cols: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    @property
+    def wirelength(self) -> int:
+        """Wires the net occupies (driven hops + the entry line)."""
+        return len(self.wires)
+
+
+class RoutingState:
+    """Occupancy of cells, rows, columns and wires during routing."""
+
+    def __init__(
+        self,
+        design: MappedDesign,
+        placement: Placement,
+        shape: tuple[int, int],
+        region: Region,
+        array=None,
+    ) -> None:
+        self.design = design
+        self.placement = placement
+        self.n_rows, self.n_cols = shape
+        self.region = region
+        #: (r, c) -> gate name for cells a gate occupies.
+        self.logic_cells: dict[tuple[int, int], str] = {}
+        #: Pair-macro cells: fully committed, never shared with routing.
+        self.opaque: set[tuple[int, int]] = set()
+        #: (r, c) -> {row: Direction} of gate fan-out (function) rows.
+        self.gate_rows: dict[tuple[int, int], dict[int, Direction]] = {}
+        #: (r, c) -> {row: (in_col, Direction)} of feed-through rows.
+        self.thru_rows: dict[tuple[int, int], dict[int, tuple[int, Direction]]] = {}
+        #: ((r, c), net) -> the input column the net reads at that cell.
+        self.thru_col: dict[tuple[tuple[int, int], str], int] = {}
+        #: (r, c) -> {column: net} of claimed input columns (gate pins
+        #: and feed-through reads alike).
+        self.col_assign: dict[tuple[int, int], dict[int, str]] = {}
+        #: (r, c, i) -> owning net (or MACRO_OWNER).
+        self.wire_net: dict[tuple[int, int, int], str] = {}
+        #: Undo journal for the net currently being routed.
+        self._undo: list = []
+        #: (r, c) -> input nets a gate still needs columns for: reserved
+        #: capacity through-traffic must not consume.
+        self.pending_inputs: dict[tuple[int, int], set[str]] = {}
+        #: Gate output cells that have not committed a fan-out row yet:
+        #: one row stays reserved for them.
+        self.pending_output: set[tuple[int, int]] = set()
+
+        for gate in design.gates.values():
+            for cell in placement.cells_of(gate):
+                self.logic_cells[cell] = gate.name
+            in_cell = placement.input_cell(gate)
+            self.pending_output.add(placement.output_cell(gate))
+            cols = gate.pin_columns
+            if cols is None:
+                self.pending_inputs[in_cell] = set(gate.inputs)
+            if cols is not None:
+                self.opaque.update(placement.cells_of(gate))
+                assign = self.col_assign.setdefault(in_cell, {})
+                for pin, col in enumerate(cols):
+                    assign[col] = gate.inputs[pin]
+                r, c = in_cell
+                for row in range(PAIR_INTERNAL_ROWS[gate.kind]):
+                    self.wire_net[(r, c + 1, row)] = MACRO_OWNER
+        if array is not None:
+            self._claim_existing(array)
+
+    def _claim_existing(self, array) -> None:
+        """Reserve wires another configuration already drives or reads.
+
+        This is what lets several designs compile into disjoint floorplan
+        regions of one array without fighting over boundary wires.
+        """
+        from repro.fabric.driver import DriverMode
+        from repro.fabric.nandcell import Direction as Dir, InputSource
+
+        for r in range(array.n_rows):
+            for c in range(array.n_cols):
+                cfg = array.cell(r, c)
+                if cfg.is_blank():
+                    continue
+                for row in cfg.used_rows():
+                    if cfg.drivers[row] is not DriverMode.OFF:
+                        target = (
+                            (r, c + 1, row)
+                            if cfg.directions[row] is Dir.EAST
+                            else (r + 1, c, row)
+                        )
+                        self.wire_net.setdefault(target, EXISTING_OWNER)
+                    for col in cfg.active_columns(row):
+                        if cfg.input_select[col] is InputSource.ABUT:
+                            self.wire_net.setdefault((r, c, col), EXISTING_OWNER)
+
+    # -- transactional routing -----------------------------------------
+    # All occupancy mutations go through the journaled mutators below,
+    # so a net that fails mid-route undoes exactly what it wrote (the
+    # success path records a handful of closures instead of copying the
+    # whole state per net).
+
+    def begin_net(self) -> None:
+        """Start recording mutations for one net."""
+        self._undo: list = []
+
+    def commit_net(self) -> None:
+        """The net routed: drop its undo journal."""
+        self._undo = []
+
+    def rollback_net(self) -> None:
+        """Undo every mutation recorded since :meth:`begin_net`."""
+        for fn in reversed(self._undo):
+            fn()
+        self._undo = []
+
+    def claim_wire(self, w: tuple[int, int, int], net: str) -> None:
+        self.wire_net[w] = net
+        self._undo.append(lambda: self.wire_net.pop(w, None))
+
+    def add_gate_row(self, cell, row: int, direction: Direction) -> None:
+        rows = self.gate_rows.setdefault(cell, {})
+        rows[row] = direction
+        self._undo.append(lambda: rows.pop(row, None))
+        if cell in self.pending_output:
+            self.pending_output.discard(cell)
+            self._undo.append(lambda: self.pending_output.add(cell))
+
+    def add_thru_row(self, cell, net: str, in_col: int, row: int, direction) -> None:
+        if (cell, net) not in self.thru_col:
+            self.thru_col[(cell, net)] = in_col
+            self._undo.append(lambda: self.thru_col.pop((cell, net), None))
+        self.assign_col(cell, in_col, net)
+        rows = self.thru_rows.setdefault(cell, {})
+        rows[row] = (in_col, direction)
+        self._undo.append(lambda: rows.pop(row, None))
+
+    def assign_col(self, cell, col: int, net: str) -> None:
+        assign = self.col_assign.setdefault(cell, {})
+        if col not in assign:
+            assign[col] = net
+            self._undo.append(lambda: assign.pop(col, None))
+        pending = self.pending_inputs.get(cell)
+        if pending is not None and net in pending:
+            pending.discard(net)
+            self._undo.append(lambda: pending.add(net))
+
+    # -- geometry helpers ----------------------------------------------
+    def in_region(self, r: int, c: int) -> bool:
+        """True when cell (r, c) may be used for routing."""
+        return (
+            self.region.row <= r < self.region.row + self.region.n_rows
+            and self.region.col <= c < self.region.col + self.region.n_cols
+        )
+
+    def wire_exists(self, r: int, c: int, i: int) -> bool:
+        """True when ``w[r][c][i]`` is a wire of this array."""
+        return 0 <= r <= self.n_rows and 0 <= c <= self.n_cols and 0 <= i < N_INPUTS
+
+    def wire_free(self, w: tuple[int, int, int]) -> bool:
+        """True when nothing drives or claims the wire."""
+        return w not in self.wire_net
+
+    def free_rows(self, cell: tuple[int, int]) -> list[int]:
+        """Rows still available for drivers on a cell."""
+        gate_name = self.logic_cells.get(cell)
+        if gate_name is not None:
+            gate = self.design.gates[gate_name]
+            if gate.width == 2 and cell == self.placement.input_cell(gate):
+                return []  # the pair's product cell is fully committed
+        used = set(self.gate_rows.get(cell, ())) | set(self.thru_rows.get(cell, ()))
+        return [r for r in range(N_ROWS) if r not in used]
+
+    def cell_passable(self, cell: tuple[int, int], net: str, in_col: int) -> bool:
+        """Can ``net`` pass through ``cell`` reading column ``in_col``?"""
+        if not self.in_region(*cell) or cell in self.opaque:
+            return False
+        existing = self.thru_col.get((cell, net))
+        if existing is not None:
+            return in_col == existing
+        owner = self.col_assign.get(cell, {}).get(in_col)
+        if owner is not None:
+            # The column where this very net already lands as a gate
+            # input may forward it; anything else is taken.
+            return owner == net
+        # A fresh column claim must leave enough free columns for the
+        # cell's own unrouted gate inputs (unless this net is one).
+        pending = self.pending_inputs.get(cell)
+        if pending and net not in pending:
+            free = N_INPUTS - len(self.col_assign.get(cell, {}))
+            return free > len(pending)
+        return True
+
+    def thru_rows_available(self, cell: tuple[int, int]) -> list[int]:
+        """Rows through-traffic may take: keeps one for an undriven gate."""
+        rows = self.free_rows(cell)
+        if cell in self.pending_output and len(rows) <= 1:
+            return []
+        return rows
+
+    def is_route_only(self, cell: tuple[int, int]) -> bool:
+        """True for cells burned purely as interconnect."""
+        return cell in self.thru_rows and cell not in self.logic_cells
+
+    def output_candidates(self, gate: MappedGate) -> tuple[tuple[int, int], list[int]]:
+        """(output cell, free rows) a gate can drive its net from."""
+        cell = self.placement.output_cell(gate)
+        return cell, self.free_rows(cell)
+
+
+def _wire_after(cell: tuple[int, int], row: int, direction: Direction) -> tuple[int, int, int]:
+    r, c = cell
+    if direction is Direction.EAST:
+        return (r, c + 1, row)
+    return (r + 1, c, row)
+
+
+class Router:
+    """Maze-routes every net of a placed design."""
+
+    #: Cost of a hop through a cell this net already reads.
+    REUSE_COST = 1.0
+    #: Cost of sharing a cell something else (logic, another net) uses.
+    SHARE_COST = 1.5
+    #: Cost of burning a fresh blank cell as a feed-through.
+    FRESH_COST = 2.0
+
+    def __init__(
+        self,
+        design: MappedDesign,
+        placement: Placement,
+        shape: tuple[int, int],
+        region: Region,
+        rng: random.Random | None = None,
+        max_passes: int = 6,
+        array=None,
+    ) -> None:
+        self.design = design
+        self.placement = placement
+        self.shape = shape
+        self.region = region
+        self.rng = rng or random.Random(0)
+        self.max_passes = max_passes
+        self.array = array
+        self.state = RoutingState(design, placement, shape, region, array=array)
+        self.routes: dict[str, NetRoute] = {}
+        #: Per-cell congestion history, grown between rip-up passes so
+        #: later passes spread traffic away from contested cells
+        #: (a light take on PathFinder's negotiated congestion).
+        self.history: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # Net enumeration and ordering
+    # ------------------------------------------------------------------
+    def routable_nets(self) -> list[str]:
+        nets = []
+        for net in self.design.nets():
+            sinks = self.design.sinks_of.get(net, [])
+            if sinks or net in self.design.outputs:
+                nets.append(net)
+        return nets
+
+    def _net_span(self, net: str) -> int:
+        from repro.pnr.place import net_hpwl
+
+        return net_hpwl(self.design, self.placement, net)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def route_design(self, strict: bool = True) -> dict[str, NetRoute]:
+        """Route every net, rip-up-and-retrying failures.
+
+        With ``strict`` any leftover failure raises :class:`RoutingError`;
+        otherwise the partial result is returned and failed nets are
+        simply absent from the route map (for congestion studies).
+        """
+        nets = sorted(self.routable_nets(), key=self._net_span)
+        failed: list[str] = []
+        for attempt in range(self.max_passes):
+            failed = []
+            for net in nets:
+                self.state.begin_net()
+                try:
+                    self.routes[net] = self._route_net(net)
+                    self.state.commit_net()
+                except RoutingError:
+                    # Roll the partial tree back so the failure cannot
+                    # poison the nets routed after it.
+                    self.state.rollback_net()
+                    failed.append(net)
+            if not failed:
+                return self.routes
+            if attempt == self.max_passes - 1:
+                break
+            # Charge the cells this pass leaned on, then rip everything
+            # up and lead with the failures.
+            for cell in set(self.state.thru_rows) | set(self.state.gate_rows):
+                self.history[cell] = self.history.get(cell, 0.0) + 0.3
+            self.state = RoutingState(
+                self.design, self.placement, self.shape, self.region,
+                array=self.array,
+            )
+            self.routes = {}
+            rest = [n for n in nets if n not in failed]
+            self.rng.shuffle(rest)
+            nets = failed + rest
+        if strict:
+            raise RoutingError(
+                f"unroutable nets after {self.max_passes} passes: "
+                f"{failed[:6]} (of {len(failed)})"
+            )
+        return self.routes
+
+    # ------------------------------------------------------------------
+    # One net
+    # ------------------------------------------------------------------
+    def _route_net(self, net: str) -> NetRoute:
+        route = NetRoute(net=net)
+        src_gate_name = self.design.source_of.get(net)
+        src_gate = (
+            self.design.gates[src_gate_name] if src_gate_name is not None else None
+        )
+        sinks = list(self.design.sinks_of.get(net, []))
+        is_output = net in self.design.outputs
+        # A primary input has a free entry point, but the whole tree must
+        # grow from it — so the entry is confined to the dominance corner
+        # every sink can still be reached from.
+        sink_cells = [
+            self.placement.input_cell(self.design.gates[g]) for g, _ in sinks
+        ]
+        if src_gate is not None:
+            origin = self.placement.output_cell(src_gate)
+            entry_bound = None
+        else:
+            origin = (
+                min((r for r, _ in sink_cells), default=self.region.row),
+                min((c for _, c in sink_cells), default=self.region.col),
+            )
+            entry_bound = origin
+        # Sort sinks nearest-first so the tree grows outward.
+        sinks.sort(
+            key=lambda s: (
+                abs(self.placement.input_cell(self.design.gates[s[0]])[0] - origin[0])
+                + abs(self.placement.input_cell(self.design.gates[s[0]])[1] - origin[1])
+            )
+        )
+        for gate_name, pin in sinks:
+            self._route_sink(
+                route, src_gate, gate_name, pin,
+                multi=len(sinks) > 1 or is_output,
+                entry_bound=entry_bound,
+            )
+        if is_output:
+            self._ensure_output_tap(route, src_gate)
+        return route
+
+    def _sink_target(
+        self, gate: MappedGate, pin: int, net: str
+    ) -> tuple[tuple[int, int], list[int]]:
+        """(input cell, acceptable columns) for one sink pin."""
+        cell = self.placement.input_cell(gate)
+        cols = gate.pin_columns
+        if cols is not None:
+            return cell, [cols[pin]]
+        assign = self.state.col_assign.get(cell, {})
+        if net in assign.values():
+            # The net already landed on this cell (duplicate pin).
+            return cell, [c for c, n in assign.items() if n == net]
+        return cell, [c for c in range(N_INPUTS) if c not in assign]
+
+    def _route_sink(
+        self,
+        route: NetRoute,
+        src_gate: MappedGate | None,
+        sink_name: str,
+        pin: int,
+        multi: bool,
+        entry_bound: tuple[int, int] | None = None,
+    ) -> None:
+        sink_gate = self.design.gates[sink_name]
+        target_cell, allowed = self._sink_target(sink_gate, pin, route.net)
+        if not allowed:
+            raise RoutingError(
+                f"net {route.net!r}: sink {sink_name!r} has no free input column"
+            )
+        tr, tc = target_cell
+        # The net may already arrive on an acceptable column of this cell.
+        for col in allowed:
+            if self.state.wire_net.get((tr, tc, col)) == route.net:
+                route.sink_cols[(sink_name, pin)] = col
+                self._assign_col(target_cell, col, route.net)
+                return
+        came = self._search(route, src_gate, target_cell, allowed, multi, entry_bound)
+        goal_col = self._commit(route, came)
+        route.sink_cols[(sink_name, pin)] = goal_col
+        self._assign_col(target_cell, goal_col, route.net)
+
+    def _assign_col(self, cell: tuple[int, int], col: int, net: str) -> None:
+        self.state.assign_col(cell, col, net)
+
+    # ------------------------------------------------------------------
+    # A* search over wire nodes
+    # ------------------------------------------------------------------
+    def _hop_cost(self, cell: tuple[int, int], net: str) -> float:
+        st = self.state
+        if (cell, net) in st.thru_col:
+            base = self.REUSE_COST
+        elif cell in st.logic_cells or cell in st.thru_rows:
+            base = self.SHARE_COST
+        else:
+            base = self.FRESH_COST
+        return base + self.history.get(cell, 0.0)
+
+    def _search(
+        self,
+        route: NetRoute,
+        src_gate: MappedGate | None,
+        target: tuple[int, int],
+        allowed_cols: list[int],
+        multi: bool,
+        entry_bound: tuple[int, int] | None = None,
+    ):
+        """Find a path of wires ending on ``target``'s allowed columns.
+
+        Returns the parent map and the goal node; raises RoutingError.
+        Nodes are wires ``(r, c, i)``; parents record how the wire came
+        to carry the net: ``("seed",)`` (already in the tree),
+        ``("drive", row, dir)`` (a new source row), ``("entry",)``
+        (primary-input entry) or ``("hop", prev, row, dir)``.
+        """
+        st = self.state
+        tr, tc = target
+
+        def h(node: tuple[int, int, int]) -> float:
+            return (tr - node[0]) + (tc - node[1])
+
+        frontier: list[tuple[float, int, tuple[int, int, int]]] = []
+        came: dict[tuple[int, int, int], tuple] = {}
+        gcost: dict[tuple[int, int, int], float] = {}
+        tick = 0
+
+        def push(node, cost, parent):
+            nonlocal tick
+            if node[0] > tr or node[1] > tc:
+                return
+            if node in gcost and gcost[node] <= cost:
+                return
+            gcost[node] = cost
+            came[node] = parent
+            tick += 1
+            heapq.heappush(frontier, (cost + h(node), tick, node))
+
+        for w in route.wires:
+            push(w, 0.0, ("seed",))
+        if src_gate is not None:
+            cell, rows = st.output_candidates(src_gate)
+            for row in rows:
+                for direction in (Direction.EAST, Direction.NORTH):
+                    w = _wire_after(cell, row, direction)
+                    if st.wire_exists(*w) and st.wire_free(w):
+                        push(w, 1.0, ("drive", row, direction))
+        elif not route.wires:
+            # Primary input: enter on any free wire the search can use —
+            # a passable cell's free column, or the sink pin directly.
+            # The entry bound keeps the root inside every sink's quadrant.
+            er, ec = entry_bound if entry_bound is not None else (tr, tc)
+            for r in range(self.region.row, min(self.region.row + self.region.n_rows, er + 1)):
+                for c in range(self.region.col, min(self.region.col + self.region.n_cols, ec + 1)):
+                    cell = (r, c)
+                    for i in range(N_INPUTS):
+                        w = (r, c, i)
+                        if not st.wire_free(w):
+                            continue
+                        direct = (
+                            not multi and cell == target and i in allowed_cols
+                        )
+                        if direct or st.cell_passable(cell, route.net, i):
+                            push(w, 0.0, ("entry",))
+
+        while frontier:
+            f, _, node = heapq.heappop(frontier)
+            if gcost[node] + h(node) < f - 1e-9:
+                continue
+            r, c, i = node
+            if (r, c) == target and i in allowed_cols:
+                return came, node
+            cell = (r, c)
+            if not st.cell_passable(cell, route.net, i):
+                continue
+            base = self._hop_cost(cell, route.net)
+            for row in st.thru_rows_available(cell):
+                for direction in (Direction.EAST, Direction.NORTH):
+                    w = _wire_after(cell, row, direction)
+                    if st.wire_exists(*w) and st.wire_free(w):
+                        push(w, gcost[node] + base, ("hop", node, row, direction))
+        raise RoutingError(
+            f"net {route.net!r}: no path to cell {target} columns {allowed_cols}"
+        )
+
+    # ------------------------------------------------------------------
+    # Committing a found path
+    # ------------------------------------------------------------------
+    def _commit(self, route: NetRoute, came_and_goal) -> int:
+        came, goal = came_and_goal
+        st = self.state
+        path: list[tuple[tuple[int, int, int], tuple]] = []
+        node = goal
+        while True:
+            parent = came[node]
+            path.append((node, parent))
+            if parent[0] == "hop":
+                node = parent[1]
+            else:
+                break
+        for node, parent in reversed(path):
+            kind = parent[0]
+            if kind == "seed":
+                continue
+            if kind == "entry":
+                st.claim_wire(node, route.net)
+                route.wires.append(node)
+                route.entry_wire = node
+                continue
+            if kind == "drive":
+                _, row, direction = parent
+                src_cell = self.placement.output_cell(
+                    self.design.gates[self.design.source_of[route.net]]
+                )
+                st.add_gate_row(src_cell, row, direction)
+            else:  # hop
+                _, prev, row, direction = parent
+                st.add_thru_row(
+                    (prev[0], prev[1]), route.net, prev[2], row, direction
+                )
+            st.claim_wire(node, route.net)
+            route.wires.append(node)
+        return goal[2]
+
+    # ------------------------------------------------------------------
+    # Output taps
+    # ------------------------------------------------------------------
+    def _ensure_output_tap(self, route: NetRoute, src_gate: MappedGate | None) -> None:
+        """Guarantee the net value is observable on a *driven* wire."""
+        driven = [w for w in route.wires if w != route.entry_wire]
+        if driven:
+            return
+        if src_gate is not None:
+            cell, rows = self.state.output_candidates(src_gate)
+            if self._tap_from(route, cell, rows, in_col=None):
+                return
+            raise RoutingError(
+                f"output net {route.net!r}: no free row/wire to expose it"
+            )
+        # Primary input feeding an output: pass it through one cell.
+        for (cell, owner), in_col in list(self.state.thru_col.items()):
+            if owner == route.net:
+                if self._tap_from(
+                    route, cell, self.state.free_rows(cell), in_col=in_col
+                ):
+                    return
+        # Forward straight from the cell the entry wire lands on (its
+        # reader — a sink or feed-through — re-drives it on a spare row).
+        if route.entry_wire is not None:
+            er, ec, ei = route.entry_wire
+            if self._tap_from(
+                route, (er, ec), self.state.free_rows((er, ec)), in_col=ei
+            ):
+                return
+        else:
+            # No entry exists yet: claim one plus one buffer row.
+            for r in range(self.region.row, self.region.row + self.region.n_rows):
+                for c in range(self.region.col, self.region.col + self.region.n_cols):
+                    cell = (r, c)
+                    for i in range(N_INPUTS):
+                        entry = (r, c, i)
+                        if not self.state.wire_free(entry):
+                            continue
+                        if not self.state.cell_passable(cell, route.net, i):
+                            continue
+                        if self._tap_entry(route, cell, entry):
+                            return
+        raise RoutingError(
+            f"output net {route.net!r}: no cell available to expose it"
+        )
+
+    def _tap_entry(self, route, cell, entry) -> bool:
+        ok = self._tap_from(route, cell, self.state.free_rows(cell), in_col=entry[2])
+        if not ok:
+            return False
+        self.state.claim_wire(entry, route.net)
+        route.wires.insert(0, entry)
+        route.entry_wire = entry
+        return True
+
+    def _tap_from(self, route, cell, rows, in_col) -> bool:
+        st = self.state
+        for row in rows:
+            for direction in (Direction.EAST, Direction.NORTH):
+                w = _wire_after(cell, row, direction)
+                if st.wire_exists(*w) and st.wire_free(w):
+                    if in_col is not None:
+                        st.add_thru_row(cell, route.net, in_col, row, direction)
+                    else:
+                        st.add_gate_row(cell, row, direction)
+                    st.claim_wire(w, route.net)
+                    route.wires.append(w)
+                    return True
+        return False

@@ -14,7 +14,7 @@ import networkx as nx
 
 from repro.fabric.array import CellArray
 from repro.fabric.driver import DriverMode
-from repro.fabric.nandcell import CellConfig, Direction
+from repro.fabric.nandcell import CellConfig, Direction, N_ROWS
 
 
 def straight_channel(
@@ -34,6 +34,14 @@ def straight_channel(
         raise ValueError(f"col range must be increasing, got {col_start}..{col_end}")
     if not lines:
         raise ValueError("need at least one line to route")
+    for line in lines:
+        if not 0 <= line < N_ROWS:
+            raise ValueError(
+                f"line index must be 0..{N_ROWS - 1}, got {line} "
+                f"(a cell has {N_ROWS} abutment lines)"
+            )
+    if len(set(lines)) != len(lines):
+        raise ValueError(f"duplicate line indices in {lines}")
     for c in range(col_start, col_end):
         cfg = array.cell(row, c)
         if not cfg.is_blank():
@@ -62,6 +70,11 @@ def grid_route(
 
     Raises ``ValueError`` when no monotone blank path exists.
     """
+    if not 0 <= line < N_ROWS:
+        raise ValueError(
+            f"line index must be 0..{N_ROWS - 1}, got {line} "
+            f"(a cell has {N_ROWS} abutment lines)"
+        )
     (r0, c0), (r1, c1) = src, dst
     if r1 < r0 or c1 < c0:
         raise ValueError(

@@ -106,6 +106,27 @@ class TestRouting:
         with pytest.raises(ValueError, match="refusing"):
             straight_channel(arr, 0, 1, 3, lines=[1])
 
+    def test_channel_rejects_out_of_range_lines(self):
+        from repro.fabric.array import CellArray
+
+        arr = CellArray(1, 3)
+        # A clear, early error — not a failure deep inside CellConfig.
+        with pytest.raises(ValueError, match="line index must be 0..5"):
+            straight_channel(arr, 0, 0, 2, lines=[6])
+        with pytest.raises(ValueError, match="line index must be 0..5"):
+            straight_channel(arr, 0, 0, 2, lines=[-1])
+        with pytest.raises(ValueError, match="duplicate line"):
+            straight_channel(arr, 0, 0, 2, lines=[1, 1])
+        # Nothing was configured by the failed calls.
+        assert all(arr.cell(0, c).is_blank() for c in range(3))
+
+    def test_grid_route_rejects_out_of_range_line(self):
+        from repro.fabric.array import CellArray
+
+        arr = CellArray(2, 2)
+        with pytest.raises(ValueError, match="line index must be 0..5"):
+            grid_route(arr, (0, 0), (1, 1), line=7)
+
     def test_grid_route_l_shape(self):
         from repro.fabric.array import CellArray, wire_name
 

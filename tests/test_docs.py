@@ -1,0 +1,33 @@
+"""Executable documentation: doctests for the netlist entry points.
+
+The quickstart in ``repro.netlist.__init__`` and the usage examples on
+the IR entry points are part of the public documentation — this test
+keeps them runnable, and CI additionally sweeps the package with
+``pytest --doctest-modules src/repro/netlist``.
+"""
+
+import doctest
+
+import repro.netlist
+import repro.netlist.backends
+import repro.netlist.ir
+
+
+def _run(module) -> int:
+    result = doctest.testmod(module)
+    assert result.failed == 0, (
+        f"{result.failed} doctest failures in {module.__name__}"
+    )
+    return result.attempted
+
+
+def test_netlist_package_quickstart():
+    assert _run(repro.netlist) > 0  # the quickstart must actually run
+
+
+def test_netlist_ir_examples():
+    assert _run(repro.netlist.ir) > 0
+
+
+def test_netlist_backends_doctests():
+    _run(repro.netlist.backends)  # no examples required, none may fail

@@ -1,0 +1,455 @@
+"""Tests for the place-and-route subsystem (`repro.pnr`).
+
+Covers each stage in isolation (tech-map rewrites, placement legality,
+routing tree consistency) and the flow end to end: the Fig. 10 adder
+slice re-compiled from its own lowered netlist, bitstream round trips,
+floorplan-region co-residency, and a property-style sweep of random
+combinational netlists verified against both simulation backends on
+over a thousand random vectors.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.fabric.array import CellArray
+from repro.fabric.floorplan import Floorplan, Region
+from repro.netlist import BatchBackend, EventBackend, Netlist
+from repro.pnr import (
+    PlacementError,
+    PnrError,
+    TechMapError,
+    VerificationError,
+    anneal_placement,
+    compile_to_fabric,
+    dominance_violations,
+    gate_levels,
+    hpwl,
+    initial_placement,
+    map_netlist,
+    suggest_array,
+    verify_equivalence,
+)
+from repro.sim.values import ONE, ZERO, X
+
+
+def one_bit_adder() -> Netlist:
+    nl = Netlist("fa1")
+    a, b, c = (nl.add_input(x) for x in "abc")
+    nl.add("xor", "x1", [a, b], "t")
+    nl.add("xor", "x2", ["t", c], nl.add_output("s"))
+    nl.add("and", "a1", [a, b], "ab")
+    nl.add("and", "a2", ["t", c], "tc")
+    nl.add("or", "o1", ["ab", "tc"], nl.add_output("cout"))
+    return nl
+
+
+def random_netlist(seed: int, n_inputs: int = 4) -> Netlist:
+    """A random combinational netlist over the full two-valued vocabulary."""
+    rng = random.Random(seed)
+    kinds = ["nand", "and", "or", "nor", "xor", "not", "buf"]
+    nl = Netlist(f"rand{seed}")
+    nets = [nl.add_input(f"i{k}").name for k in range(n_inputs)]
+    for g in range(rng.randint(5, 16)):
+        kind = rng.choice(kinds)
+        n_in = {"xor": 2, "not": 1, "buf": 1}.get(kind, rng.randint(1, 3))
+        nl.add(kind, f"g{g}", [rng.choice(nets) for _ in range(n_in)], f"n{g}")
+        nets.append(f"n{g}")
+    for net in nets[-3:]:
+        nl.add_output(net)
+    return nl
+
+
+# ----------------------------------------------------------------------
+# Stage 1: tech map
+# ----------------------------------------------------------------------
+
+class TestTechMap:
+    def test_nand_fabric_vocabulary_only(self):
+        design = map_netlist(one_bit_adder())
+        assert set(g.kind for g in design.gates.values()) <= {"nand", "and", "const"}
+
+    def test_complements_are_shared(self):
+        nl = Netlist("share")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        nl.add("or", "o1", [a, b], nl.add_output("x"))
+        nl.add("nor", "o2", [a, b], nl.add_output("y"))
+        design = map_netlist(nl)
+        inverters = [
+            g for g in design.gates.values()
+            if g.kind == "nand" and g.inputs in (("a",), ("b",))
+        ]
+        assert len(inverters) == 2  # one per variable, not one per use
+
+    def test_wide_products_split(self):
+        nl = Netlist("wide")
+        ins = [nl.add_input(f"i{k}") for k in range(9)]
+        nl.add("nand", "g", ins, nl.add_output("y"))
+        design = map_netlist(nl)
+        assert all(len(g.inputs) <= 6 for g in design.gates.values())
+        assert design.n_gates >= 2
+
+    def test_dead_gates_pruned(self):
+        nl = Netlist("dead")
+        a = nl.add_input("a")
+        nl.add("not", "live", [a], nl.add_output("y"))
+        nl.add("not", "dead", [a], "unused")
+        design = map_netlist(nl)
+        assert design.n_gates == 1
+
+    def test_tristate_rejected(self):
+        nl = Netlist("bus")
+        a, en = nl.add_input("a"), nl.add_input("en")
+        nl.add("tristate", "t", [a, en], nl.add_output("y"))
+        with pytest.raises(TechMapError):
+            map_netlist(nl)
+
+    def test_multi_driven_rejected(self):
+        nl = Netlist("short")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        nl.add("buf", "d1", [a], "y")
+        nl.add("buf", "d2", [b], "y")
+        nl.add_output("y")
+        with pytest.raises(TechMapError):
+            map_netlist(nl)
+
+    def test_celement_reset_rail(self):
+        nl = Netlist("ce")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        nl.add("celement", "c", [a, b], nl.add_output("y"), init=ZERO)
+        design = map_netlist(nl)
+        assert design.reset_net is not None
+        assert design.reset_net in design.inputs
+        (gate,) = [g for g in design.gates.values() if g.kind == "celement"]
+        assert gate.inputs[-1] == design.reset_net
+
+    def test_celement_init_x_needs_no_reset(self):
+        nl = Netlist("cex")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        nl.add("celement", "c", [a, b], nl.add_output("y"), init=X)
+        assert map_netlist(nl).reset_net is None
+
+    def test_bad_init_rejected(self):
+        nl = Netlist("ce1")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        nl.add("celement", "c", [a, b], nl.add_output("y"), init=ONE)
+        with pytest.raises(TechMapError):
+            map_netlist(nl)
+
+    def test_table_lowering_matches_function(self):
+        nl = Netlist("maj")
+        ins = [nl.add_input(f"i{k}") for k in range(3)]
+        nl.add("table", "m", ins, nl.add_output("y"), table=[0, 0, 0, 1, 0, 1, 1, 1])
+        res = compile_to_fabric(nl, seed=0)
+        verify_equivalence(res, n_vectors=256, event_vectors=4)
+
+
+# ----------------------------------------------------------------------
+# Stage 2: placement
+# ----------------------------------------------------------------------
+
+class TestPlacement:
+    def test_greedy_is_legal_and_disjoint(self):
+        design = map_netlist(one_bit_adder())
+        region = Region("r", 1, 2, 10, 10)
+        placement = initial_placement(design, region, random.Random(0))
+        assert dominance_violations(design, placement) == 0
+        cells = [
+            cell
+            for g in design.gates.values()
+            for cell in placement.cells_of(g)
+        ]
+        assert len(cells) == len(set(cells))
+        for r, c in cells:
+            assert 1 <= r < 11 and 2 <= c < 12
+
+    def test_anneal_preserves_legality_and_hpwl(self):
+        design = map_netlist(random_netlist(3))
+        arr = suggest_array(design)
+        region = Region("r", 0, 0, arr.n_rows, arr.n_cols)
+        rng = random.Random(0)
+        seed_placement = initial_placement(design, region, rng)
+        h0 = hpwl(design, seed_placement)
+        refined = anneal_placement(design, seed_placement, rng)
+        assert dominance_violations(design, refined) == 0
+        assert hpwl(design, refined) <= h0
+
+    def test_region_too_small(self):
+        design = map_netlist(one_bit_adder())
+        with pytest.raises(PlacementError):
+            initial_placement(design, Region("r", 0, 0, 2, 2), random.Random(0))
+
+    def test_grid_feedback_rejected(self):
+        nl = Netlist("loop")
+        a = nl.add_input("a")
+        nl.add("nand", "g1", [a, "f2"], "f1")
+        nl.add("nand", "g2", ["f1"], "f2")
+        nl.add_output("f1")
+        with pytest.raises(PlacementError):
+            gate_levels(map_netlist(nl))
+
+    def test_self_loop_rejected(self):
+        nl = Netlist("self")
+        a = nl.add_input("a")
+        nl.add("nand", "g", [a, "y"], nl.add_output("y"))
+        with pytest.raises(PlacementError, match="reads its own output"):
+            gate_levels(map_netlist(nl))
+        with pytest.raises(PnrError):
+            compile_to_fabric(nl)
+
+
+# ----------------------------------------------------------------------
+# Stages 3+4 through the flow
+# ----------------------------------------------------------------------
+
+class TestCompileFlow:
+    def test_fig10_adder_slice(self):
+        """Acceptance: the Fig. 10 slice places, routes, and verifies."""
+        from repro.synth.macros import full_adder_testbench
+
+        source, stimulus, golden = full_adder_testbench()
+        res = compile_to_fabric(source, seed=0)
+        assert res.stats.routed_fraction == 1.0
+        verify_equivalence(res, n_vectors=512, event_vectors=8)
+        # The paper's 8 complement-consistent patterns, bit for bit.
+        fabric = res.fabric_netlist().netlist
+        stim = {res.input_wires[k]: v for k, v in stimulus.items()}
+        got = BatchBackend().evaluate(
+            fabric, stim, outputs=[res.output_wires[n] for n in golden]
+        )
+        for name, want in golden.items():
+            assert np.array_equal(got[res.output_wires[name]], want)
+
+    def test_bitstream_round_trip(self):
+        res = compile_to_fabric(one_bit_adder(), seed=0)
+        clone = CellArray.from_bitstream(res.to_bitstream())
+        rng = np.random.default_rng(1)
+        stim = {
+            res.input_wires[n]: rng.integers(0, 2, 64, dtype=np.uint8)
+            for n in ("a", "b", "c")
+        }
+        original = BatchBackend().evaluate(
+            res.fabric_netlist().netlist, stim,
+            outputs=list(res.output_wires.values()),
+        )
+        rebuilt = BatchBackend().evaluate(
+            clone.to_netlist().netlist, stim,
+            outputs=list(res.output_wires.values()),
+        )
+        for wire in res.output_wires.values():
+            assert np.array_equal(original[wire], rebuilt[wire])
+
+    def test_routing_is_nand_buffer_feedthrough(self):
+        """Routed cells are single-input NAND rows with INVERT drivers."""
+        from repro.fabric.driver import DriverMode
+
+        res = compile_to_fabric(one_bit_adder(), seed=0)
+        assert res.stats.cells_route > 0 or res.stats.wirelength > 0
+        placed = {
+            cell
+            for g in res.design.gates.values()
+            for cell in res.placement.cells_of(g)
+        }
+        route_only = 0
+        for r in range(res.array.n_rows):
+            for c in range(res.array.n_cols):
+                cfg = res.array.cell(r, c)
+                if cfg.is_blank() or (r, c) in placed:
+                    continue
+                route_only += 1
+                for row in cfg.used_rows():
+                    assert len(cfg.active_columns(row)) == 1
+                    assert cfg.drivers[row] is DriverMode.INVERT
+        assert route_only == res.stats.cells_route
+
+    def test_two_regions_share_one_array(self):
+        array = CellArray(16, 16)
+        plan = Floorplan(16, 16)
+        r1 = plan.allocate_anywhere("mod1", 8, 8)
+        r2 = plan.allocate_anywhere("mod2", 8, 8)
+        res1 = compile_to_fabric(one_bit_adder(), array, region=r1, seed=0)
+        res2 = compile_to_fabric(one_bit_adder(), array, region=r2, seed=3)
+        verify_equivalence(res1, n_vectors=64, event_vectors=2)
+        verify_equivalence(res2, n_vectors=64, event_vectors=2)
+
+    def test_region_must_be_blank(self):
+        array = CellArray(12, 12)
+        compile_to_fabric(one_bit_adder(), array, seed=0)
+        with pytest.raises(PnrError):
+            compile_to_fabric(one_bit_adder(), array, seed=0)
+
+    def test_input_passthrough_to_output(self):
+        nl = Netlist("pass")
+        p = nl.add_input("p")
+        nl.add_output("p")
+        nl.add("not", "inv", [p], nl.add_output("q"))
+        res = compile_to_fabric(nl, seed=0)
+        verify_equivalence(res, n_vectors=64, event_vectors=4)
+
+    def test_deterministic_for_a_seed(self):
+        res1 = compile_to_fabric(one_bit_adder(), seed=5)
+        res2 = compile_to_fabric(one_bit_adder(), seed=5)
+        assert res1.placement.positions == res2.placement.positions
+        assert res1.input_wires == res2.input_wires
+        assert np.array_equal(res1.to_bitstream(), res2.to_bitstream())
+
+    def test_stats_account_cells(self):
+        res = compile_to_fabric(one_bit_adder(), seed=0)
+        s = res.stats
+        assert s.cells_logic == sum(g.width for g in res.design.gates.values())
+        assert s.cells_used == res.array.used_cells()
+        assert s.area.interconnect_l2 == pytest.approx(s.cells_route * 200.0)
+        assert 0 < s.utilisation <= 1
+
+    def test_unmappable_designs_raise_pnr_error(self):
+        """compile_to_fabric wraps every failure mode in PnrError."""
+        bus = Netlist("bus")
+        a, en = bus.add_input("a"), bus.add_input("en")
+        bus.add("tristate", "t", [a, en], bus.add_output("y"))
+        with pytest.raises(PnrError):
+            compile_to_fabric(bus)
+        loop = Netlist("loop")
+        x = loop.add_input("x")
+        loop.add("nand", "g1", [x, "f2"], "f1")
+        loop.add("nand", "g2", ["f1"], "f2")
+        loop.add_output("f1")
+        with pytest.raises(PnrError):
+            compile_to_fabric(loop)
+
+    def test_eventlatch_init_zero_needs_no_reset_rail(self):
+        """A lone capture-pass latch inits through transparency: no rail."""
+        nl = Netlist("lat")
+        d, r, a = (nl.add_input(x) for x in ("d", "r", "a"))
+        nl.add("eventlatch", "l", [d, r, a], nl.add_output("z"), init=ZERO)
+        res = compile_to_fabric(nl, seed=0)
+        assert res.reset_wire is None
+        assert res.design.reset_net is None
+        # Every design input is either routed or genuinely unused.
+        assert set(res.input_wires) == {"d", "r", "a"}
+
+    def test_constant_only_design_verifies(self):
+        nl = Netlist("consts")
+        nl.add("const", "k1", [], nl.add_output("hi"), value=1)
+        nl.add("const", "k0", [], "lo", value=0)
+        nl.add("not", "inv", ["lo"], nl.add_output("lo_n"))
+        res = compile_to_fabric(nl, seed=0)
+        report = verify_equivalence(res, n_vectors=16)
+        assert report["ok"] and report["outputs"] == 2
+
+    def test_verify_rejects_stateful(self):
+        nl = Netlist("ce")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        nl.add("celement", "c", [a, b], nl.add_output("y"), init=X)
+        res = compile_to_fabric(nl, seed=0)
+        with pytest.raises(VerificationError):
+            verify_equivalence(res, n_vectors=8)
+
+
+# ----------------------------------------------------------------------
+# Property-style: random netlists round-trip on >= 1000 vectors
+# ----------------------------------------------------------------------
+
+class TestPropertyRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_combinational_round_trip(self, seed):
+        source = random_netlist(seed)
+        res = compile_to_fabric(source, seed=seed)
+        report = verify_equivalence(res, n_vectors=1024, event_vectors=2)
+        assert report["ok"] and report["vectors_batch"] >= 1000
+
+    def test_ripple_carry_adder_adds(self):
+        from repro.datapath.adder import ripple_carry_netlist
+
+        nl = ripple_carry_netlist(4)
+        res = compile_to_fabric(nl, seed=0)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 16, 256)
+        b = rng.integers(0, 16, 256)
+        stim = {"cin": np.zeros(256, dtype=np.uint8)}
+        for k in range(4):
+            stim[f"a{k}"] = ((a >> k) & 1).astype(np.uint8)
+            stim[f"b{k}"] = ((b >> k) & 1).astype(np.uint8)
+        fabric = res.fabric_netlist().netlist
+        fab_stim = {res.input_wires[n]: v for n, v in stim.items()}
+        out = BatchBackend().evaluate(
+            fabric, fab_stim, outputs=list(res.output_wires.values())
+        )
+        total = np.zeros(256, dtype=np.int64)
+        for k in range(4):
+            total |= out[res.output_wires[f"s{k}"]].astype(np.int64) << k
+        total |= out[res.output_wires["c4"]].astype(np.int64) << 4
+        assert np.array_equal(total, a + b)
+
+
+# ----------------------------------------------------------------------
+# Stateful: a micropipeline stage on the fabric
+# ----------------------------------------------------------------------
+
+class TestMicropipelineOnFabric:
+    def test_stage_matches_behavioural_sequence(self):
+        from repro.asynclogic.micropipeline import micropipeline_netlist
+
+        source, _ports = micropipeline_netlist(1, data_width=2, auto_sink=False)
+        res = compile_to_fabric(source, seed=0)
+        assert res.reset_wire is not None
+
+        ref = EventBackend().elaborate(source)
+        fab = EventBackend().elaborate(res.fabric_netlist().netlist)
+
+        def drive(name, value):
+            ref.drive(name, value)
+            fab.drive(res.input_wires[name], value)
+
+        def settle_and_compare(tag):
+            ref.run_to_quiescence(max_time=ref.now + 10_000)
+            fab.run_to_quiescence(max_time=fab.now + 10_000)
+            for net in source.outputs:
+                assert ref.value(net) == fab.value(res.output_wires[net]), (
+                    f"{tag}: {net}"
+                )
+
+        # Power-on: hold the synthesised reset low, everything else 0.
+        fab.drive(res.reset_wire, ZERO)
+        for name in ("req_in", "ack_out", "din[0]", "din[1]"):
+            drive(name, ZERO)
+        ref.run_to_quiescence(max_time=10_000)
+        fab.run_to_quiescence(max_time=10_000)
+        fab.drive(res.reset_wire, ONE)
+        settle_and_compare("after reset")
+        # Two-phase token traffic: data, request toggle, acknowledge.
+        for name, value in (
+            ("din[1]", ONE),
+            ("req_in", ONE),
+            ("ack_out", ONE),
+            ("din[0]", ONE),
+            ("din[1]", ZERO),
+            ("req_in", ZERO),
+        ):
+            drive(name, value)
+            settle_and_compare(f"{name}={value}")
+
+    def test_celement_on_fabric(self):
+        nl = Netlist("ce")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        nl.add("celement", "c", [a, b], nl.add_output("y"), init=ZERO)
+        res = compile_to_fabric(nl, seed=0)
+        sim = EventBackend().elaborate(res.fabric_netlist().netlist)
+        wa, wb = res.input_wires["a"], res.input_wires["b"]
+        wy = res.output_wires["y"]
+        sim.drive(res.reset_wire, ZERO)
+        sim.drive(wa, ZERO)
+        sim.drive(wb, ZERO)
+        sim.run_to_quiescence(max_time=5_000)
+        sim.drive(res.reset_wire, ONE)
+        sequence = [
+            (ONE, ZERO, ZERO),   # disagree: holds 0
+            (ONE, ONE, ONE),     # agree: follows to 1
+            (ZERO, ONE, ONE),    # disagree: holds 1
+            (ZERO, ZERO, ZERO),  # agree: follows to 0
+        ]
+        for va, vb, want in sequence:
+            sim.drive(wa, va)
+            sim.drive(wb, vb)
+            sim.run_to_quiescence(max_time=sim.now + 5_000)
+            assert sim.value(wy) == want

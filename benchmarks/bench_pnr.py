@@ -1,11 +1,16 @@
-"""Bench: place-and-route quality and throughput (`repro.pnr`).
+"""Bench: place-and-route quality, timing, and throughput (`repro.pnr`).
 
 Records what the compile flow pays for position independence on the
 polymorphic fabric — wirelength, cells burned on routing versus logic,
-utilisation, and the routed-net fraction — across a suite of designs
-from the paper (the Fig. 10 adder slice, a micropipeline stage) and
-scaling ripple-carry adders.  `run_all.py` imports
-:func:`run_pnr_quality` and folds the numbers into
+utilisation, routed-net fraction, and (since the STA stage landed) the
+achieved cycle time against the ideal-wire logic depth — across a suite
+of designs from the paper (the Fig. 10 adder slice, a micropipeline
+stage), scaling ripple-carry adders, and the datapath generators (array
+multiplier, accumulator step), so ``BENCH_results.json`` tracks compile
+time, wirelength and cycle time against array side.  A second table
+compares wirelength-only and timing-driven compiles on the larger
+designs.  `run_all.py` imports :func:`run_pnr_quality` and
+:func:`run_pnr_timing_driven` and folds the numbers into
 ``BENCH_results.json``.
 """
 
@@ -13,7 +18,9 @@ from __future__ import annotations
 
 import time
 
+from repro.datapath.accumulator import accumulator_step_netlist
 from repro.datapath.adder import ripple_carry_netlist
+from repro.datapath.multiplier import array_multiplier_netlist
 from repro.netlist import Netlist
 from repro.pnr import compile_to_fabric, verify_equivalence
 
@@ -29,11 +36,14 @@ def _suite() -> dict[str, Netlist]:
         "micropipeline_stage": stage,
         "rca4": ripple_carry_netlist(4),
         "rca8": ripple_carry_netlist(8),
+        "mul2_array": array_multiplier_netlist(2),
+        "mul3_array": array_multiplier_netlist(3),
+        "acc8_step": accumulator_step_netlist(8),
     }
 
 
 def run_pnr_quality(verify_vectors: int = 256) -> dict[str, dict]:
-    """Compile the suite; return per-design quality metrics."""
+    """Compile the suite; return per-design quality + timing metrics."""
     results: dict[str, dict] = {}
     for name, netlist in _suite().items():
         t0 = time.perf_counter()
@@ -52,6 +62,9 @@ def run_pnr_quality(verify_vectors: int = 256) -> dict[str, dict]:
             "utilisation": round(s.utilisation, 4),
             "array_side": res.array.n_rows,
             "interconnect_area_l2": s.area.interconnect_l2,
+            "cycle_time": s.cycle_time,
+            "logic_delay": s.logic_delay,
+            "worst_slack": s.worst_slack,
             "compile_s": round(compile_s, 4),
         }
         if not res.design.has_stateful_gates():
@@ -60,6 +73,38 @@ def run_pnr_quality(verify_vectors: int = 256) -> dict[str, dict]:
             entry["verify_s"] = round(time.perf_counter() - t0, 4)
             entry["verified_vectors"] = verify_vectors
         results[name] = entry
+    return results
+
+
+def run_pnr_timing_driven() -> dict[str, dict]:
+    """Wirelength-only vs timing-driven compiles on the larger designs.
+
+    The acceptance bar for the timing-driven loop: its achieved cycle
+    time is never worse than the HPWL-only placement's, on the rca8 and
+    multiplier benchmarks.
+    """
+    designs = {
+        "rca8": ripple_carry_netlist(8),
+        "mul3_array": array_multiplier_netlist(3),
+    }
+    results: dict[str, dict] = {}
+    for name, netlist in designs.items():
+        t0 = time.perf_counter()
+        base = compile_to_fabric(netlist, seed=0)
+        base_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        timed = compile_to_fabric(netlist, seed=0, timing_driven=True)
+        timed_s = time.perf_counter() - t0
+        results[name] = {
+            "cycle_hpwl": base.stats.cycle_time,
+            "cycle_timing_driven": timed.stats.cycle_time,
+            "slack_hpwl": base.stats.worst_slack,
+            "slack_timing_driven": timed.stats.worst_slack,
+            "wirelength_hpwl": base.stats.wirelength,
+            "wirelength_timing_driven": timed.stats.wirelength,
+            "compile_s_hpwl": round(base_s, 4),
+            "compile_s_timing_driven": round(timed_s, 4),
+        }
     return results
 
 
@@ -76,6 +121,8 @@ def test_pnr_quality_suite():
         # Paper Section 4: interconnect is cells; it should cost the
         # same order as the logic, not dominate it wholesale.
         assert entry["cells_route"] <= 3 * entry["cells_logic"], name
+        # Routed wires only add delay on top of the logic depth.
+        assert entry["cycle_time"] >= entry["logic_delay"] > 0, name
 
 
 def test_pnr_scales_with_adder_width(capsys):
@@ -83,10 +130,17 @@ def test_pnr_scales_with_adder_width(capsys):
     for n_bits in (2, 4, 8):
         res = compile_to_fabric(ripple_carry_netlist(n_bits), seed=0)
         s = res.stats
-        rows.append((n_bits, s.n_gates, s.cells_route, s.wirelength))
+        rows.append((n_bits, s.n_gates, s.cells_route, s.wirelength, s.cycle_time))
     # Wirelength and routing burn grow with the design, not explode.
     assert rows[-1][3] < 40 * rows[0][3]
     with capsys.disabled():
-        print("\n  bits gates route wirelength")
+        print("\n  bits gates route wirelength cycle")
         for r in rows:
-            print(f"  {r[0]:4d} {r[1]:5d} {r[2]:5d} {r[3]:10d}")
+            print(f"  {r[0]:4d} {r[1]:5d} {r[2]:5d} {r[3]:10d} {r[4]:5d}")
+
+
+def test_timing_driven_never_slower():
+    """Acceptance: timing-driven cycle <= HPWL-only cycle, both designs."""
+    results = run_pnr_timing_driven()
+    for name, entry in results.items():
+        assert entry["cycle_timing_driven"] <= entry["cycle_hpwl"], name

@@ -128,11 +128,19 @@ def microbench_mc_yield() -> dict:
 
 
 def microbench_pnr() -> dict:
-    """Place-and-route quality: wirelength, routing burn, utilisation."""
-    sys.path.insert(0, str(HERE))
-    from bench_pnr import run_pnr_quality
+    """PnR quality and timing: wirelength, routing burn, cycle time.
 
-    return run_pnr_quality()
+    ``quality`` is per-design (includes the scale designs: multiplier,
+    accumulator step); ``timing_driven`` compares wirelength-only vs
+    timing-driven compiles on rca8 and the array multiplier.
+    """
+    sys.path.insert(0, str(HERE))
+    from bench_pnr import run_pnr_quality, run_pnr_timing_driven
+
+    return {
+        "quality": run_pnr_quality(),
+        "timing_driven": run_pnr_timing_driven(),
+    }
 
 
 def main() -> int:
@@ -154,11 +162,17 @@ def main() -> int:
         f"  MC yield        : {micro['mc_yield']['batch_configs_per_s']:>12,} configs/s "
         f"({micro['mc_yield']['speedup']}x over event)"
     )
-    fig10 = micro["pnr"]["fig10_adder_slice"]
+    fig10 = micro["pnr"]["quality"]["fig10_adder_slice"]
     print(
         f"  PnR Fig.10      : {fig10['cells_logic']} logic + "
         f"{fig10['cells_route']} route cells, wirelength "
-        f"{fig10['wirelength']}, compiled in {fig10['compile_s']}s"
+        f"{fig10['wirelength']}, cycle {fig10['cycle_time']}, "
+        f"compiled in {fig10['compile_s']}s"
+    )
+    rca8 = micro["pnr"]["timing_driven"]["rca8"]
+    print(
+        f"  PnR rca8 timing : cycle {rca8['cycle_hpwl']} (HPWL) -> "
+        f"{rca8['cycle_timing_driven']} (timing-driven)"
     )
     out = HERE / "BENCH_results.json"
     out.write_text(json.dumps(results, indent=2) + "\n")

@@ -43,6 +43,14 @@ def compile_adder() -> None:
     print(f"  hand-placed macro: {hand_cells} cells — the compiler pays "
           f"{s.cells_used} for position independence")
 
+    t = result.timing
+    gates_on_path = [p.name for p in t.critical_path if p.kind in ("gate", "pair")]
+    print(f"  timing:           cycle time {t.cycle_time} units "
+          f"(logic {t.logic_delay} + wire {t.wire_delay}), "
+          f"worst slack {t.worst_slack:+d} vs the ideal-wire bound")
+    print(f"  critical path:    {t.endpoint!r} via "
+          f"{' -> '.join(gates_on_path)}")
+
     report = verify_equivalence(result, n_vectors=1024, event_vectors=8)
     print(f"  verified: {report['vectors_batch']} random vectors (batch), "
           f"{report['vectors_event']} on the event backend")
@@ -77,6 +85,8 @@ def compile_micropipeline_stage() -> None:
     print(f"  cells:            {s.cells_logic} logic + {s.cells_route} routing "
           f"on a {result.array.n_rows}x{result.array.n_cols} array")
     print(f"  reset rail:       {result.reset_wire} (synthesised, active low)")
+    print(f"  timing:           cycle time {result.timing.cycle_time} units "
+          f"(paths capture at the pair macros' pins)")
 
     sim = EventBackend().elaborate(result.fabric_netlist().netlist)
     sim.drive(result.reset_wire, ZERO)

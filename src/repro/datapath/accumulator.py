@@ -14,8 +14,40 @@ module's docstring for why the fold is an explicit modelled route).
 from __future__ import annotations
 
 from repro.core.platform import PolymorphicPlatform
-from repro.datapath.adder import RippleCarryAdder
+from repro.datapath.adder import RippleCarryAdder, full_adder_gates, half_adder_gates
 from repro.synth.macros import dff_pair
+
+
+def accumulator_step_netlist(n_bits: int):
+    """The combinational core of one accumulate step, in the netlist IR.
+
+    Computes ``nxt = acc + b`` — the adder cone between the register
+    column's Q outputs and its D inputs (the register itself stays in
+    the environment, exactly as :class:`Accumulator` holds it in DFF
+    pairs).  Inputs ``acc{k}`` / ``b{k}``; outputs ``nxt{k}`` plus the
+    overflow carry ``c{n_bits}``.  This is the accumulator's entry in
+    the PnR scale benchmarks: its reported critical path is the ripple
+    chain that bounds the accumulate clock period.
+    """
+    from repro.netlist.ir import Netlist
+
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    nl = Netlist(f"acc{n_bits}_step")
+    carry = None
+    for k in range(n_bits):
+        a = nl.add_input(f"acc{k}")
+        b = nl.add_input(f"b{k}")
+        out = nl.add_output(f"nxt{k}")
+        cout = f"c{n_bits}" if k == n_bits - 1 else None
+        if carry is None:
+            _, carry = half_adder_gates(nl, f"fa{k}", a, b, sum_net=out,
+                                        carry_net=cout)
+        else:
+            _, carry = full_adder_gates(nl, f"fa{k}", a, b, carry,
+                                        sum_net=out, carry_net=cout)
+    nl.add_output(carry)
+    return nl
 
 
 class Accumulator:

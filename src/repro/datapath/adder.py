@@ -173,6 +173,28 @@ class RippleCarryAdder:
         return wire_name(0, self.CELLS_PER_BIT * (k + 1), 4)
 
 
+def full_adder_gates(nl, name: str, x, y, cin, sum_net=None, carry_net=None):
+    """(sum, carry) of three bits as IR gates — the rca/multiplier cell.
+
+    Nets are named under ``name``; ``sum_net`` / ``carry_net`` redirect
+    the results onto caller-owned nets (e.g. declared outputs).  Shared
+    by the array multiplier and accumulator-step generators.
+    """
+    t = nl.add("xor", f"{name}.x1", [x, y], f"{name}.t")
+    s = nl.add("xor", f"{name}.x2", [t, cin], sum_net or f"{name}.s")
+    ab = nl.add("and", f"{name}.a1", [x, y], f"{name}.ab")
+    tc = nl.add("and", f"{name}.a2", [t, cin], f"{name}.tc")
+    co = nl.add("or", f"{name}.o", [ab, tc], carry_net or f"{name}.co")
+    return s, co
+
+
+def half_adder_gates(nl, name: str, x, y, sum_net=None, carry_net=None):
+    """(sum, carry) of two bits as IR gates; see :func:`full_adder_gates`."""
+    s = nl.add("xor", f"{name}.x", [x, y], sum_net or f"{name}.s")
+    co = nl.add("and", f"{name}.a", [x, y], carry_net or f"{name}.co")
+    return s, co
+
+
 def ripple_carry_netlist(n_bits: int):
     """A pure-IR ripple-carry adder (no fabric placement).
 
@@ -188,14 +210,12 @@ def ripple_carry_netlist(n_bits: int):
     if n_bits < 1:
         raise ValueError(f"n_bits must be >= 1, got {n_bits}")
     nl = Netlist(f"rca{n_bits}")
-    cin = nl.add_input("cin").name
+    carry = nl.add_input("cin")
     for k in range(n_bits):
-        a, b = nl.add_input(f"a{k}").name, nl.add_input(f"b{k}").name
-        nl.add("xor", f"x1_{k}", [a, b], f"t{k}")
-        nl.add("xor", f"x2_{k}", [f"t{k}", cin], nl.add_output(f"s{k}"))
-        nl.add("and", f"g1_{k}", [a, b], f"ab{k}")
-        nl.add("and", f"g2_{k}", [f"t{k}", cin], f"tc{k}")
-        nl.add("or", f"o_{k}", [f"ab{k}", f"tc{k}"], f"c{k+1}")
-        cin = f"c{k+1}"
-    nl.add_output(cin)
+        a, b = nl.add_input(f"a{k}"), nl.add_input(f"b{k}")
+        _, carry = full_adder_gates(
+            nl, f"fa{k}", a, b, carry,
+            sum_net=nl.add_output(f"s{k}"), carry_net=f"c{k+1}",
+        )
+    nl.add_output(carry)
     return nl

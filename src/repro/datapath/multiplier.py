@@ -94,3 +94,55 @@ def style_comparison(n_bits: int, node: TechnologyNode) -> list[MultiplierCost]:
         shift_add_cost(n_bits, node),
         bit_serial_cost(n_bits, node),
     ]
+
+
+def array_multiplier_netlist(n_bits: int):
+    """A pure-IR combinational n x n array multiplier.
+
+    The gate-level form of :func:`array_multiplier_cost`'s organisation:
+    n^2 AND partial products reduced by rows of ripple-carry adders.
+    Inputs ``a{k}`` / ``b{k}``; outputs ``p{0}`` .. ``p{2n-1}``.  This is
+    the scale-benchmark workload the PnR flow compiles (wirelength and
+    cycle time versus array side — see ``benchmarks/bench_pnr.py``);
+    contrast with :class:`ShiftAddMultiplier`, which reuses one fabric
+    accumulator serially instead.
+    """
+    from repro.datapath.adder import full_adder_gates, half_adder_gates
+    from repro.netlist.ir import Netlist
+
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    n = int(n_bits)
+    nl = Netlist(f"mul{n}")
+    a = [nl.add_input(f"a{k}") for k in range(n)]
+    b = [nl.add_input(f"b{k}") for k in range(n)]
+    pp = {
+        (i, j): nl.add("and", f"pp{i}_{j}", [a[j], b[i]], f"pp{i}_{j}")
+        for i in range(n)
+        for j in range(n)
+    }
+    # Row-by-row ripple reduction: acc holds the running sum per weight.
+    acc = {j: pp[(0, j)] for j in range(n)}
+    for i in range(1, n):
+        carry = None
+        for j in range(n):
+            w = i + j
+            x, y = pp[(i, j)], acc.get(w)
+            name = f"fa{i}_{j}"
+            if y is None and carry is None:
+                acc[w] = x
+            elif y is None:
+                acc[w], carry = half_adder_gates(nl, name, x, carry)
+            elif carry is None:
+                acc[w], carry = half_adder_gates(nl, name, x, y)
+            else:
+                acc[w], carry = full_adder_gates(nl, name, x, y, carry)
+        if carry is not None:
+            acc[i + n] = carry
+    for w in range(2 * n):
+        out = nl.add_output(f"p{w}")
+        if w in acc:
+            nl.add("buf", f"out{w}", [acc[w]], out)
+        else:  # the top bit of a 1x1 product is constant 0
+            nl.add("const", f"out{w}", [], out, value=0)
+    return nl

@@ -371,6 +371,68 @@ class Netlist:
             )
         return order
 
+    def arrival_times(self) -> dict[str, int]:
+        """Worst-case settle time of every net under the declared delays.
+
+        Longest-path (static timing) propagation: a free input arrives
+        at 0, and every cell contributes its inertial ``delay`` on top
+        of its latest input.  Multi-driven nets take the worst driver.
+        This is the IR-level view of the model in
+        ``docs/timing-model.md``; on a netlist lowered from a configured
+        fabric it bounds (and, for a fully exercised path, equals) the
+        event scheduler's settle time.  Raises
+        :class:`CyclicNetlistError` on feedback.
+
+        >>> nl = Netlist("chain")
+        >>> a = nl.add_input("a")
+        >>> _ = nl.add("not", "g1", [a], "b", delay=2)
+        >>> _ = nl.add("not", "g2", ["b"], nl.add_output("y"), delay=3)
+        >>> nl.arrival_times()["y"]
+        5
+        """
+        arrival: dict[str, int] = {n: 0 for n in self.free_inputs()}
+        for cell in self.topo_order():
+            at = (
+                max((arrival.get(n, 0) for n in cell.inputs), default=0)
+                + cell.delay
+            )
+            if at > arrival.get(cell.output, 0):
+                arrival[cell.output] = at
+        return arrival
+
+    def critical_path(self, output: str | None = None) -> list[Cell]:
+        """Cells on the longest delay path, launch to capture.
+
+        ``output`` selects the endpoint net (default: the worst-arrival
+        declared output, or the worst net overall when no outputs are
+        declared).  Returns the driving cells in path order — the
+        IR-level delay-metadata accessor behind the PnR timing report's
+        critical-path trace.
+        """
+        arrival = self.arrival_times()
+        if output is None:
+            candidates = [n for n in self.outputs if n in arrival] or list(arrival)
+            if not candidates:
+                return []
+            output = max(candidates, key=lambda n: arrival[n])
+        path: list[Cell] = []
+        net = output
+        while True:
+            drivers = [
+                c for c in self.drivers_of(net)
+                if max((arrival.get(n, 0) for n in c.inputs), default=0) + c.delay
+                == arrival.get(net, 0)
+            ]
+            if not drivers:
+                break
+            cell = drivers[0]
+            path.append(cell)
+            if not cell.inputs:
+                break
+            net = max(cell.inputs, key=lambda n: arrival.get(n, 0))
+        path.reverse()
+        return path
+
     def is_combinational(self) -> bool:
         """True when the batch evaluator can execute this netlist directly:
         two-valued kinds only, single-driven nets, no feedback."""

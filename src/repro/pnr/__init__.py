@@ -10,14 +10,19 @@ components can be used interchangeably for logic and interconnection"
    annealing under the fabric's monotone east/north dominance rule;
 3. **route** (:mod:`repro.pnr.route`): A* maze routing that burns blank
    cells as feed-throughs, with rip-up-and-retry;
-4. **emit** (:mod:`repro.pnr.emit`): validated ``CellConfig`` frames on
+4. **timing** (:mod:`repro.pnr.timing`): static timing analysis over
+   the routed design — worst slack, critical path, achievable cycle
+   time — whose criticality weights drive the optional timing-driven
+   place/route loop (``compile_to_fabric(..., timing_driven=True)``);
+5. **emit** (:mod:`repro.pnr.emit`): validated ``CellConfig`` frames on
    a :class:`repro.fabric.array.CellArray`, ready for bitstream
    serialisation and either simulation backend.
 
 Entry points: :func:`compile_to_fabric` (one call, returns a
-:class:`PnrResult` with the configured array and pin map) and
-:func:`verify_equivalence` (random-vector proof against the source
-netlist on both backends).  See ``docs/compile-flow.md``.
+:class:`PnrResult` with the configured array, pin map and
+:class:`TimingReport`) and :func:`verify_equivalence` (random-vector
+proof against the source netlist on both backends).  See
+``docs/compile-flow.md`` and ``docs/timing-model.md``.
 """
 
 from repro.pnr.emit import EmitError, emit_design
@@ -38,6 +43,7 @@ from repro.pnr.place import (
     gate_levels,
     hpwl,
     initial_placement,
+    weighted_hpwl,
 )
 from repro.pnr.route import NetRoute, Router, RoutingError, RoutingState
 from repro.pnr.techmap import (
@@ -45,6 +51,12 @@ from repro.pnr.techmap import (
     MappedGate,
     TechMapError,
     map_netlist,
+)
+from repro.pnr.timing import (
+    HOP_DELAY,
+    PathStep,
+    TimingReport,
+    analyze_timing,
 )
 
 __all__ = [
@@ -64,6 +76,11 @@ __all__ = [
     "gate_levels",
     "hpwl",
     "initial_placement",
+    "weighted_hpwl",
+    "HOP_DELAY",
+    "PathStep",
+    "TimingReport",
+    "analyze_timing",
     "NetRoute",
     "Router",
     "RoutingError",

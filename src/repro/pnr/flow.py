@@ -1,11 +1,16 @@
-"""The compile flow: netlist in, configured + verified fabric out.
+"""The compile flow: netlist in, configured + verified + timed fabric out.
 
-:func:`compile_to_fabric` chains the four stages — tech-map
+:func:`compile_to_fabric` chains the stages — tech-map
 (:mod:`repro.pnr.techmap`), place (:mod:`repro.pnr.place`), route
-(:mod:`repro.pnr.route`), emit (:mod:`repro.pnr.emit`) — with seeded
-retry: a failed routing attempt re-places with a different annealing
-seed (and, when the array is flow-owned, a larger grid) before giving
-up.  See ``docs/compile-flow.md`` for the stage-by-stage walkthrough.
+(:mod:`repro.pnr.route`), timing analysis (:mod:`repro.pnr.timing`),
+emit (:mod:`repro.pnr.emit`) — with seeded retry: a failed routing
+attempt re-places with a different annealing seed (and, when the array
+is flow-owned, a larger grid) before giving up.  Every result carries a
+:class:`repro.pnr.timing.TimingReport`; with ``timing_driven=True`` the
+flow additionally re-places with criticality-weighted HPWL and re-routes
+critical nets first, keeping whichever candidate achieves the shorter
+cycle time (so timing-driven compiles never lose to wirelength-only
+ones).  See ``docs/compile-flow.md`` and ``docs/timing-model.md``.
 
 :func:`verify_equivalence` closes the loop for combinational designs:
 the configured array is lowered back to the netlist IR and swept with
@@ -41,6 +46,7 @@ from repro.pnr.place import (
 )
 from repro.pnr.route import NetRoute, Router, RoutingError
 from repro.pnr.techmap import MappedDesign, TechMapError, map_netlist
+from repro.pnr.timing import TimingReport, analyze_timing
 
 
 class PnrError(RuntimeError):
@@ -65,6 +71,11 @@ class PnrStats:
     total_nets: int
     region_cells: int
     area: AreaBreakdown
+    #: Achieved cycle time / worst slack / ideal-wire bound, from the
+    #: routed static timing analysis (see ``docs/timing-model.md``).
+    cycle_time: int = 0
+    worst_slack: int = 0
+    logic_delay: int = 0
 
     @property
     def cells_used(self) -> int:
@@ -107,6 +118,8 @@ class PnrResult:
     output_wires: dict[str, str]
     reset_wire: str | None
     stats: PnrStats
+    #: Routed static timing: worst slack, critical path, cycle time.
+    timing: TimingReport | None = None
 
     def fabric_netlist(self):
         """The configured array lowered to the IR.
@@ -160,6 +173,9 @@ def compile_to_fabric(
     seed: int = 0,
     anneal_steps: int | None = None,
     max_attempts: int = 6,
+    timing_driven: bool = False,
+    timing_weight: float = 2.0,
+    target_period: int | None = None,
 ) -> PnrResult:
     """Place and route a netlist onto a cell array.
 
@@ -177,9 +193,25 @@ def compile_to_fabric(
         array when ``None``) — cells there must be blank.
     seed, anneal_steps, max_attempts:
         Determinism and effort knobs; each retry reseeds the annealer.
+    timing_driven:
+        Run the timing feedback loop: analyse the wirelength-driven
+        candidate, re-anneal with per-net criticality weights
+        (``1 + timing_weight * criticality`` scaling each net's HPWL)
+        and criticality-aware routing, and keep whichever candidate
+        achieves the shorter cycle time.  The result's cycle time is
+        therefore never worse than the HPWL-only compile's.
+    timing_weight:
+        Timing/wirelength trade-off knob: 0 reduces the weighted
+        objective to plain HPWL; larger values shrink critical nets
+        more aggressively at the expense of total wirelength.
+    target_period:
+        Required cycle time for slack reporting (default: the design's
+        ideal-wire logic depth — see :mod:`repro.pnr.timing`).
 
-    Returns a :class:`PnrResult`; raises :class:`PnrError` when the
-    design cannot be mapped, placed or routed.
+    Returns a :class:`PnrResult` (with a routed
+    :class:`repro.pnr.timing.TimingReport` under ``.timing``); raises
+    :class:`PnrError` when the design cannot be mapped, placed or
+    routed.
     """
     try:
         design = map_netlist(netlist)
@@ -213,15 +245,74 @@ def compile_to_fabric(
         except (PlacementError, RoutingError) as e:
             last_error = e
             continue
+        report = analyze_timing(
+            design, placement, state=router.state, routes=routes,
+            target_period=target_period,
+        )
+        if timing_driven:
+            placement, router, routes, report = _timing_driven_candidate(
+                design, target, reg, placement, router, routes, report,
+                seed=seed + 7919 * attempt, anneal_steps=anneal_steps,
+                timing_weight=timing_weight, target_period=target_period,
+            )
         counts = emit_design(target, router.state)
         return _build_result(
             netlist, design, target, reg, placement, routes, counts,
             n_routable=len(router.routable_nets()),
+            report=report,
         )
     raise PnrError(
         f"could not compile {netlist.name!r} after {max_attempts} attempts: "
         f"{last_error}"
     ) from last_error
+
+
+def _timing_driven_candidate(
+    design, target, reg, placement, router, routes, report,
+    *, seed, anneal_steps, timing_weight, target_period,
+):
+    """Re-place/route under criticality weights; keep the fastest result.
+
+    The baseline candidate is the wirelength-only compile.  Each
+    challenger re-anneals from the best placement so far with every
+    net's HPWL scaled by ``1 + w * criticality`` (criticality from the
+    best report so far) and routes critical nets first with a flattened
+    cost ladder; annealing is stochastic, so a short ladder of weights
+    around ``timing_weight`` is tried rather than a single shot.  The
+    candidate with the shortest cycle time (wirelength breaking ties)
+    wins, so ``timing_driven=True`` can only match or improve the
+    HPWL-only cycle time.
+    """
+    best = (placement, router, routes, report)
+    best_wl = sum(r.wirelength for r in routes.values())
+    for trial, w in enumerate((timing_weight, 0.5 * timing_weight, 2.0 * timing_weight)):
+        if w <= 0:
+            continue
+        b_placement, _, _, b_report = best
+        weights = {
+            net: 1.0 + w * crit for net, crit in b_report.criticality.items()
+        }
+        rng = random.Random(seed ^ (0x5EED71 + trial))
+        t_placement = anneal_placement(
+            design, b_placement, rng, steps=anneal_steps, net_weights=weights
+        )
+        try:
+            t_router = Router(
+                design, t_placement, (target.n_rows, target.n_cols), reg,
+                rng=rng, array=target, net_criticality=b_report.criticality,
+            )
+            t_routes = t_router.route_design(strict=True)
+        except (PlacementError, RoutingError):
+            continue
+        t_report = analyze_timing(
+            design, t_placement, state=t_router.state, routes=t_routes,
+            target_period=target_period,
+        )
+        t_wl = sum(r.wirelength for r in t_routes.values())
+        if (t_report.cycle_time, t_wl) < (best[3].cycle_time, best_wl):
+            best = (t_placement, t_router, t_routes, t_report)
+            best_wl = t_wl
+    return best
 
 
 def _check_region(array: CellArray, region: Region) -> None:
@@ -242,7 +333,8 @@ def _check_region(array: CellArray, region: Region) -> None:
 
 
 def _build_result(
-    netlist, design, array, region, placement, routes, counts, n_routable
+    netlist, design, array, region, placement, routes, counts, n_routable,
+    report=None,
 ) -> PnrResult:
     input_wires = {}
     for net in design.inputs:
@@ -269,6 +361,9 @@ def _build_result(
         total_nets=n_routable,
         region_cells=region.cells,
         area=routed_area_breakdown(counts["cells_logic"], counts["cells_route"]),
+        cycle_time=report.cycle_time if report else 0,
+        worst_slack=report.worst_slack if report else 0,
+        logic_delay=report.logic_delay if report else 0,
     )
     return PnrResult(
         source=netlist,
@@ -283,6 +378,7 @@ def _build_result(
             input_wires.get(design.reset_net) if design.reset_net else None
         ),
         stats=stats,
+        timing=report,
     )
 
 

@@ -156,6 +156,24 @@ def hpwl(design: MappedDesign, placement: Placement) -> int:
     return sum(net_hpwl(design, placement, net) for net in design.sinks_of)
 
 
+def weighted_hpwl(
+    design: MappedDesign,
+    placement: Placement,
+    net_weights: dict[str, float],
+) -> float:
+    """HPWL with per-net multipliers — the timing-driven objective.
+
+    Weights come from :func:`repro.pnr.timing.analyze_timing` criticality
+    (``1 + timing_weight * criticality`` in the flow): nets on or near
+    the critical path shrink preferentially, at the cost of slack-rich
+    nets stretching.  Unlisted nets weigh 1.0.
+    """
+    return sum(
+        net_hpwl(design, placement, net) * net_weights.get(net, 1.0)
+        for net in design.sinks_of
+    )
+
+
 def initial_placement(
     design: MappedDesign,
     region: Region,
@@ -243,15 +261,19 @@ def anneal_placement(
     steps: int | None = None,
     t_start: float | None = None,
     t_end: float = 0.05,
+    net_weights: dict[str, float] | None = None,
 ) -> Placement:
-    """Refine a legal placement by simulated annealing on HPWL.
+    """Refine a legal placement by simulated annealing on (weighted) HPWL.
 
     Moves relocate one gate inside its **dominance window** — the
     rectangle bounded below by its placed fan-ins' output cells and
     above by its fan-outs' input cells — so every accepted state stays
     legal by construction (the greedy seed is legal, and a window move
     cannot break an edge that was satisfied).  Cost is incremental
-    HPWL over the nets incident to the moved gate.
+    HPWL over the nets incident to the moved gate; with ``net_weights``
+    each net's half-perimeter is scaled by its weight (the flow passes
+    timing criticality here, turning the objective into the
+    weighted-HPWL trade-off of :func:`weighted_hpwl`).
     """
     region = placement.region
     names = list(design.gates)
@@ -296,8 +318,13 @@ def anneal_placement(
             hi_c = min(hi_c, fc - (gate.width - 1))
         return lo_r, lo_c, hi_r, hi_c
 
-    def incident_cost(name: str) -> int:
-        return sum(net_hpwl(design, state, net) for net in incident[name])
+    weights = net_weights or {}
+
+    def incident_cost(name: str) -> float:
+        return sum(
+            net_hpwl(design, state, net) * weights.get(net, 1.0)
+            for net in incident[name]
+        )
 
     best_positions = dict(positions)
     best_delta = 0

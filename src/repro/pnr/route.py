@@ -305,6 +305,7 @@ class Router:
         rng: random.Random | None = None,
         max_passes: int = 6,
         array=None,
+        net_criticality: dict[str, float] | None = None,
     ) -> None:
         self.design = design
         self.placement = placement
@@ -313,6 +314,11 @@ class Router:
         self.rng = rng or random.Random(0)
         self.max_passes = max_passes
         self.array = array
+        #: Per-net timing criticality in [0, 1] (see `repro.pnr.timing`).
+        #: Critical nets route first, and their cost ladder flattens
+        #: toward uniform so A* returns the geometrically shortest
+        #: (lowest-detour) tree instead of the congestion-cheapest one.
+        self.net_criticality = net_criticality or {}
         self.state = RoutingState(design, placement, shape, region, array=array)
         self.routes: dict[str, NetRoute] = {}
         #: Per-cell congestion history, grown between rip-up passes so
@@ -345,8 +351,17 @@ class Router:
         With ``strict`` any leftover failure raises :class:`RoutingError`;
         otherwise the partial result is returned and failed nets are
         simply absent from the route map (for congestion studies).
+
+        Nets route shortest-span first; timing-critical nets jump the
+        queue so they claim direct paths before congestion builds.
         """
-        nets = sorted(self.routable_nets(), key=self._net_span)
+        nets = sorted(
+            self.routable_nets(),
+            key=lambda n: (
+                -round(self.net_criticality.get(n, 0.0), 3),
+                self._net_span(n),
+            ),
+        )
         failed: list[str] = []
         for attempt in range(self.max_passes):
             failed = []
@@ -481,6 +496,12 @@ class Router:
             base = self.SHARE_COST
         else:
             base = self.FRESH_COST
+        # Timing-critical nets care about hops (each hop is a buffer
+        # delay), not cell economy: interpolate the ladder toward the
+        # uniform REUSE_COST so the search minimises detour instead.
+        crit = self.net_criticality.get(net, 0.0)
+        if crit > 0.0:
+            base = base * (1.0 - crit) + self.REUSE_COST * crit
         return base + self.history.get(cell, 0.0)
 
     def _search(

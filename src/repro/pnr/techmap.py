@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.fabric.array import ROW_DELAY
+from repro.fabric.driver import DRIVER_DELAY, DriverMode
 from repro.fabric.nandcell import N_INPUTS
 from repro.netlist.ir import (
     AND,
@@ -94,6 +96,11 @@ class MappedGate:
         The net the gate drives.
     value:
         Constant value (``const`` only).
+    source_delay:
+        The IR delay annotation of the source cell this gate realises
+        (1 for helper gates the rewrites introduce).  Survives mapping
+        so source-level and fabric-level timing can be compared; the
+        physical delay on the fabric is :attr:`fabric_delay`.
     width:
         Cells occupied horizontally (1, or 2 for pairs).
     """
@@ -103,11 +110,33 @@ class MappedGate:
     inputs: tuple[str, ...]
     output: str
     value: int | None = None
+    source_delay: int = 1
 
     @property
     def width(self) -> int:
         """Horizontal footprint in cells."""
         return 2 if self.kind in (PAIR_CELEMENT, PAIR_EVENTLATCH) else 1
+
+    @property
+    def fabric_delay(self) -> int:
+        """Forward delay (sim units) through the gate's fabric form.
+
+        A product or constant gate is one NAND row plus its driver; a
+        stateful pair is two rows and two BUFFER drivers (cell A product
+        into cell B collector).  These are exactly the delays
+        :meth:`repro.fabric.array.CellArray.to_netlist` annotates, so a
+        static analysis over mapped gates agrees with event simulation
+        of the emitted fabric.  See ``docs/timing-model.md``.
+        """
+        if self.is_stateful:
+            return 2 * (ROW_DELAY + DRIVER_DELAY[DriverMode.BUFFER])
+        if self.kind == CONST_GATE:
+            mode = DriverMode.BUFFER if self.value == 1 else DriverMode.INVERT
+        elif self.kind == PRODUCT_NAND:
+            mode = DriverMode.BUFFER
+        else:
+            mode = DriverMode.INVERT
+        return ROW_DELAY + DRIVER_DELAY[mode]
 
     @property
     def pin_columns(self) -> tuple[int, ...] | None:
@@ -212,10 +241,12 @@ class _Mapper:
         inputs: tuple[str, ...],
         output: str,
         value: int | None = None,
+        source_delay: int = 1,
     ) -> str:
         name = self._gate_name(hint)
         self.design.gates[name] = MappedGate(
-            name=name, kind=kind, inputs=inputs, output=output, value=value
+            name=name, kind=kind, inputs=inputs, output=output, value=value,
+            source_delay=source_delay,
         )
         return output
 
@@ -235,7 +266,14 @@ class _Mapper:
             self.design.reset_net = self._fresh_net("pnr.rst_n")
         return self.design.reset_net
 
-    def _product(self, kind: str, hint: str, inputs: list[str], output: str) -> str:
+    def _product(
+        self,
+        kind: str,
+        hint: str,
+        inputs: list[str],
+        output: str,
+        source_delay: int = 1,
+    ) -> str:
         """Emit a product gate, splitting inputs wider than one row."""
         ins = list(dict.fromkeys(inputs))
         while len(ins) > N_INPUTS:
@@ -243,28 +281,36 @@ class _Mapper:
             mid = self._fresh_net(f"{output}.w")
             self._emit(PRODUCT_AND, f"{hint}.w", tuple(chunk), mid)
             ins.insert(0, mid)
-        return self._emit(kind, hint, tuple(ins), output)
+        return self._emit(kind, hint, tuple(ins), output, source_delay=source_delay)
 
     # -- per-kind lowering ----------------------------------------------
     def lower_cell(self, cell) -> None:
         kind, name, ins, out = cell.kind, cell.name, list(cell.inputs), cell.output
+        d = cell.delay
         if kind == NAND or kind == NOT:
-            self._product(PRODUCT_NAND, name, ins, out)
+            self._product(PRODUCT_NAND, name, ins, out, source_delay=d)
         elif kind == AND or kind == BUF:
-            self._product(PRODUCT_AND, name, ins, out)
+            self._product(PRODUCT_AND, name, ins, out, source_delay=d)
         elif kind == OR:
-            self._product(PRODUCT_NAND, name, [self.complement(n) for n in ins], out)
+            self._product(
+                PRODUCT_NAND, name, [self.complement(n) for n in ins], out,
+                source_delay=d,
+            )
         elif kind == NOR:
-            self._product(PRODUCT_AND, name, [self.complement(n) for n in ins], out)
+            self._product(
+                PRODUCT_AND, name, [self.complement(n) for n in ins], out,
+                source_delay=d,
+            )
         elif kind == XOR:
             a, b = ins
             t1 = self._fresh_net(f"{out}.t1")
             t2 = self._fresh_net(f"{out}.t2")
             self._product(PRODUCT_NAND, f"{name}.t1", [a, self.complement(b)], t1)
             self._product(PRODUCT_NAND, f"{name}.t2", [self.complement(a), b], t2)
-            self._product(PRODUCT_NAND, name, [t1, t2], out)
+            self._product(PRODUCT_NAND, name, [t1, t2], out, source_delay=d)
         elif kind == CONST:
-            self._emit(CONST_GATE, name, (), out, value=cell.param("value"))
+            self._emit(CONST_GATE, name, (), out, value=cell.param("value"),
+                       source_delay=d)
         elif kind == TABLE:
             self._lower_table(cell)
         elif kind == CELEMENT:
@@ -308,7 +354,8 @@ class _Mapper:
             self._product(PRODUCT_NAND, f"{name}.p{j}", lits, p)
             product_lines.append(p)
         # f = OR(products) = NAND of the product complements.
-        self._product(PRODUCT_NAND, name, product_lines, out)
+        self._product(PRODUCT_NAND, name, product_lines, out,
+                      source_delay=cell.delay)
 
     def _check_init(self, cell) -> bool:
         """True when the element wants the global reset (init = 0)."""
@@ -327,7 +374,8 @@ class _Mapper:
         pins = [a, b]
         if self._check_init(cell):
             pins.append(self.reset())
-        self._emit(PAIR_CELEMENT, cell.name, tuple(pins), cell.output)
+        self._emit(PAIR_CELEMENT, cell.name, tuple(pins), cell.output,
+                   source_delay=cell.delay)
 
     def _lower_eventlatch(self, cell) -> None:
         din, req, ack = cell.inputs
@@ -338,7 +386,8 @@ class _Mapper:
         # request and acknowledge agree after the control chain resets.
         self._check_init(cell)
         pins = (din, req, self.complement(req), ack, self.complement(ack))
-        self._emit(PAIR_EVENTLATCH, cell.name, pins, cell.output)
+        self._emit(PAIR_EVENTLATCH, cell.name, pins, cell.output,
+                   source_delay=cell.delay)
 
 
 def map_netlist(netlist: Netlist) -> MappedDesign:

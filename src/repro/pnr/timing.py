@@ -1,0 +1,394 @@
+"""Stage 3½ — static timing analysis over the placed-and-routed design.
+
+The paper's performance case is built from per-row NAND delays: every
+gate the flow emits is physically one (or, for the stateful pairs, two)
+NAND rows terminated in a driver, and every routed hop is one more row.
+This module composes exactly those constants — ``ROW_DELAY`` and
+``DRIVER_DELAY`` from :mod:`repro.fabric` — into arrival times, required
+times, worst slack, and an achievable cycle time for a compiled design.
+``docs/timing-model.md`` specifies the model; the summary:
+
+* a product/const gate costs ``ROW_DELAY + DRIVER_DELAY[mode]`` from its
+  latest input to each fan-out wire (3 units);
+* a routed feed-through hop costs ``ROW_DELAY + DRIVER_DELAY[INVERT]``
+  (3 units) per wire — the router's per-net wire counts are the wire
+  delay;
+* a stateful pair costs two rows and two drivers forward (6 units) and
+  acts as a *timing endpoint*: paths are captured at its input pins and
+  relaunched from its output, exactly like a register in synchronous STA;
+* primary inputs launch at t=0 on their entry wires; primary outputs and
+  pair inputs capture.
+
+The cycle time is the worst capture arrival; the default ``target_period``
+is the design's **ideal-wire logic depth** (the same analysis with every
+wire delay zero), so the reported worst slack is the price of routing.
+Per-net criticality (longest path through the net / cycle time) feeds the
+timing-driven placer and router — see
+:func:`repro.pnr.flow.compile_to_fabric`'s ``timing_driven`` knob.
+
+Quickstart — compile a 4-bit adder and read its timing:
+
+>>> from repro.datapath.adder import ripple_carry_netlist
+>>> from repro.pnr import compile_to_fabric
+>>> result = compile_to_fabric(ripple_carry_netlist(4), seed=0)
+>>> t = result.timing
+>>> t.cycle_time >= t.logic_delay > 0        # routing never beats ideal wires
+True
+>>> t.critical_path[-1].arrival == t.cycle_time
+True
+>>> 0 >= t.worst_slack == t.target_period - t.cycle_time
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fabric.array import ROW_DELAY
+from repro.fabric.driver import DRIVER_DELAY, DriverMode
+from repro.fabric.nandcell import Direction
+from repro.pnr.place import Placement, gate_levels
+from repro.pnr.techmap import MappedDesign
+
+#: Delay of one routed feed-through hop: a single-input NAND row plus its
+#: INVERT driver (the buffer the router burns per wire).
+HOP_DELAY: int = ROW_DELAY + DRIVER_DELAY[DriverMode.INVERT]
+
+
+class TimingError(RuntimeError):
+    """The design cannot be timed (inconsistent routing state)."""
+
+
+@dataclass(frozen=True, slots=True)
+class PathStep:
+    """One traceable segment of the critical path.
+
+    ``kind`` is ``launch`` (a primary input or pair output), ``gate`` /
+    ``pair`` (a mapped gate, ``delay`` = its fabric delay), ``wire`` (the
+    routed hops carrying a net to the next pin) or ``capture`` (the
+    endpoint).  ``cell`` is the grid position when a placement was
+    analysed, else ``None``; ``arrival`` is the time the signal leaves
+    the segment.
+    """
+
+    kind: str
+    name: str
+    cell: tuple[int, int] | None
+    delay: int
+    arrival: int
+
+
+@dataclass
+class TimingReport:
+    """Static timing of one compiled design.
+
+    ``mode`` records how wire delays were obtained: ``logic`` (zero
+    wires), ``placed`` (Manhattan estimates) or ``routed`` (exact per-net
+    routed wire counts).  ``arrivals`` maps each net to the time its
+    driving wire settles; ``path_through`` to the longest launch-to-
+    capture path passing through it; ``slacks`` to ``target_period -
+    path_through``; ``criticality`` to ``path_through / cycle_time`` in
+    [0, 1] (1.0 on the critical path).
+    """
+
+    mode: str
+    cycle_time: int
+    logic_delay: int
+    target_period: int
+    worst_slack: int
+    endpoint: str
+    critical_path: list[PathStep] = field(default_factory=list)
+    arrivals: dict[str, int] = field(default_factory=dict)
+    path_through: dict[str, int] = field(default_factory=dict)
+    slacks: dict[str, int] = field(default_factory=dict)
+    criticality: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wire_delay(self) -> int:
+        """Cycle-time units spent in routed wire, not logic."""
+        return self.cycle_time - self.logic_delay
+
+    def format(self) -> str:
+        """Multi-line human-readable summary (examples, docs)."""
+        lines = [
+            f"cycle time {self.cycle_time} units "
+            f"(logic {self.logic_delay} + wire {self.wire_delay}), "
+            f"worst slack {self.worst_slack:+d} vs target {self.target_period} "
+            f"[{self.mode}]",
+            f"critical path (endpoint {self.endpoint!r}):",
+        ]
+        for step in self.critical_path:
+            at = "" if step.cell is None else f"  cell {step.cell}"
+            lines.append(
+                f"  {step.kind:<8} {step.name:<24} +{step.delay:<3d} "
+                f"@{step.arrival}{at}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Wire-delay extraction
+# ----------------------------------------------------------------------
+
+def _routed_depths(state, route, src_out_cell) -> dict[tuple[int, int, int], int]:
+    """Feed-through hop count of every wire in one routed net tree.
+
+    Wires driven by the source gate's own fan-out rows (or by the entry
+    point of a primary input) are depth 0; each feed-through row adds 1.
+    Hops strictly increase ``r + c``, so processing wires in that order
+    guarantees parents are resolved first.
+    """
+    depth: dict[tuple[int, int, int], int] = {}
+    for w in sorted(set(route.wires), key=lambda w: (w[0] + w[1], w)):
+        r, c, i = w
+        parent = None
+        for q, direction in (((r, c - 1), Direction.EAST), ((r - 1, c), Direction.NORTH)):
+            if q[0] < 0 or q[1] < 0:
+                continue
+            thru = state.thru_rows.get(q, {}).get(i)
+            if (
+                thru is not None
+                and thru[1] is direction
+                and state.thru_col.get((q, route.net)) == thru[0]
+            ):
+                parent = (q[0], q[1], thru[0])
+                break
+            if (
+                src_out_cell is not None
+                and q == src_out_cell
+                and state.gate_rows.get(q, {}).get(i) is direction
+            ):
+                break  # driven directly by the source gate: depth 0
+        if parent is None:
+            depth[w] = 0  # gate drive or primary-input entry
+        elif parent in depth:
+            depth[w] = depth[parent] + 1
+        else:  # pragma: no cover - the tree is connected by construction
+            raise TimingError(
+                f"net {route.net!r}: wire {w} hangs off unresolved {parent}"
+            )
+    return depth
+
+
+def _wire_delays(
+    design: MappedDesign,
+    placement: Placement | None,
+    state,
+    routes,
+) -> tuple[dict[tuple[str, int], int], dict[str, int], str]:
+    """Per-sink and per-output wire delays, plus the analysis mode.
+
+    Routed mode counts the exact feed-through hops of each routed tree;
+    placed mode estimates hops from Manhattan distance (a wire reaches
+    the abutting neighbour for free, every further cell is one hop);
+    logic mode prices every wire at zero.
+    """
+    sink_delay: dict[tuple[str, int], int] = {}
+    out_delay: dict[str, int] = {}
+    if state is not None and routes is not None:
+        placement = placement or state.placement
+        for net, route in routes.items():
+            src = design.source_of.get(net)
+            src_cell = (
+                placement.output_cell(design.gates[src]) if src is not None else None
+            )
+            depth = _routed_depths(state, route, src_cell)
+            for (gname, pin), col in route.sink_cols.items():
+                cell = placement.input_cell(design.gates[gname])
+                sink_delay[(gname, pin)] = (
+                    depth.get((cell[0], cell[1], col), 0) * HOP_DELAY
+                )
+            if net in design.outputs:
+                driven = [w for w in route.wires if w != route.entry_wire]
+                out_delay[net] = (
+                    max((depth.get(w, 0) for w in driven), default=0) * HOP_DELAY
+                )
+        return sink_delay, out_delay, "routed"
+    if placement is not None:
+        for net, sinks in design.sinks_of.items():
+            src = design.source_of.get(net)
+            sink_cells = [
+                placement.input_cell(design.gates[g]) for g, _ in sinks
+            ]
+            if src is not None:
+                sr, sc = placement.output_cell(design.gates[src])
+            else:
+                # A primary input enters at the dominance corner of its sinks.
+                sr = min((r for r, _ in sink_cells), default=0)
+                sc = min((c for _, c in sink_cells), default=0)
+            for (gname, pin), (tr, tc) in zip(sinks, sink_cells):
+                d = (tr - sr) + (tc - sc)
+                hops = max(0, d - 1) if src is not None else d
+                sink_delay[(gname, pin)] = hops * HOP_DELAY
+        return sink_delay, out_delay, "placed"
+    return sink_delay, out_delay, "logic"
+
+
+# ----------------------------------------------------------------------
+# The analysis
+# ----------------------------------------------------------------------
+
+def _propagate(design, order, sink_delay, out_delay):
+    """Forward pass: launch times, pin arrivals, capture events."""
+    launch: dict[str, int] = {net: 0 for net in design.inputs}
+    pin_arrival: dict[tuple[str, int], int] = {}
+    captures: list[tuple[int, str, str, str | None, int | None]] = []
+    for gname in order:
+        gate = design.gates[gname]
+        arrivals = []
+        for pin, net in enumerate(gate.inputs):
+            a = launch.get(net, 0) + sink_delay.get((gname, pin), 0)
+            pin_arrival[(gname, pin)] = a
+            arrivals.append(a)
+        if gate.is_stateful:
+            for pin, net in enumerate(gate.inputs):
+                captures.append((pin_arrival[(gname, pin)], "pair", net, gname, pin))
+            launch[gate.output] = gate.fabric_delay
+        else:
+            launch[gate.output] = (max(arrivals) if arrivals else 0) + gate.fabric_delay
+    for net in design.outputs:
+        if net in launch:
+            captures.append(
+                (launch[net] + out_delay.get(net, 0), "output", net, None, None)
+            )
+    return launch, pin_arrival, captures
+
+
+def analyze_timing(
+    design: MappedDesign,
+    placement: Placement | None = None,
+    *,
+    state=None,
+    routes=None,
+    target_period: int | None = None,
+) -> TimingReport:
+    """Static timing analysis of a mapped (optionally placed/routed) design.
+
+    Parameters
+    ----------
+    design:
+        The mapped design (stage 1 output).
+    placement:
+        Gate positions; enables Manhattan wire-delay estimates.
+    state, routes:
+        The router's :class:`repro.pnr.route.RoutingState` and route map;
+        together they enable exact per-net routed wire counts (this is
+        the mode the flow reports).
+    target_period:
+        Required cycle time.  Defaults to the design's ideal-wire logic
+        depth, so the default worst slack is ``-(wire delay on the
+        critical path)`` — the price paid for routing.
+
+    Returns a :class:`TimingReport`.  Raises
+    :class:`repro.pnr.place.PlacementError` if the gate graph has
+    feedback (the monotone fabric cannot route it anyway).
+    """
+    levels = gate_levels(design)
+    order = sorted(design.gates, key=lambda n: (levels[n], n))
+    sink_delay, out_delay, mode = _wire_delays(design, placement, state, routes)
+
+    launch, pin_arrival, captures = _propagate(design, order, sink_delay, out_delay)
+    cycle = max((c[0] for c in captures), default=0)
+    logic_delay = cycle
+    if mode != "logic":
+        _, _, ideal = _propagate(design, order, {}, {})
+        logic_delay = max((c[0] for c in ideal), default=0)
+    period = logic_delay if target_period is None else int(target_period)
+
+    # Backward pass: longest downstream delay from each net's launch point.
+    downstream: dict[str, int] = {
+        net: out_delay.get(net, 0) for net in design.outputs
+    }
+    for gname in reversed(order):
+        gate = design.gates[gname]
+        if gate.is_stateful:
+            tail = 0  # paths capture at the pair's pins
+        else:
+            tail = gate.fabric_delay + downstream.get(gate.output, 0)
+        for pin, net in enumerate(gate.inputs):
+            cand = sink_delay.get((gname, pin), 0) + tail
+            if cand > downstream.get(net, 0):
+                downstream[net] = cand
+
+    path_through: dict[str, int] = {}
+    slacks: dict[str, int] = {}
+    criticality: dict[str, float] = {}
+    for net, at in launch.items():
+        p = at + downstream.get(net, 0)
+        path_through[net] = p
+        slacks[net] = period - p
+        criticality[net] = min(1.0, p / cycle) if cycle > 0 else 0.0
+
+    steps, endpoint = _trace_critical_path(
+        design, placement, launch, pin_arrival, sink_delay, out_delay, captures
+    )
+    return TimingReport(
+        mode=mode,
+        cycle_time=cycle,
+        logic_delay=logic_delay,
+        target_period=period,
+        worst_slack=period - cycle,
+        endpoint=endpoint,
+        critical_path=steps,
+        arrivals=launch,
+        path_through=path_through,
+        slacks=slacks,
+        criticality=criticality,
+    )
+
+
+def _trace_critical_path(
+    design, placement, launch, pin_arrival, sink_delay, out_delay, captures
+):
+    """Walk the worst capture back to its launch point, collecting steps."""
+    if not captures:
+        return [], ""
+    arrival, kind, net, gname, pin = max(captures, key=lambda c: (c[0], c[2]))
+    steps: list[PathStep] = []
+    if kind == "output":
+        endpoint = net
+        steps.append(
+            PathStep("capture", net, None, out_delay.get(net, 0), arrival)
+        )
+    else:
+        endpoint = f"{gname}[{pin}]"
+        cell = (
+            placement.input_cell(design.gates[gname]) if placement is not None else None
+        )
+        steps.append(
+            PathStep(
+                "capture", endpoint, cell, sink_delay.get((gname, pin), 0), arrival
+            )
+        )
+    current = net
+    while True:
+        src = design.source_of.get(current)
+        if src is None:
+            steps.append(PathStep("launch", current, None, 0, 0))
+            break
+        gate = design.gates[src]
+        cell = placement.output_cell(gate) if placement is not None else None
+        steps.append(
+            PathStep(
+                "pair" if gate.is_stateful else "gate",
+                src,
+                cell,
+                gate.fabric_delay,
+                launch[current],
+            )
+        )
+        if gate.is_stateful or not gate.inputs:
+            break
+        best_pin = max(
+            range(len(gate.inputs)), key=lambda p: pin_arrival[(src, p)]
+        )
+        prev = gate.inputs[best_pin]
+        wire = sink_delay.get((src, best_pin), 0)
+        if wire:
+            in_cell = placement.input_cell(gate) if placement is not None else None
+            steps.append(
+                PathStep("wire", prev, in_cell, wire, pin_arrival[(src, best_pin)])
+            )
+        current = prev
+    steps.reverse()
+    return steps, endpoint

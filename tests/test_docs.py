@@ -1,9 +1,10 @@
-"""Executable documentation: doctests for the netlist entry points.
+"""Executable documentation: doctests for the netlist and PnR entry points.
 
-The quickstart in ``repro.netlist.__init__`` and the usage examples on
-the IR entry points are part of the public documentation — this test
-keeps them runnable, and CI additionally sweeps the package with
-``pytest --doctest-modules src/repro/netlist``.
+The quickstarts in ``repro.netlist.__init__`` and ``repro.pnr.timing``
+and the usage examples on the IR entry points are part of the public
+documentation — this test keeps them runnable, and CI additionally
+sweeps both packages with ``pytest --doctest-modules src/repro/netlist
+src/repro/pnr``.
 """
 
 import doctest
@@ -11,6 +12,7 @@ import doctest
 import repro.netlist
 import repro.netlist.backends
 import repro.netlist.ir
+import repro.pnr.timing
 
 
 def _run(module) -> int:
@@ -31,3 +33,7 @@ def test_netlist_ir_examples():
 
 def test_netlist_backends_doctests():
     _run(repro.netlist.backends)  # no examples required, none may fail
+
+
+def test_pnr_timing_quickstart():
+    assert _run(repro.pnr.timing) > 0  # compile -> cycle time, ~6 lines

@@ -9,8 +9,11 @@ stage), scaling ripple-carry adders, and the datapath generators (array
 multiplier, accumulator step), so ``BENCH_results.json`` tracks compile
 time, wirelength and cycle time against array side.  A second table
 compares wirelength-only and timing-driven compiles on the larger
-designs.  `run_all.py` imports :func:`run_pnr_quality` and
-:func:`run_pnr_timing_driven` and folds the numbers into
+designs; a third compiles the deep designs (mul4, rca16) across
+multiple chiplet arrays with the sharded flow, recording shard count,
+channel cut size and the composed system cycle time.  `run_all.py`
+imports :func:`run_pnr_quality`, :func:`run_pnr_timing_driven` and
+:func:`run_pnr_sharded` and folds the numbers into
 ``BENCH_results.json``.
 """
 
@@ -22,7 +25,7 @@ from repro.datapath.accumulator import accumulator_step_netlist
 from repro.datapath.adder import ripple_carry_netlist
 from repro.datapath.multiplier import array_multiplier_netlist
 from repro.netlist import Netlist
-from repro.pnr import compile_to_fabric, verify_equivalence
+from repro.pnr import compile_sharded, compile_to_fabric, verify_equivalence
 
 
 def _suite() -> dict[str, Netlist]:
@@ -108,6 +111,49 @@ def run_pnr_timing_driven() -> dict[str, dict]:
     return results
 
 
+def run_pnr_sharded() -> dict[str, dict]:
+    """Deep designs compiled across chiplet arrays (`repro.pnr.partition`).
+
+    rca16 (depth 51) outright exceeds a side-24 array's monotone depth
+    bound (``rows + cols - 1 = 47``); mul4 (168 mapped gates, depth 32)
+    fits the bound but not the placement/routing capacity of one capped
+    array (the sizer wants side 36).  The sharded flow partitions both;
+    the rows record the shard count the auto-sizer settled on, the
+    channel cut, and the composed system cycle time, with equivalence
+    verified against the source netlist on both backends.
+    """
+    designs = {
+        "mul4_array": (array_multiplier_netlist(4), 24),
+        "rca16": (ripple_carry_netlist(16), 24),
+    }
+    results: dict[str, dict] = {}
+    for name, (netlist, max_side) in designs.items():
+        t0 = time.perf_counter()
+        res = compile_sharded(netlist, max_side=max_side, seed=0)
+        compile_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        res.verify(n_vectors=256, event_vectors=2)
+        verify_s = time.perf_counter() - t0
+        s = res.stats
+        results[name] = {
+            "max_side": max_side,
+            "shards": s.n_shards,
+            "mapped_gates": s.n_gates,
+            "cut_nets": s.cut_nets,
+            "cut_size": s.cut_size,
+            "wirelength": s.wirelength,
+            "cells_logic": s.cells_logic,
+            "cells_route": s.cells_route,
+            "cycle_time": s.cycle_time,
+            "logic_delay": s.logic_delay,
+            "worst_slack": s.worst_slack,
+            "compile_s": round(compile_s, 4),
+            "verify_s": round(verify_s, 4),
+            "verified_vectors": 256,
+        }
+    return results
+
+
 # ----------------------------------------------------------------------
 # pytest entry points (run_all.py executes this file under pytest)
 # ----------------------------------------------------------------------
@@ -144,3 +190,19 @@ def test_timing_driven_never_slower():
     results = run_pnr_timing_driven()
     for name, entry in results.items():
         assert entry["cycle_timing_driven"] <= entry["cycle_hpwl"], name
+
+
+def test_sharded_designs_split_and_verify(capsys):
+    """Acceptance: deep designs land on >= 2 chiplets and stay equivalent."""
+    results = run_pnr_sharded()
+    for name, entry in results.items():
+        assert entry["shards"] >= 2, name
+        assert entry["cut_nets"] > 0, name
+        assert entry["cycle_time"] >= entry["logic_delay"] > 0, name
+    with capsys.disabled():
+        print("\n  design      shards cut   cycle  compile_s")
+        for name, e in results.items():
+            print(
+                f"  {name:<11} {e['shards']:5d} {e['cut_size']:4d} "
+                f"{e['cycle_time']:6d} {e['compile_s']:9.2f}"
+            )

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate over ``BENCH_results.json``.
+
+Compares a freshly generated trajectory against the committed baseline
+and fails (exit code 1) when any *pinned* design regresses beyond the
+tolerance on a gated metric.  Pinned designs are the stable PnR quality
+rows whose numbers are deterministic for a seed — compile wall times
+are machine-dependent and deliberately not gated:
+
+* ``fig10_adder_slice`` (the paper's fa1 slice), ``rca8``,
+  ``mul2_array``, ``mul3_array``;
+* metrics: ``cycle_time`` and ``wirelength`` (higher = worse), each
+  allowed to drift up by at most ``TOLERANCE`` (10%).
+
+A design or metric missing from the fresh results is itself a failure
+(the bench silently dropping a row must not pass the gate); a design
+missing from the *baseline* is skipped, so adding new rows never blocks.
+
+Usage (what the CI example-smoke job runs)::
+
+    cp benchmarks/BENCH_results.json /tmp/bench-baseline.json
+    python benchmarks/run_all.py
+    python benchmarks/check_regressions.py \
+        --baseline /tmp/bench-baseline.json \
+        --fresh benchmarks/BENCH_results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+#: Designs whose quality rows are gated, and the gated metrics.
+PINNED_DESIGNS: tuple[str, ...] = (
+    "fig10_adder_slice",
+    "rca8",
+    "mul2_array",
+    "mul3_array",
+)
+METRICS: tuple[str, ...] = ("cycle_time", "wirelength")
+
+#: Allowed relative drift upward (worse) before the gate fails.
+TOLERANCE: float = 0.10
+
+
+def quality_table(results: dict) -> dict:
+    """The per-design PnR quality rows of one trajectory (may be {})."""
+    return (
+        results.get("microbench", {}).get("pnr", {}).get("quality", {}) or {}
+    )
+
+
+def check(
+    baseline: dict,
+    fresh: dict,
+    designs: tuple[str, ...] = PINNED_DESIGNS,
+    metrics: tuple[str, ...] = METRICS,
+    tolerance: float = TOLERANCE,
+) -> list[str]:
+    """Violation messages for ``fresh`` against ``baseline`` (empty = pass)."""
+    base_q = quality_table(baseline)
+    fresh_q = quality_table(fresh)
+    violations: list[str] = []
+    if not fresh_q:
+        return ["fresh results carry no microbench.pnr.quality table"]
+    for design in designs:
+        base_row = base_q.get(design)
+        if base_row is None:
+            continue  # new design: nothing to gate against yet
+        fresh_row = fresh_q.get(design)
+        if fresh_row is None:
+            violations.append(f"{design}: missing from fresh results")
+            continue
+        for metric in metrics:
+            base_val = base_row.get(metric)
+            if base_val is None:
+                continue
+            fresh_val = fresh_row.get(metric)
+            if fresh_val is None:
+                violations.append(f"{design}.{metric}: missing from fresh results")
+                continue
+            limit = base_val * (1.0 + tolerance)
+            if fresh_val > limit:
+                violations.append(
+                    f"{design}.{metric}: {fresh_val} exceeds baseline "
+                    f"{base_val} by more than {tolerance:.0%} "
+                    f"(limit {limit:.1f})"
+                )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="committed trajectory to gate against (save it before run_all)",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, required=True,
+        help="freshly generated trajectory to check",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=TOLERANCE,
+        help="allowed relative drift (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.baseline.resolve() == args.fresh.resolve():
+        # Comparing a file against itself always passes — refuse the
+        # silent no-op (run_all overwrites in place; copy the baseline
+        # aside first, as the CI job does).
+        print(
+            f"benchmark gate: baseline and fresh are the same file "
+            f"({args.fresh}); save the baseline aside before run_all"
+        )
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    violations = check(baseline, fresh, tolerance=args.tolerance)
+    base_q, fresh_q = quality_table(baseline), quality_table(fresh)
+    print(f"benchmark gate: {len(PINNED_DESIGNS)} pinned designs, "
+          f"tolerance {args.tolerance:.0%}")
+    for design in PINNED_DESIGNS:
+        for metric in METRICS:
+            b = base_q.get(design, {}).get(metric)
+            f = fresh_q.get(design, {}).get(metric)
+            drift = (
+                f"{(f - b) / b:+.1%}" if b not in (None, 0) and f is not None
+                else "n/a"
+            )
+            print(f"  {design:<20} {metric:<12} {b!s:>8} -> {f!s:>8}  {drift}")
+    if violations:
+        print("REGRESSIONS:")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("ok: no pinned metric regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -132,14 +132,17 @@ def microbench_pnr() -> dict:
 
     ``quality`` is per-design (includes the scale designs: multiplier,
     accumulator step); ``timing_driven`` compares wirelength-only vs
-    timing-driven compiles on rca8 and the array multiplier.
+    timing-driven compiles on rca8 and the array multiplier;
+    ``sharded`` compiles mul4 and rca16 across multiple chiplet arrays
+    (shard count, channel cut, composed system cycle time).
     """
     sys.path.insert(0, str(HERE))
-    from bench_pnr import run_pnr_quality, run_pnr_timing_driven
+    from bench_pnr import run_pnr_quality, run_pnr_sharded, run_pnr_timing_driven
 
     return {
         "quality": run_pnr_quality(),
         "timing_driven": run_pnr_timing_driven(),
+        "sharded": run_pnr_sharded(),
     }
 
 
@@ -173,6 +176,12 @@ def main() -> int:
     print(
         f"  PnR rca8 timing : cycle {rca8['cycle_hpwl']} (HPWL) -> "
         f"{rca8['cycle_timing_driven']} (timing-driven)"
+    )
+    mul4 = micro["pnr"]["sharded"]["mul4_array"]
+    print(
+        f"  PnR mul4 sharded: {mul4['shards']} chiplets (side <= "
+        f"{mul4['max_side']}), {mul4['cut_nets']} cut nets, cycle "
+        f"{mul4['cycle_time']}, compiled in {mul4['compile_s']}s"
     )
     out = HERE / "BENCH_results.json"
     out.write_text(json.dumps(results, indent=2) + "\n")

@@ -24,7 +24,6 @@ import numpy as np
 from repro.util.constants import (
     ELEMENTARY_CHARGE_C,
     EPSILON_0_F_PER_M,
-    EPSILON_R_SI,
     EPSILON_R_SIO2,
 )
 from repro.util.validate import check_positive

@@ -17,6 +17,11 @@ from repro.fabric.array import (
     row_net_name,
     wire_name,
 )
+from repro.fabric.channel import (
+    CHANNEL_DELAY,
+    ChannelError,
+    InterArrayChannel,
+)
 from repro.fabric.bitstream import (
     BitstreamError,
     cell_to_frame,
@@ -66,6 +71,9 @@ __all__ = [
     "lfb_net_name",
     "row_net_name",
     "wire_name",
+    "CHANNEL_DELAY",
+    "ChannelError",
+    "InterArrayChannel",
     "BitstreamError",
     "cell_to_frame",
     "crc16",

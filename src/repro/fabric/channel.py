@@ -1,0 +1,108 @@
+"""Inter-array channels: explicit wires between chiplet cell arrays.
+
+One :class:`repro.fabric.array.CellArray` can only host a combinational
+chain of ``rows + cols - 1`` gates (the monotone east/north dominance
+bound the paper's Section 4.1 page-size argument runs into).  Designs
+deeper than that are *sharded* across several arrays — chiplets — and
+the nets crossing a shard boundary are lifted out of the abutment
+wiring into explicit :class:`InterArrayChannel` objects.
+
+A channel is a point-to-multipoint connection:
+
+* on the **source** array, a boundary-port cell (a gate fan-out row or
+  a feed-through buffer the router committed) drives an observable
+  abutment wire — ``source_wire``;
+* the signal then crosses between arrays, paying :data:`CHANNEL_DELAY`
+  — modelled as one exporting buffer cell on the source die plus one
+  importing buffer cell on the sink die, i.e. two feed-through hops;
+* on each **sink** array it enters on an undriven abutment wire
+  (``sink_wires``) exactly like a primary input.
+
+The delay model keeps system-level static timing sound against event
+simulation of the stitched netlist: :meth:`splice` realises the channel
+as one shared ``buf`` cell of delay :data:`CHANNEL_DELAY` fanning out
+to every sink, which is also what
+:func:`repro.pnr.partition.compile_sharded` adds to each sink shard's
+input arrival during timing composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fabric.array import ROW_DELAY
+from repro.fabric.driver import DRIVER_DELAY, DriverMode
+
+#: Forward delay of one inter-array crossing: an exporting feed-through
+#: (single-input NAND row + INVERT driver) on the source die plus the
+#: matching importing feed-through on the sink die.
+CHANNEL_DELAY: int = 2 * (ROW_DELAY + DRIVER_DELAY[DriverMode.INVERT])
+
+
+class ChannelError(ValueError):
+    """An inter-array channel is malformed or cannot be spliced."""
+
+
+@dataclass(frozen=True, slots=True)
+class InterArrayChannel:
+    """One net lifted across shard boundaries.
+
+    Attributes
+    ----------
+    net:
+        The source-design net the channel carries.
+    source_shard:
+        Index of the shard whose array drives the net.
+    sink_shards:
+        Shards that consume the net, in index order.  Always strictly
+        greater than ``source_shard`` — the shard graph is acyclic by
+        construction.
+    source_wire:
+        Observable abutment wire on the source array carrying the value.
+    sink_wires:
+        Per-sink-shard entry wire (an undriven abutment wire driven
+        externally, like a primary input).
+    source_cell:
+        Grid position of the boundary-port cell driving ``source_wire``
+        on the source array (``None`` when untracked).
+    delay:
+        Crossing delay in simulator units (:data:`CHANNEL_DELAY`).
+    """
+
+    net: str
+    source_shard: int
+    sink_shards: tuple[int, ...]
+    source_wire: str
+    sink_wires: dict[int, str] = field(default_factory=dict)
+    source_cell: tuple[int, int] | None = None
+    delay: int = CHANNEL_DELAY
+
+    def __post_init__(self) -> None:
+        if any(s <= self.source_shard for s in self.sink_shards):
+            raise ChannelError(
+                f"channel {self.net!r}: sinks {self.sink_shards} must all "
+                f"come after source shard {self.source_shard} (acyclic order)"
+            )
+        if set(self.sink_wires) - set(self.sink_shards):
+            raise ChannelError(
+                f"channel {self.net!r}: sink wires for shards outside "
+                f"{self.sink_shards}"
+            )
+
+    @property
+    def fan_out(self) -> int:
+        """Number of sink shards the channel feeds."""
+        return len(self.sink_shards)
+
+    def splice(self, netlist, source_net: str, target_net: str) -> None:
+        """Realise the crossing in a merged netlist.
+
+        Adds a ``buf`` of :attr:`delay` from ``source_net`` (the source
+        array's driven wire) onto ``target_net`` (the net the sink
+        arrays' entry wires were bound to).  Used by
+        ``ShardedPnrResult.to_netlist``.
+        """
+        netlist.add(
+            "buf", f"chan.{self.net}", [source_net], target_net,
+            delay=self.delay,
+        )

@@ -46,7 +46,9 @@ from repro.netlist.backends import (
     BackendError,
     BatchBackend,
     EventBackend,
+    ShardStage,
     SimBackend,
+    evaluate_staged,
 )
 from repro.netlist.ir import (
     BATCH_KINDS,
@@ -65,7 +67,9 @@ __all__ = [
     "BackendError",
     "BatchBackend",
     "EventBackend",
+    "ShardStage",
     "SimBackend",
+    "evaluate_staged",
     "BATCH_KINDS",
     "CELL_KINDS",
     "STATEFUL_KINDS",

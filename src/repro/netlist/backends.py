@@ -24,6 +24,7 @@ which engine a design reaches.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -63,7 +64,7 @@ from repro.sim.primitives import (
     XorGate,
 )
 from repro.sim.scheduler import Gate, Simulator
-from repro.sim.values import ONE, X, ZERO
+from repro.sim.values import ONE, X
 
 
 class BackendError(RuntimeError):
@@ -395,3 +396,74 @@ class BatchBackend:
                     pass  # e.g. an uncovered free input: X semantics needed
         fb = self.fallback if limits is None else EventBackend(limits)
         return fb.evaluate(netlist, stimuli, outputs, limits=limits)
+
+
+# ----------------------------------------------------------------------
+# Staged (sharded) evaluation
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardStage:
+    """One stage of a staged evaluation: a netlist plus its value plumbing.
+
+    ``input_map`` maps *external value names* (the shared namespace the
+    stages communicate through — source-design net names in the sharded
+    compile flow) to the stage netlist's stimulus nets; ``output_map``
+    maps external names to the stage nets whose values they export.
+    Free inputs of the stage netlist not covered by ``input_map`` are
+    tied low, matching the equivalence-sweep convention.
+    """
+
+    netlist: Netlist
+    input_map: Mapping[str, str]
+    output_map: Mapping[str, str]
+
+
+def evaluate_staged(
+    stages: Sequence[ShardStage],
+    stimuli: Mapping[str, Sequence[int]],
+    outputs: Sequence[str] | None = None,
+    backend: "SimBackend | None" = None,
+) -> dict[str, np.ndarray]:
+    """Evaluate a pipeline of netlists, stitching values between stages.
+
+    Each stage is evaluated *independently* on ``backend`` (default: a
+    :class:`BatchBackend`), in order; values a stage exports become
+    available to every later stage's ``input_map``.  This is the
+    simulation model of multi-array sharding: one shard per stage, the
+    inter-array channels realised purely as value hand-off — so N
+    stimulus vectors sweep each shard bit-parallel exactly once.
+
+    Returns the external-name -> array mapping for ``outputs`` (default:
+    everything any stage exported).  Raises :class:`BackendError` when a
+    stage needs a value no earlier stage produced and the caller did not
+    supply.
+    """
+    backend = backend or BatchBackend()
+    arrays, n = _normalise_stimuli(stimuli)
+    values: dict[str, np.ndarray] = dict(arrays)
+    zeros = np.zeros(n, dtype=np.uint8)
+    exported: list[str] = []
+    for k, stage in enumerate(stages):
+        stim: dict[str, np.ndarray] = {}
+        for ext, net in stage.input_map.items():
+            if ext not in values:
+                raise BackendError(
+                    f"stage {k} ({stage.netlist.name!r}) needs {ext!r} "
+                    "before any stage produced it"
+                )
+            stim[net] = values[ext]
+        for net in stage.netlist.free_inputs():
+            stim.setdefault(net, zeros)
+        got = backend.evaluate(
+            stage.netlist, stim, outputs=list(stage.output_map.values())
+        )
+        for ext, net in stage.output_map.items():
+            values[ext] = got[net]
+            exported.append(ext)
+    if outputs is None:
+        outputs = list(dict.fromkeys(exported))
+    missing = [o for o in outputs if o not in values]
+    if missing:
+        raise BackendError(f"no stage produced outputs {missing[:4]}")
+    return {o: values[o] for o in outputs}

@@ -33,6 +33,7 @@ from repro.pnr.flow import (
     VerificationError,
     compile_to_fabric,
     suggest_array,
+    suggest_side,
     verify_equivalence,
 )
 from repro.pnr.place import (
@@ -44,6 +45,15 @@ from repro.pnr.place import (
     hpwl,
     initial_placement,
     weighted_hpwl,
+)
+from repro.pnr.partition import (
+    Partition,
+    PartitionError,
+    ShardedPnrResult,
+    ShardedPnrStats,
+    compile_sharded,
+    partition_design,
+    shard_source_netlist,
 )
 from repro.pnr.route import NetRoute, Router, RoutingError, RoutingState
 from repro.pnr.techmap import (
@@ -57,6 +67,7 @@ from repro.pnr.timing import (
     PathStep,
     TimingReport,
     analyze_timing,
+    trace_endpoint,
 )
 
 __all__ = [
@@ -68,6 +79,7 @@ __all__ = [
     "VerificationError",
     "compile_to_fabric",
     "suggest_array",
+    "suggest_side",
     "verify_equivalence",
     "Placement",
     "PlacementError",
@@ -81,6 +93,14 @@ __all__ = [
     "PathStep",
     "TimingReport",
     "analyze_timing",
+    "trace_endpoint",
+    "Partition",
+    "PartitionError",
+    "ShardedPnrResult",
+    "ShardedPnrStats",
+    "compile_sharded",
+    "partition_design",
+    "shard_source_netlist",
     "NetRoute",
     "Router",
     "RoutingError",

@@ -30,7 +30,6 @@ from repro.fabric.nandcell import CellConfig, InputSource, LfbPartner
 from repro.pnr.route import RoutingState
 from repro.pnr.techmap import (
     CONST_GATE,
-    MappedDesign,
     MappedGate,
     PAIR_CELEMENT,
     PAIR_EVENTLATCH,

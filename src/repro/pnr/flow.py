@@ -27,6 +27,10 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.pnr.partition import ShardedPnrResult
 
 import numpy as np
 
@@ -44,7 +48,7 @@ from repro.pnr.place import (
     hpwl,
     initial_placement,
 )
-from repro.pnr.route import NetRoute, Router, RoutingError
+from repro.pnr.route import NetRoute, Router, RoutingError, RoutingState
 from repro.pnr.techmap import MappedDesign, TechMapError, map_netlist
 from repro.pnr.timing import TimingReport, analyze_timing
 
@@ -120,6 +124,10 @@ class PnrResult:
     stats: PnrStats
     #: Routed static timing: worst slack, critical path, cycle time.
     timing: TimingReport | None = None
+    #: The router's final occupancy bookkeeping — kept so downstream
+    #: passes (the sharded flow's system timing re-analysis, channel
+    #: port-cell attribution) can re-derive exact wire delays.
+    routing_state: RoutingState | None = None
 
     def fabric_netlist(self):
         """The configured array lowered to the IR.
@@ -138,6 +146,27 @@ class PnrResult:
         return verify_equivalence(self, **kwargs)
 
 
+def suggest_side(depth: int, cells: int, stateful: bool, slack: int = 2) -> int:
+    """Array side comfortably hosting ``depth`` levels over ``cells`` cells.
+
+    The one sizing heuristic behind both :func:`suggest_array` and the
+    sharded flow's per-shard estimate: the greedy placer advances
+    roughly one column per level and ratchets rows upward at
+    reconvergence, so budget a full side for the depth (not just half
+    of the ``rows + cols - 1`` poset bound) and 3 cells per gate for
+    routing room.  Stateful pairs pin their input columns, which costs
+    extra delivery room around them.
+    """
+    side = max(
+        depth + 2,
+        math.ceil(math.sqrt(3 * max(1, cells))) + 1,
+        4,
+    ) + slack
+    if stateful:
+        side += 2
+    return side
+
+
 def suggest_array(netlist_or_design, slack: int = 2) -> CellArray:
     """A square array comfortably sized for a design.
 
@@ -151,17 +180,9 @@ def suggest_array(netlist_or_design, slack: int = 2) -> CellArray:
         else map_netlist(netlist_or_design)
     )
     depth = max(gate_levels(design).values(), default=0) + 1
-    # The greedy placer advances roughly one column per level and
-    # ratchets rows upward at reconvergence, so budget a full side for
-    # the depth, not just half of the poset bound.  Stateful pairs pin
-    # their input columns, which costs extra delivery room around them.
-    side = max(
-        depth + 2,
-        math.ceil(math.sqrt(3 * max(1, design.n_cells))) + 1,
-        4,
-    ) + slack
-    if design.has_stateful_gates():
-        side += 2
+    side = suggest_side(
+        depth, design.n_cells, design.has_stateful_gates(), slack
+    )
     return CellArray(side, side)
 
 
@@ -176,7 +197,9 @@ def compile_to_fabric(
     timing_driven: bool = False,
     timing_weight: float = 2.0,
     target_period: int | None = None,
-) -> PnrResult:
+    shards: int | None = None,
+    max_side: int | None = None,
+) -> PnrResult | ShardedPnrResult:
     """Place and route a netlist onto a cell array.
 
     Parameters
@@ -207,22 +230,78 @@ def compile_to_fabric(
     target_period:
         Required cycle time for slack reporting (default: the design's
         ideal-wire logic depth — see :mod:`repro.pnr.timing`).
+    shards, max_side:
+        Multi-array sharding.  ``shards=N > 1`` partitions the design
+        across N chiplet arrays and returns a
+        :class:`repro.pnr.partition.ShardedPnrResult` instead; with
+        ``max_side`` set the shard count is chosen automatically (and
+        a single array is still used when the design fits one of at
+        most ``max_side`` x ``max_side`` cells).  Incompatible with an
+        explicit ``array`` / ``region``.  See ``docs/sharding.md``.
 
     Returns a :class:`PnrResult` (with a routed
-    :class:`repro.pnr.timing.TimingReport` under ``.timing``); raises
-    :class:`PnrError` when the design cannot be mapped, placed or
-    routed.
+    :class:`repro.pnr.timing.TimingReport` under ``.timing``), or a
+    :class:`repro.pnr.partition.ShardedPnrResult` when ``shards`` /
+    ``max_side`` requested a sharded compile; raises :class:`PnrError`
+    when the design cannot be mapped, placed or routed.
     """
+    if shards is not None or max_side is not None:
+        if array is not None or region is not None:
+            raise PnrError(
+                "sharded compiles size their own per-shard arrays; "
+                "drop the array/region arguments"
+            )
+        from repro.pnr.partition import compile_sharded
+
+        return compile_sharded(
+            netlist, n_shards=shards, max_side=max_side, seed=seed,
+            anneal_steps=anneal_steps, max_attempts=max_attempts,
+            timing_driven=timing_driven, timing_weight=timing_weight,
+            target_period=target_period,
+        )
     try:
         design = map_netlist(netlist)
         gate_levels(design)  # fail fast on grid-level feedback
     except (TechMapError, PlacementError) as e:
         raise PnrError(f"cannot compile {netlist.name!r}: {e}") from e
+    return _compile_mapped(
+        design, netlist, array=array, region=region, seed=seed,
+        anneal_steps=anneal_steps, max_attempts=max_attempts,
+        timing_driven=timing_driven, timing_weight=timing_weight,
+        target_period=target_period,
+    )
+
+
+def _compile_mapped(
+    design: MappedDesign,
+    netlist: Netlist,
+    *,
+    array: CellArray | None = None,
+    region: Region | None = None,
+    seed: int = 0,
+    anneal_steps: int | None = None,
+    max_attempts: int = 6,
+    timing_driven: bool = False,
+    timing_weight: float = 2.0,
+    target_period: int | None = None,
+    max_side: int | None = None,
+) -> PnrResult:
+    """The place/route/time/emit retry ladder over a mapped design.
+
+    The shared engine behind :func:`compile_to_fabric` (which tech-maps
+    first) and the sharded flow (which partitions a mapped design and
+    compiles each shard here, ``max_side`` capping the auto-sized
+    per-shard arrays).
+    """
     auto_array = array is None
     last_error: Exception | None = None
     for attempt in range(max_attempts):
         if auto_array:
             target = suggest_array(design, slack=2 + 2 * attempt)
+            if max_side is not None and target.n_rows > max_side:
+                # The cap wins: retries re-seed the annealer instead of
+                # growing the grid.
+                target = CellArray(max_side, max_side)
         else:
             target = array
         reg = region or Region("pnr", 0, 0, target.n_rows, target.n_cols)
@@ -260,6 +339,7 @@ def compile_to_fabric(
             netlist, design, target, reg, placement, routes, counts,
             n_routable=len(router.routable_nets()),
             report=report,
+            state=router.state,
         )
     raise PnrError(
         f"could not compile {netlist.name!r} after {max_attempts} attempts: "
@@ -334,7 +414,7 @@ def _check_region(array: CellArray, region: Region) -> None:
 
 def _build_result(
     netlist, design, array, region, placement, routes, counts, n_routable,
-    report=None,
+    report=None, state=None,
 ) -> PnrResult:
     input_wires = {}
     for net in design.inputs:
@@ -379,7 +459,76 @@ def _build_result(
         ),
         stats=stats,
         timing=report,
+        routing_state=state,
     )
+
+
+def _compare_vectors(stage, net, where, expected, got) -> None:
+    if not np.array_equal(expected, got):
+        bad = int(np.argmax(expected != got))
+        raise VerificationError(
+            f"{stage} mismatch on {net!r}{where} at vector {bad}: "
+            f"expected {expected[bad]}, got {got[bad]}"
+        )
+
+
+def _sweep_equivalence(
+    source: Netlist,
+    input_nets,
+    out_names,
+    run_batch,
+    run_event,
+    n_vectors: int,
+    seed: int,
+    event_vectors: int,
+    describe=lambda net: "",
+) -> tuple[int, int]:
+    """The shared random-vector equivalence sweep.
+
+    Drives ``n_vectors`` seeded random vectors through the source
+    netlist (batch reference) and through ``run_batch`` /
+    ``run_event`` — callables returning ``{source net: values}`` for
+    whatever realisation is under test (a configured array, a sharded
+    system) — raising :class:`VerificationError` on the first
+    mismatch.  ``describe(net)`` decorates messages (e.g. with the
+    fabric wire).  Returns ``(n_vectors, n_event)``.
+    """
+    rng = np.random.default_rng(seed)
+    stimuli = {
+        name: rng.integers(0, 2, size=n_vectors, dtype=np.uint8)
+        for name in input_nets
+    }
+    expected = BatchBackend().evaluate(source, stimuli, outputs=list(out_names))
+    got = run_batch(stimuli)
+    for net in out_names:
+        _compare_vectors("batch", net, describe(net), expected[net], got[net])
+    n_event = min(event_vectors, n_vectors)
+    if n_event:
+        ev = run_event({k: v[:n_event] for k, v in stimuli.items()})
+        for net in out_names:
+            _compare_vectors(
+                "event", net, describe(net), expected[net][:n_event], ev[net]
+            )
+    return n_vectors, n_event
+
+
+def _settle_compare(source: Netlist, realised: Netlist, pairs) -> None:
+    """Constant-design path: quiesce both netlists, compare each output.
+
+    ``pairs`` is ``(source net, observed net, message suffix)`` —
+    the batch sweep needs at least one stimulus net, so designs with no
+    primary inputs settle on the event scheduler instead.
+    """
+    ref = EventBackend().elaborate(source)
+    fab = EventBackend().elaborate(realised)
+    ref.run_to_quiescence(max_time=10_000)
+    fab.run_to_quiescence(max_time=10_000)
+    for net, observed, where in pairs:
+        if ref.value(net) != fab.value(observed):
+            raise VerificationError(
+                f"constant mismatch on {net!r}{where}: "
+                f"expected {ref.value(net)}, got {fab.value(observed)}"
+            )
 
 
 def verify_equivalence(
@@ -404,53 +553,40 @@ def verify_equivalence(
         )
     if not result.output_wires:
         raise VerificationError("the source netlist declares no outputs")
-    rng = np.random.default_rng(seed)
-    src = result.source
     src_inputs = result.design.inputs
     if not src_inputs:
         return _verify_constant_design(result)
-    stimuli = {
-        name: rng.integers(0, 2, size=n_vectors, dtype=np.uint8)
-        for name in src_inputs
-    }
-    expected = BatchBackend().evaluate(src, stimuli, outputs=list(result.output_wires))
     fabric = result.fabric_netlist().netlist
-    fab_stimuli = {
-        result.input_wires[name]: bits
-        for name, bits in stimuli.items()
-        if name in result.input_wires
-    }
-    # On a shared array the lowered netlist includes every region; tie
-    # the free inputs that are not ours low so the sweep stays two-valued.
-    zeros = np.zeros(n_vectors, dtype=np.uint8)
-    for name in fabric.free_inputs():
-        fab_stimuli.setdefault(name, zeros)
-    got = BatchBackend().evaluate(
-        fabric, fab_stimuli, outputs=list(result.output_wires.values())
+    wires = list(result.output_wires.values())
+
+    def fabric_stimuli(stimuli):
+        fab_stimuli = {
+            result.input_wires[name]: bits
+            for name, bits in stimuli.items()
+            if name in result.input_wires
+        }
+        # On a shared array the lowered netlist includes every region;
+        # tie free inputs that are not ours low so the sweep stays
+        # two-valued.
+        zeros = np.zeros(len(next(iter(stimuli.values()))), dtype=np.uint8)
+        for name in fabric.free_inputs():
+            fab_stimuli.setdefault(name, zeros)
+        return fab_stimuli
+
+    def run_on(backend):
+        def run(stimuli):
+            got = backend.evaluate(fabric, fabric_stimuli(stimuli), outputs=wires)
+            return {net: got[w] for net, w in result.output_wires.items()}
+        return run
+
+    n_batch, n_event = _sweep_equivalence(
+        result.source, src_inputs, list(result.output_wires),
+        run_on(BatchBackend()), run_on(EventBackend()),
+        n_vectors, seed, event_vectors,
+        describe=lambda net: f" (wire {result.output_wires[net]})",
     )
-    for net, wire in result.output_wires.items():
-        if not np.array_equal(expected[net], got[wire]):
-            bad = int(np.argmax(expected[net] != got[wire]))
-            raise VerificationError(
-                f"batch mismatch on {net!r} (wire {wire}) at vector {bad}: "
-                f"expected {expected[net][bad]}, got {got[wire][bad]}"
-            )
-    n_event = min(event_vectors, n_vectors)
-    if n_event:
-        ev = EventBackend().evaluate(
-            fabric,
-            {w: bits[:n_event] for w, bits in fab_stimuli.items()},
-            outputs=list(result.output_wires.values()),
-        )
-        for net, wire in result.output_wires.items():
-            if not np.array_equal(expected[net][:n_event], ev[wire]):
-                bad = int(np.argmax(expected[net][:n_event] != ev[wire]))
-                raise VerificationError(
-                    f"event mismatch on {net!r} (wire {wire}) at vector "
-                    f"{bad}: expected {expected[net][bad]}, got {ev[wire][bad]}"
-                )
     return {
-        "vectors_batch": n_vectors,
+        "vectors_batch": n_batch,
         "vectors_event": n_event,
         "outputs": len(result.output_wires),
         "ok": True,
@@ -458,22 +594,15 @@ def verify_equivalence(
 
 
 def _verify_constant_design(result: PnrResult) -> dict[str, object]:
-    """Verify a design with no primary inputs (constants only).
-
-    The batch path needs at least one stimulus net, so settle both
-    netlists on the event scheduler instead and compare the single
-    reachable state.
-    """
-    ref = EventBackend().elaborate(result.source)
-    fab = EventBackend().elaborate(result.fabric_netlist().netlist)
-    ref.run_to_quiescence(max_time=10_000)
-    fab.run_to_quiescence(max_time=10_000)
-    for net, wire in result.output_wires.items():
-        if ref.value(net) != fab.value(wire):
-            raise VerificationError(
-                f"constant mismatch on {net!r} (wire {wire}): "
-                f"expected {ref.value(net)}, got {fab.value(wire)}"
-            )
+    """Verify a design with no primary inputs (constants only)."""
+    _settle_compare(
+        result.source,
+        result.fabric_netlist().netlist,
+        [
+            (net, wire, f" (wire {wire})")
+            for net, wire in result.output_wires.items()
+        ],
+    )
     return {
         "vectors_batch": 0,
         "vectors_event": 1,

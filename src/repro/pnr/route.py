@@ -273,6 +273,29 @@ class RoutingState:
         """True for cells burned purely as interconnect."""
         return cell in self.thru_rows and cell not in self.logic_cells
 
+    def driver_cell_of(self, wire: tuple[int, int, int]) -> tuple[int, int] | None:
+        """The cell whose committed row drives ``wire`` (None if undriven).
+
+        A wire ``(r, c, i)`` can only be driven by its west neighbour's
+        row ``i`` configured EAST or its south neighbour's row ``i``
+        configured NORTH; this is the boundary-port-cell lookup the
+        sharded flow uses to attribute an inter-array channel's source
+        wire to a concrete cell.
+        """
+        r, c, i = wire
+        for cell, direction in (
+            ((r, c - 1), Direction.EAST),
+            ((r - 1, c), Direction.NORTH),
+        ):
+            if cell[0] < 0 or cell[1] < 0:
+                continue
+            if self.gate_rows.get(cell, {}).get(i) is direction:
+                return cell
+            thru = self.thru_rows.get(cell, {}).get(i)
+            if thru is not None and thru[1] is direction:
+                return cell
+        return None
+
     def output_candidates(self, gate: MappedGate) -> tuple[tuple[int, int], list[int]]:
         """(output cell, free rows) a gate can drive its net from."""
         cell = self.placement.output_cell(gate)

@@ -102,6 +102,10 @@ class TimingReport:
     path_through: dict[str, int] = field(default_factory=dict)
     slacks: dict[str, int] = field(default_factory=dict)
     criticality: dict[str, float] = field(default_factory=dict)
+    #: Capture time of each declared output (launch plus its output-wire
+    #: delay) — what a downstream consumer sees.  The sharded flow reads
+    #: these to launch inter-array channels (see ``repro.pnr.partition``).
+    output_arrivals: dict[str, int] = field(default_factory=dict)
 
     @property
     def wire_delay(self) -> int:
@@ -199,9 +203,14 @@ def _wire_delays(
                     depth.get((cell[0], cell[1], col), 0) * HOP_DELAY
                 )
             if net in design.outputs:
+                # The exported tap is the first driven wire — the one
+                # _build_result records in output_wires and the sharded
+                # flow splices into inter-array channels.  Deeper
+                # branches of the tree serve internal sinks, whose own
+                # pin arrivals already price them.
                 driven = [w for w in route.wires if w != route.entry_wire]
                 out_delay[net] = (
-                    max((depth.get(w, 0) for w in driven), default=0) * HOP_DELAY
+                    depth.get(driven[0], 0) * HOP_DELAY if driven else 0
                 )
         return sink_delay, out_delay, "routed"
     if placement is not None:
@@ -228,9 +237,12 @@ def _wire_delays(
 # The analysis
 # ----------------------------------------------------------------------
 
-def _propagate(design, order, sink_delay, out_delay):
+def _propagate(design, order, sink_delay, out_delay, input_arrivals=None):
     """Forward pass: launch times, pin arrivals, capture events."""
-    launch: dict[str, int] = {net: 0 for net in design.inputs}
+    input_arrivals = input_arrivals or {}
+    launch: dict[str, int] = {
+        net: int(input_arrivals.get(net, 0)) for net in design.inputs
+    }
     pin_arrival: dict[tuple[str, int], int] = {}
     captures: list[tuple[int, str, str, str | None, int | None]] = []
     for gname in order:
@@ -261,6 +273,8 @@ def analyze_timing(
     state=None,
     routes=None,
     target_period: int | None = None,
+    input_arrivals: dict[str, int] | None = None,
+    output_tails: dict[str, int] | None = None,
 ) -> TimingReport:
     """Static timing analysis of a mapped (optionally placed/routed) design.
 
@@ -278,6 +292,19 @@ def analyze_timing(
         Required cycle time.  Defaults to the design's ideal-wire logic
         depth, so the default worst slack is ``-(wire delay on the
         critical path)`` — the price paid for routing.
+    input_arrivals:
+        Launch time of each primary input (default 0).  The sharded
+        compile flow passes upstream shard capture times plus the
+        channel crossing delay here, composing per-shard analyses into
+        one system report (see :mod:`repro.pnr.partition`).
+    output_tails:
+        Extra downstream delay beyond each declared output's capture
+        (default 0) — the backward-pass twin of ``input_arrivals``.
+        The sharded flow seeds a channel net's tail with the crossing
+        delay plus the sink shards' own downstream delay, so per-net
+        ``path_through`` / ``slacks`` / ``criticality`` describe the
+        whole system, not just the local shard.  Does not affect the
+        cycle time or the capture events.
 
     Returns a :class:`TimingReport`.  Raises
     :class:`repro.pnr.place.PlacementError` if the gate graph has
@@ -287,17 +314,21 @@ def analyze_timing(
     order = sorted(design.gates, key=lambda n: (levels[n], n))
     sink_delay, out_delay, mode = _wire_delays(design, placement, state, routes)
 
-    launch, pin_arrival, captures = _propagate(design, order, sink_delay, out_delay)
+    launch, pin_arrival, captures = _propagate(
+        design, order, sink_delay, out_delay, input_arrivals
+    )
     cycle = max((c[0] for c in captures), default=0)
     logic_delay = cycle
-    if mode != "logic":
+    if mode != "logic" or input_arrivals:
         _, _, ideal = _propagate(design, order, {}, {})
         logic_delay = max((c[0] for c in ideal), default=0)
     period = logic_delay if target_period is None else int(target_period)
 
     # Backward pass: longest downstream delay from each net's launch point.
+    tails = output_tails or {}
     downstream: dict[str, int] = {
-        net: out_delay.get(net, 0) for net in design.outputs
+        net: out_delay.get(net, 0) + tails.get(net, 0)
+        for net in design.outputs
     }
     for gname in reversed(order):
         gate = design.gates[gname]
@@ -334,7 +365,50 @@ def analyze_timing(
         path_through=path_through,
         slacks=slacks,
         criticality=criticality,
+        output_arrivals={
+            net: launch[net] + out_delay.get(net, 0)
+            for net in design.outputs
+            if net in launch
+        },
     )
+
+
+def trace_endpoint(
+    design: MappedDesign,
+    placement: Placement | None = None,
+    *,
+    state=None,
+    routes=None,
+    input_arrivals: dict[str, int] | None = None,
+    endpoint: str,
+) -> list[PathStep]:
+    """The longest path ending at one declared output, as traceable steps.
+
+    Same propagation as :func:`analyze_timing`, but the trace targets
+    ``endpoint`` (an output net) instead of the worst capture overall —
+    the sharded flow stitches per-shard segments into a cross-array
+    critical path with this.  Raises :class:`TimingError` when
+    ``endpoint`` is not a reachable declared output.
+    """
+    levels = gate_levels(design)
+    order = sorted(design.gates, key=lambda n: (levels[n], n))
+    sink_delay, out_delay, _ = _wire_delays(design, placement, state, routes)
+    launch, pin_arrival, _ = _propagate(
+        design, order, sink_delay, out_delay, input_arrivals
+    )
+    if endpoint not in design.outputs or endpoint not in launch:
+        raise TimingError(
+            f"{endpoint!r} is not a reachable declared output of "
+            f"{design.name!r}"
+        )
+    capture = (
+        launch[endpoint] + out_delay.get(endpoint, 0),
+        "output", endpoint, None, None,
+    )
+    steps, _ = _trace_critical_path(
+        design, placement, launch, pin_arrival, sink_delay, out_delay, [capture]
+    )
+    return steps
 
 
 def _trace_critical_path(
@@ -364,7 +438,7 @@ def _trace_critical_path(
     while True:
         src = design.source_of.get(current)
         if src is None:
-            steps.append(PathStep("launch", current, None, 0, 0))
+            steps.append(PathStep("launch", current, None, 0, launch.get(current, 0)))
             break
         gate = design.gates[src]
         cell = placement.output_cell(gate) if placement is not None else None

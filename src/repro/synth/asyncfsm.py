@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.synth.qm import Implicant, cover_is_correct, minimise, prime_implicants
+from repro.synth.qm import Implicant, cover_is_correct, minimise
 from repro.synth.truthtable import TruthTable
 
 

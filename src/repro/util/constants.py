@@ -35,7 +35,7 @@ def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE_K) -> float:
     this.
 
     >>> round(thermal_voltage(300.0), 6)
-    0.02585
+    0.025852
     """
     if temperature_k <= 0.0:
         raise ValueError(f"temperature must be positive, got {temperature_k!r}")

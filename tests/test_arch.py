@@ -28,7 +28,6 @@ from repro.arch.scaling import (
     custom_path,
     fpga_path,
     frequency_scaling_exponent,
-    polymorphic_path,
     scaling_series,
 )
 from repro.arch.wires import (

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.platform import PolymorphicPlatform
 from repro.core.report import ExperimentReport
-from repro.sim.values import ONE, ZERO
+from repro.sim.values import ONE
 from repro.synth.macros import complement_cell, lut_pair_from_table
 from repro.synth.route import grid_route, routing_cost, straight_channel
 from repro.synth.truthtable import TruthTable

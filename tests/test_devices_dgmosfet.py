@@ -13,7 +13,6 @@ from hypothesis import strategies as st
 
 from repro.devices.dgmosfet import (
     CONFIG_BIAS_LEVELS,
-    DGMosfet,
     DGMosfetParams,
     Polarity,
     default_nmos,

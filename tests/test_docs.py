@@ -1,10 +1,10 @@
 """Executable documentation: doctests for the netlist and PnR entry points.
 
-The quickstarts in ``repro.netlist.__init__`` and ``repro.pnr.timing``
-and the usage examples on the IR entry points are part of the public
-documentation — this test keeps them runnable, and CI additionally
-sweeps both packages with ``pytest --doctest-modules src/repro/netlist
-src/repro/pnr``.
+The quickstarts in ``repro.netlist.__init__``, ``repro.pnr.timing`` and
+``repro.pnr.partition`` and the usage examples on the IR entry points
+are part of the public documentation — this test keeps them runnable,
+and CI additionally sweeps the whole library with ``pytest
+--doctest-modules src/repro``.
 """
 
 import doctest
@@ -12,6 +12,7 @@ import doctest
 import repro.netlist
 import repro.netlist.backends
 import repro.netlist.ir
+import repro.pnr.partition
 import repro.pnr.timing
 
 
@@ -37,3 +38,7 @@ def test_netlist_backends_doctests():
 
 def test_pnr_timing_quickstart():
     assert _run(repro.pnr.timing) > 0  # compile -> cycle time, ~6 lines
+
+
+def test_pnr_partition_quickstart():
+    assert _run(repro.pnr.partition) > 0  # shard a chain, verify it

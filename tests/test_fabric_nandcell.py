@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.fabric.driver import DriverMode
 from repro.fabric.leafcell import LeafState
-from repro.fabric.nandcell import CellConfig, N_INPUTS, N_ROWS
+from repro.fabric.nandcell import CellConfig, N_ROWS
 from repro.sim.values import ONE, X, Z, ZERO
 
 bits6 = st.lists(st.sampled_from([ZERO, ONE]), min_size=6, max_size=6)

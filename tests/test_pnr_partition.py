@@ -1,0 +1,336 @@
+"""Tests for multi-array sharding (`repro.pnr.partition`).
+
+Partition invariants (acyclic shard graph, cut-net accounting, balance),
+the edge cases the sharded flow must survive (single-shard degenerate
+compiles, cut nets fanning into several shards, stateful pairs staying
+intact inside one shard, per-shard bitstream round trips), staged
+simulation stitching, and the headline acceptance: a design deeper than
+one array's ``rows + cols - 1`` bound compiling across two or more
+`CellArray` chiplets and verifying equivalent to its source netlist on
+both simulation backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datapath.adder import ripple_carry_netlist
+from repro.fabric import CHANNEL_DELAY, CellArray, InterArrayChannel
+from repro.fabric.channel import ChannelError
+from repro.netlist import (
+    BatchBackend,
+    EventBackend,
+    Netlist,
+    ShardStage,
+    evaluate_staged,
+)
+from repro.pnr import (
+    PartitionError,
+    PnrError,
+    ShardedPnrResult,
+    VerificationError,
+    compile_sharded,
+    compile_to_fabric,
+    map_netlist,
+    partition_design,
+)
+from repro.sim.values import ONE, ZERO
+
+
+def not_chain(n: int, name: str = "chain") -> Netlist:
+    """A chain of n NOT gates — depth n + 1 with its output buffer."""
+    nl = Netlist(name)
+    prev = nl.add_input("a")
+    for k in range(n):
+        prev = nl.add("not", f"g{k}", [prev], f"n{k}")
+    nl.add("buf", "out", [prev], nl.add_output("y"))
+    return nl
+
+
+def tapped_chain() -> Netlist:
+    """A chain whose head net is re-read far downstream (multi-shard fan-out)."""
+    nl = Netlist("tapped")
+    a = nl.add_input("a")
+    head = nl.add("not", "head", [a], "x")
+    prev = head
+    for k in range(24):
+        prev = nl.add("not", f"c{k}", [prev], f"n{k}")
+        if k in (11, 23):
+            nl.add("and", f"tap{k}", [head, prev], nl.add_output(f"t{k}"))
+    nl.add("buf", "out", [prev], nl.add_output("y"))
+    return nl
+
+
+class TestPartition:
+    def test_invariants_on_rca8(self):
+        design = map_netlist(ripple_carry_netlist(8))
+        part = partition_design(design, 3)
+        # Every gate assigned, every shard populated.
+        assert set(part.assignment) == set(design.gates)
+        assert all(s.gates for s in part.shards)
+        assert sum(len(s.gates) for s in part.shards) == design.n_gates
+        # The shard graph is acyclic: nets only cross forward.
+        for g in design.gates.values():
+            for net in g.inputs:
+                src = design.source_of.get(net)
+                if src is not None:
+                    assert part.assignment[src] <= part.assignment[g.name]
+        # cut_nets matches a naive recount.
+        naive = {}
+        for net, sinks in design.sinks_of.items():
+            src = design.source_of.get(net)
+            if src is None:
+                continue
+            crossing = sorted(
+                {part.assignment[g] for g, _ in sinks}
+                - {part.assignment[src]}
+            )
+            if crossing:
+                naive[net] = (part.assignment[src], tuple(crossing))
+        assert part.cut_nets == naive
+        assert part.cut_size == sum(len(s) for _, s in naive.values())
+
+    def test_refinement_never_widens_the_cut(self):
+        design = map_netlist(ripple_carry_netlist(8))
+        for n in (2, 3, 4):
+            plain = partition_design(design, n, refine=False)
+            refined = partition_design(design, n, refine=True)
+            assert refined.cut_size <= plain.cut_size
+
+    def test_shard_ports_cover_cut_nets(self):
+        design = map_netlist(ripple_carry_netlist(8))
+        part = partition_design(design, 3)
+        for net, (src, sinks) in part.cut_nets.items():
+            assert net in part.shards[src].outputs
+            for t in sinks:
+                assert net in part.shards[t].inputs
+
+    def test_too_many_shards_rejected(self):
+        design = map_netlist(not_chain(3))
+        with pytest.raises(PartitionError):
+            partition_design(design, design.n_gates + 1)
+        with pytest.raises(PartitionError):
+            partition_design(design, 0)
+
+
+class TestShardedFlow:
+    def test_single_shard_degenerate(self):
+        res = compile_sharded(ripple_carry_netlist(4), n_shards=1, seed=0)
+        assert isinstance(res, ShardedPnrResult)
+        assert res.n_shards == 1 and res.channels == []
+        assert res.stats.cut_nets == 0 and res.stats.cut_size == 0
+        report = res.verify(n_vectors=128, event_vectors=2)
+        assert report["ok"] and report["shards"] == 1
+
+    def test_deeper_than_one_array_compiles_across_chiplets(self):
+        """Acceptance: depth 31 > 2*8 - 1, impossible on one 8x8 array."""
+        nl = not_chain(30, "deep")
+        with pytest.raises(PnrError):
+            compile_to_fabric(nl, CellArray(8, 8), seed=0)
+        res = compile_sharded(nl, max_side=8, seed=0)
+        assert res.n_shards >= 2
+        assert all(a.n_rows <= 8 and a.n_cols <= 8 for a in res.arrays)
+        # Both backends agree with the source netlist.
+        report = res.verify(n_vectors=128, event_vectors=4)
+        assert report["ok"] and report["vectors_event"] == 4
+
+    def test_rca16_sharded_acceptance(self):
+        res = compile_sharded(ripple_carry_netlist(16), max_side=24, seed=0)
+        assert res.n_shards >= 2
+        assert res.stats.cut_nets == len(res.channels) > 0
+        assert res.verify(n_vectors=256, event_vectors=2)["ok"]
+
+    def test_auto_stays_single_when_it_fits(self):
+        res = compile_sharded(ripple_carry_netlist(2), max_side=32, seed=0)
+        assert res.n_shards == 1
+
+    def test_compile_to_fabric_delegates(self):
+        res = compile_to_fabric(not_chain(8), shards=2, seed=0)
+        assert isinstance(res, ShardedPnrResult) and res.n_shards == 2
+        with pytest.raises(PnrError):
+            compile_to_fabric(not_chain(8), CellArray(12, 12), shards=2)
+
+    def test_cut_net_fans_out_into_multiple_shards(self):
+        # refine=False pins the level-chunked seed, where the head net
+        # provably reaches taps in two later shards (the min-cut pass
+        # would legally shrink this particular cut by migrating a tap).
+        res = compile_sharded(tapped_chain(), n_shards=3, seed=0, refine=False)
+        fan = [ch for ch in res.channels if len(ch.sink_shards) >= 2]
+        assert fan, "expected a channel feeding at least two shards"
+        ch = fan[0]
+        assert set(ch.sink_wires) == set(ch.sink_shards)
+        assert ch.source_wire in res.shards[ch.source_shard].output_wires.values()
+        assert res.verify(n_vectors=128, event_vectors=2)["ok"]
+
+    def test_channels_are_forward_only(self):
+        res = compile_sharded(ripple_carry_netlist(8), n_shards=3, seed=0)
+        for ch in res.channels:
+            assert all(t > ch.source_shard for t in ch.sink_shards)
+            assert ch.delay == CHANNEL_DELAY
+            assert ch.source_cell is not None
+
+    def test_gateless_passthrough_design(self):
+        nl = Netlist("wire_only")
+        nl.add_input("a")
+        nl.add_output("a")
+        res = compile_sharded(nl, max_side=8, seed=0)
+        assert res.n_shards == 1 and res.channels == []
+        got = res.evaluate_batch({"a": np.array([1, 0, 1], dtype=np.uint8)})
+        assert got["a"].tolist() == [1, 0, 1]
+
+    def test_input_passthrough_output(self):
+        nl = not_chain(8, "pass")
+        nl.add_output("a")  # declared output driven by nothing: passthrough
+        res = compile_sharded(nl, n_shards=2, seed=0)
+        got = res.evaluate_batch({"a": np.array([0, 1, 1, 0], dtype=np.uint8)})
+        assert got["a"].tolist() == [0, 1, 1, 0]
+        assert res.verify(n_vectors=64, event_vectors=2)["ok"]
+
+    def test_shard_bitstream_round_trip(self):
+        res = compile_sharded(ripple_carry_netlist(8), n_shards=2, seed=0)
+        rng = np.random.default_rng(7)
+        stimuli = {
+            n: rng.integers(0, 2, 64, dtype=np.uint8)
+            for n in res.design.inputs
+        }
+        expected = res.evaluate_batch(stimuli)
+        rebuilt_stages = []
+        for shard, stage in zip(res.shards, res.stages()):
+            clone = CellArray.from_bitstream(shard.to_bitstream())
+            assert np.array_equal(clone.to_bitstream(), shard.to_bitstream())
+            rebuilt_stages.append(
+                ShardStage(
+                    netlist=clone.to_netlist().netlist,
+                    input_map=stage.input_map,
+                    output_map=stage.output_map,
+                )
+            )
+        got = evaluate_staged(
+            rebuilt_stages, stimuli, outputs=list(expected),
+            backend=BatchBackend(),
+        )
+        for net, vals in expected.items():
+            assert np.array_equal(vals, got[net]), net
+        assert len(res.to_bitstreams()) == res.n_shards
+
+
+class TestStatefulSharding:
+    def celement_chain(self) -> Netlist:
+        nl = Netlist("cchain")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        prev = nl.add("celement", "ce", [a, b], "c")
+        for k in range(10):
+            prev = nl.add("not", f"g{k}", [prev], f"n{k}")
+        nl.add("buf", "out", [prev], nl.add_output("y"))
+        return nl
+
+    def test_pair_kept_intact_within_one_shard(self):
+        res = compile_sharded(self.celement_chain(), n_shards=2, seed=0)
+        pair_shards = [
+            res.partition.assignment[g.name]
+            for g in res.design.gates.values()
+            if g.is_stateful
+        ]
+        assert len(pair_shards) == 1  # the pair is one indivisible gate
+        host = res.shards[pair_shards[0]]
+        pair = next(g for g in host.design.gates.values() if g.is_stateful)
+        (r0, c0), (r1, c1) = host.placement.cells_of(pair)
+        assert (r1, c1) == (r0, c0 + 1)  # two horizontally abutted cells
+        assert not host.array.cell(r0, c0).is_blank()
+        assert not host.array.cell(r1, c1).is_blank()
+
+    def test_sharded_celement_sequence_on_event_backend(self):
+        res = compile_sharded(self.celement_chain(), n_shards=2, seed=0)
+        with pytest.raises(VerificationError):
+            res.verify()  # random vectors are meaningless for state
+        sim = EventBackend().elaborate(res.to_netlist())
+        for name in res.to_netlist().free_inputs():
+            if name not in ("a", "b"):
+                sim.drive(name, ZERO)
+        for a, b, want in ((1, 1, 1), (0, 1, 1), (0, 0, 0), (1, 0, 0)):
+            sim.drive("a", a)
+            sim.drive("b", b)
+            sim.run_to_quiescence(max_time=sim.now + 10_000)
+            assert sim.value("y") == (ONE if want else ZERO), (a, b)
+
+
+class TestSystemTiming:
+    def test_critical_path_crosses_channels(self):
+        res = compile_sharded(not_chain(16), n_shards=2, seed=0)
+        t = res.timing
+        assert t.mode == "sharded"
+        kinds = [s.kind for s in t.critical_path]
+        assert "channel" in kinds
+        chan = next(s for s in t.critical_path if s.kind == "channel")
+        assert chan.delay == CHANNEL_DELAY
+        # Arrivals grow monotonically along the stitched path and end at
+        # the system cycle time.
+        arrivals = [s.arrival for s in t.critical_path]
+        assert arrivals == sorted(arrivals)
+        assert t.critical_path[-1].arrival == t.cycle_time
+
+    def test_system_cycle_bounds_each_shard(self):
+        res = compile_sharded(ripple_carry_netlist(8), n_shards=2, seed=0)
+        t = res.timing
+        assert t.cycle_time >= max(s.stats.cycle_time for s in res.shards)
+        assert t.cycle_time >= t.logic_delay > 0
+        assert t.worst_slack == t.target_period - t.cycle_time
+
+    def test_per_net_maps_are_system_global(self):
+        """Every net of a single chain lies on the one true critical path,
+        so path_through/slack/criticality must reflect the *system* cycle
+        even for nets whose shard is far upstream of the endpoint."""
+        res = compile_sharded(not_chain(12), n_shards=3, seed=0)
+        t = res.timing
+        gate_nets = set(res.design.source_of) | set(res.design.inputs)
+        for net in gate_nets:
+            assert t.path_through[net] == t.cycle_time, net
+            assert t.slacks[net] == t.worst_slack, net
+            assert t.criticality[net] == 1.0, net
+
+    def test_sta_bounds_event_settle_of_merged_netlist(self):
+        res = compile_sharded(not_chain(16), n_shards=2, seed=0)
+        merged = res.to_netlist()
+        # The merged netlist adds a 1-unit observation buffer per
+        # declared output on top of the composed STA.
+        bound = res.timing.cycle_time + len(res.design.outputs)
+        assert merged.arrival_times()["y"] <= bound
+
+
+class TestStagedEvaluation:
+    def test_values_stitch_between_stages(self):
+        first = Netlist("first")
+        first.add("not", "inv", [first.add_input("p")], first.add_output("q"))
+        second = Netlist("second")
+        second.add("not", "inv", [second.add_input("r")], second.add_output("s"))
+        stages = [
+            ShardStage(first, {"x": "p"}, {"mid": "q"}),
+            ShardStage(second, {"mid": "r"}, {"y": "s"}),
+        ]
+        got = evaluate_staged(stages, {"x": [0, 1, 0, 1]})
+        assert got["y"].tolist() == [0, 1, 0, 1]  # double inversion
+        assert got["mid"].tolist() == [1, 0, 1, 0]
+
+    def test_missing_dependency_raises(self):
+        from repro.netlist import BackendError
+
+        only = Netlist("only")
+        only.add("not", "inv", [only.add_input("p")], only.add_output("q"))
+        stages = [ShardStage(only, {"nowhere": "p"}, {"q": "q"})]
+        with pytest.raises(BackendError):
+            evaluate_staged(stages, {"x": [0, 1]})
+
+
+class TestChannelModel:
+    def test_backward_channel_rejected(self):
+        with pytest.raises(ChannelError):
+            InterArrayChannel(
+                net="n", source_shard=1, sink_shards=(0,),
+                source_wire="w[0][0][0]",
+            )
+
+    def test_sink_wires_must_match_sinks(self):
+        with pytest.raises(ChannelError):
+            InterArrayChannel(
+                net="n", source_shard=0, sink_shards=(1,),
+                source_wire="w[0][0][0]", sink_wires={2: "w[1][0][0]"},
+            )

@@ -19,6 +19,7 @@ imports :func:`run_pnr_quality`, :func:`run_pnr_timing_driven` and
 
 from __future__ import annotations
 
+import gc
 import time
 
 from repro.datapath.accumulator import accumulator_step_netlist
@@ -49,6 +50,7 @@ def run_pnr_quality(verify_vectors: int = 256) -> dict[str, dict]:
     """Compile the suite; return per-design quality + timing metrics."""
     results: dict[str, dict] = {}
     for name, netlist in _suite().items():
+        gc.collect()  # keep predecessor garbage out of the timed window
         t0 = time.perf_counter()
         res = compile_to_fabric(netlist, seed=0)
         compile_s = time.perf_counter() - t0
@@ -84,17 +86,23 @@ def run_pnr_timing_driven() -> dict[str, dict]:
 
     The acceptance bar for the timing-driven loop: its achieved cycle
     time is never worse than the HPWL-only placement's, on the rca8 and
-    multiplier benchmarks.
+    multiplier benchmarks.  mul4 compiles on a *single* array here — a
+    row the pre-incremental engine couldn't afford (the warm-started
+    weight ladder and journal-replay routing make the 168-gate compile
+    a sub-second affair).
     """
     designs = {
         "rca8": ripple_carry_netlist(8),
         "mul3_array": array_multiplier_netlist(3),
+        "mul4_array": array_multiplier_netlist(4),
     }
     results: dict[str, dict] = {}
     for name, netlist in designs.items():
+        gc.collect()
         t0 = time.perf_counter()
         base = compile_to_fabric(netlist, seed=0)
         base_s = time.perf_counter() - t0
+        gc.collect()
         t0 = time.perf_counter()
         timed = compile_to_fabric(netlist, seed=0, timing_driven=True)
         timed_s = time.perf_counter() - t0
@@ -117,20 +125,30 @@ def run_pnr_sharded() -> dict[str, dict]:
     rca16 (depth 51) outright exceeds a side-24 array's monotone depth
     bound (``rows + cols - 1 = 47``); mul4 (168 mapped gates, depth 32)
     fits the bound but not the placement/routing capacity of one capped
-    array (the sizer wants side 36).  The sharded flow partitions both;
-    the rows record the shard count the auto-sizer settled on, the
-    channel cut, and the composed system cycle time, with equivalence
-    verified against the source netlist on both backends.
+    array (the sizer wants side 36); rca32 (depth ~99) needs many
+    chiplets — a row the pre-incremental engine couldn't afford.  The
+    sharded flow partitions all three; the rows record the shard count
+    the auto-sizer settled on, the channel cut, and the composed system
+    cycle time, with equivalence verified against the source netlist on
+    both backends, plus ``compile_parallel_s`` — the same compile
+    through the ``concurrent.futures`` shard pool (byte-identical
+    result; the wall-clock delta records what the GIL currently costs).
     """
     designs = {
         "mul4_array": (array_multiplier_netlist(4), 24),
         "rca16": (ripple_carry_netlist(16), 24),
+        "rca32": (ripple_carry_netlist(32), 24),
     }
     results: dict[str, dict] = {}
     for name, (netlist, max_side) in designs.items():
+        gc.collect()
         t0 = time.perf_counter()
         res = compile_sharded(netlist, max_side=max_side, seed=0)
         compile_s = time.perf_counter() - t0
+        gc.collect()
+        t0 = time.perf_counter()
+        compile_sharded(netlist, max_side=max_side, seed=0, workers=None)
+        compile_parallel_s = time.perf_counter() - t0
         t0 = time.perf_counter()
         res.verify(n_vectors=256, event_vectors=2)
         verify_s = time.perf_counter() - t0
@@ -148,6 +166,7 @@ def run_pnr_sharded() -> dict[str, dict]:
             "logic_delay": s.logic_delay,
             "worst_slack": s.worst_slack,
             "compile_s": round(compile_s, 4),
+            "compile_parallel_s": round(compile_parallel_s, 4),
             "verify_s": round(verify_s, 4),
             "verified_vectors": 256,
         }

@@ -132,9 +132,10 @@ def microbench_pnr() -> dict:
 
     ``quality`` is per-design (includes the scale designs: multiplier,
     accumulator step); ``timing_driven`` compares wirelength-only vs
-    timing-driven compiles on rca8 and the array multiplier;
-    ``sharded`` compiles mul4 and rca16 across multiple chiplet arrays
-    (shard count, channel cut, composed system cycle time).
+    timing-driven compiles on rca8 and the array multipliers (mul4
+    single-array included — the incremental engine made it affordable);
+    ``sharded`` compiles mul4, rca16 and rca32 across multiple chiplet
+    arrays (shard count, channel cut, composed system cycle time).
     """
     sys.path.insert(0, str(HERE))
     from bench_pnr import run_pnr_quality, run_pnr_sharded, run_pnr_timing_driven
@@ -144,6 +145,14 @@ def microbench_pnr() -> dict:
         "timing_driven": run_pnr_timing_driven(),
         "sharded": run_pnr_sharded(),
     }
+
+
+def microbench_pnr_speed() -> dict:
+    """Engine throughput: anneal moves/s, routed nets/s, stage seconds."""
+    sys.path.insert(0, str(HERE))
+    from profile_pnr import run_pnr_speed
+
+    return run_pnr_speed()
 
 
 def main() -> int:
@@ -157,6 +166,7 @@ def main() -> int:
         "batch_sim": microbench_batch_throughput(),
         "mc_yield": microbench_mc_yield(),
         "pnr": microbench_pnr(),
+        "pnr_speed": microbench_pnr_speed(),
     }
     results["microbench"] = micro
     print(f"  event scheduler : {micro['event_sim']['events_per_s']:>12,} events/s")
@@ -182,6 +192,11 @@ def main() -> int:
         f"  PnR mul4 sharded: {mul4['shards']} chiplets (side <= "
         f"{mul4['max_side']}), {mul4['cut_nets']} cut nets, cycle "
         f"{mul4['cycle_time']}, compiled in {mul4['compile_s']}s"
+    )
+    speed8 = micro["pnr_speed"]["rca8"]
+    print(
+        f"  PnR engine      : {speed8['anneal_moves_per_s']:>12,} anneal moves/s, "
+        f"{speed8['routed_nets_per_s']:,} routed nets/s (rca8)"
     )
     out = HERE / "BENCH_results.json"
     out.write_text(json.dumps(results, indent=2) + "\n")

@@ -6,10 +6,13 @@ components can be used interchangeably for logic and interconnection"
 
 1. **tech-map** (:mod:`repro.pnr.techmap`): IR cells to NAND-row gates
    and stateful cell pairs;
-2. **place** (:mod:`repro.pnr.place`): greedy seeding plus simulated
-   annealing under the fabric's monotone east/north dominance rule;
-3. **route** (:mod:`repro.pnr.route`): A* maze routing that burns blank
-   cells as feed-throughs, with rip-up-and-retry;
+2. **place** (:mod:`repro.pnr.place`): deterministic ring-scan seeding
+   plus simulated annealing over cached incremental delta-HPWL bounding
+   boxes, under the fabric's monotone east/north dominance rule;
+3. **route** (:mod:`repro.pnr.route`): A* maze routing on one reusable
+   generation-stamped search grid, burning blank cells as
+   feed-throughs, with journal-replay rip-up-and-retry (see
+   ``docs/performance.md``);
 4. **timing** (:mod:`repro.pnr.timing`): static timing analysis over
    the routed design — worst slack, critical path, achievable cycle
    time — whose criticality weights drive the optional timing-driven
@@ -37,9 +40,12 @@ from repro.pnr.flow import (
     verify_equivalence,
 )
 from repro.pnr.place import (
+    IncrementalHpwl,
     Placement,
     PlacementError,
     anneal_placement,
+    anneal_temperatures,
+    default_anneal_steps,
     dominance_violations,
     gate_levels,
     hpwl,
@@ -81,9 +87,12 @@ __all__ = [
     "suggest_array",
     "suggest_side",
     "verify_equivalence",
+    "IncrementalHpwl",
     "Placement",
     "PlacementError",
     "anneal_placement",
+    "anneal_temperatures",
+    "default_anneal_steps",
     "dominance_violations",
     "gate_levels",
     "hpwl",

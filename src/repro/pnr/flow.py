@@ -44,6 +44,7 @@ from repro.pnr.place import (
     Placement,
     PlacementError,
     anneal_placement,
+    default_anneal_steps,
     gate_levels,
     hpwl,
     initial_placement,
@@ -199,6 +200,7 @@ def compile_to_fabric(
     target_period: int | None = None,
     shards: int | None = None,
     max_side: int | None = None,
+    workers: int | None = 1,
 ) -> PnrResult | ShardedPnrResult:
     """Place and route a netlist onto a cell array.
 
@@ -238,6 +240,11 @@ def compile_to_fabric(
         a single array is still used when the design fits one of at
         most ``max_side`` x ``max_side`` cells).  Incompatible with an
         explicit ``array`` / ``region``.  See ``docs/sharding.md``.
+    workers:
+        Sharded compiles only: width of the ``concurrent.futures`` pool
+        the independent per-shard compiles run on (``None`` = one per
+        shard up to the CPU count; default ``1`` = serial).  Results
+        are bit-identical regardless of the worker count.
 
     Returns a :class:`PnrResult` (with a routed
     :class:`repro.pnr.timing.TimingReport` under ``.timing``), or a
@@ -257,7 +264,7 @@ def compile_to_fabric(
             netlist, n_shards=shards, max_side=max_side, seed=seed,
             anneal_steps=anneal_steps, max_attempts=max_attempts,
             timing_driven=timing_driven, timing_weight=timing_weight,
-            target_period=target_period,
+            target_period=target_period, workers=workers,
         )
     try:
         design = map_netlist(netlist)
@@ -294,18 +301,38 @@ def _compile_mapped(
     per-shard arrays).
     """
     auto_array = array is None
+    if auto_array:
+        depth = max(gate_levels(design).values(), default=0) + 1
+        stateful = design.has_stateful_gates()
     last_error: Exception | None = None
     for attempt in range(max_attempts):
         if auto_array:
-            target = suggest_array(design, slack=2 + 2 * attempt)
-            if max_side is not None and target.n_rows > max_side:
+            # Size without building: a CellArray is only constructed
+            # once placement and routing succeed (failed attempts and
+            # sizing probes never pay for cell allocation).
+            side = suggest_side(
+                depth, design.n_cells, stateful, slack=2 + 2 * attempt
+            )
+            if max_side is not None and side > max_side:
                 # The cap wins: retries re-seed the annealer instead of
                 # growing the grid.
-                target = CellArray(max_side, max_side)
+                side = max_side
+            target = None
+            shape = (side, side)
         else:
             target = array
-        reg = region or Region("pnr", 0, 0, target.n_rows, target.n_cols)
-        _check_region(target, reg)
+            shape = (array.n_rows, array.n_cols)
+        reg = region or Region("pnr", 0, 0, *shape)
+        if target is not None:
+            _check_region(target, reg)
+        elif (
+            reg.row + reg.n_rows > shape[0] or reg.col + reg.n_cols > shape[1]
+        ):
+            # An explicit region must fit the auto-sized array — the
+            # same contract _check_region enforces for explicit arrays.
+            raise PnrError(
+                f"region {reg.name!r} exceeds the {shape[0]}x{shape[1]} array"
+            )
         rng = random.Random(seed + 7919 * attempt)
         try:
             placement = initial_placement(design, reg, rng)
@@ -317,13 +344,14 @@ def _compile_mapped(
                     design, placement, rng, steps=anneal_steps
                 )
             router = Router(
-                design, placement, (target.n_rows, target.n_cols), reg,
-                rng=rng, array=target,
+                design, placement, shape, reg, rng=rng, array=target,
             )
             routes = router.route_design(strict=True)
         except (PlacementError, RoutingError) as e:
             last_error = e
             continue
+        if target is None:
+            target = CellArray(*shape)
         report = analyze_timing(
             design, placement, state=router.state, routes=routes,
             target_period=target_period,
@@ -354,32 +382,58 @@ def _timing_driven_candidate(
     """Re-place/route under criticality weights; keep the fastest result.
 
     The baseline candidate is the wirelength-only compile.  Each
-    challenger re-anneals from the best placement so far with every
-    net's HPWL scaled by ``1 + w * criticality`` (criticality from the
-    best report so far) and routes critical nets first with a flattened
-    cost ladder; annealing is stochastic, so a short ladder of weights
-    around ``timing_weight`` is tried rather than a single shot.  The
-    candidate with the shortest cycle time (wirelength breaking ties)
-    wins, so ``timing_driven=True`` can only match or improve the
-    HPWL-only cycle time.
+    challenger **warm-starts** from the best placement so far: a short,
+    cool anneal (a quarter of the full budget, starting at a fraction of
+    the full temperature) with every net's HPWL scaled by
+    ``1 + w * criticality`` (criticality from the best report so far) —
+    refining the previous rung's answer instead of re-annealing from the
+    greedy seed.  Routing reuses the previous rung's work too: nets none
+    of whose endpoints moved replay their committed route journal, and
+    only the disturbed nets are searched again (see
+    :meth:`repro.pnr.route.Router.route_design`).  Annealing is
+    stochastic, so a short ladder of weights around ``timing_weight`` is
+    tried rather than a single shot.  The candidate with the shortest
+    cycle time (wirelength breaking ties) wins, so ``timing_driven=True``
+    can only match or improve the HPWL-only cycle time.
     """
     best = (placement, router, routes, report)
     best_wl = sum(r.wirelength for r in routes.values())
-    for trial, w in enumerate((timing_weight, 0.5 * timing_weight, 2.0 * timing_weight)):
+    if anneal_steps is not None:
+        rung_steps = anneal_steps
+    else:
+        rung_steps = max(200, default_anneal_steps(len(design.gates)) // 8)
+    rung_t_start = max(1.0, 0.02 * (reg.n_rows + reg.n_cols))
+    # Two rungs: the requested weight and an aggressive one.  (The old
+    # engine also tried 0.5x, but each rung re-annealed from scratch —
+    # warm-started rungs refine the same placement, so the middle rung
+    # stopped earning its wall-clock.)
+    for trial, w in enumerate((timing_weight, 2.0 * timing_weight)):
         if w <= 0:
             continue
-        b_placement, _, _, b_report = best
+        b_placement, _, b_routes, b_report = best
         weights = {
             net: 1.0 + w * crit for net, crit in b_report.criticality.items()
         }
         rng = random.Random(seed ^ (0x5EED71 + trial))
         t_placement = anneal_placement(
-            design, b_placement, rng, steps=anneal_steps, net_weights=weights
+            design, b_placement, rng, steps=rung_steps,
+            t_start=rung_t_start, net_weights=weights,
         )
+        moved = {
+            name
+            for name, pos in t_placement.positions.items()
+            if b_placement.positions[name] != pos
+        }
+        if not moved and trial > 0:
+            # The cool rung accepted nothing: routing would replay the
+            # best candidate verbatim (its critical nets were already
+            # re-searched on the rung that produced it).
+            continue
         try:
             t_router = Router(
                 design, t_placement, (target.n_rows, target.n_cols), reg,
                 rng=rng, array=target, net_criticality=b_report.criticality,
+                warm_routes=b_routes, warm_moved=moved,
             )
             t_routes = t_router.route_design(strict=True)
         except (PlacementError, RoutingError):
@@ -392,6 +446,12 @@ def _timing_driven_candidate(
         if (t_report.cycle_time, t_wl) < (best[3].cycle_time, best_wl):
             best = (t_placement, t_router, t_routes, t_report)
             best_wl = t_wl
+        else:
+            # A warm-started rung that could not improve the best
+            # candidate means the placement is at a local optimum for
+            # this criticality profile — a stronger weight on the same
+            # start almost never changes that, so stop climbing.
+            break
     return best
 
 

@@ -12,7 +12,9 @@ port cell driving an observable wire on the source array, a crossing
 delay, and a primary-input entry wire on each sink array.
 
 Partitioning is contiguous-by-levels seeding refined by a **min-cut**
-pass (networkx max-flow) at every shard boundary: gates near the
+pass (an inlined Dinic max-flow — the boundary graphs are a few hundred
+nodes, small enough that a dependency-free solver beats a general
+library by an order of magnitude) at every shard boundary: gates near the
 boundary may migrate between the two adjacent shards wherever that
 narrows the channel waist, with infinite-capacity closure edges keeping
 the shard graph acyclic by construction.
@@ -44,9 +46,11 @@ True
 from __future__ import annotations
 
 import math
+import os
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-import networkx as nx
 import numpy as np
 
 from repro.fabric.array import CellArray
@@ -154,6 +158,79 @@ def _cut_size_of(design: MappedDesign, assignment: dict[str, int]) -> int:
     return total
 
 
+#: "Infinite" capacity for closure/pinning edges: larger than any
+#: possible cut (one unit per net), so these edges are never saturated.
+_FLOW_INF = 1 << 30
+
+
+def _min_cut_source_side(
+    n_nodes: int, edges: list[tuple[int, int, int]], s: int, t: int
+) -> set[int]:
+    """Nodes on the source side of a minimum s-t cut (Dinic max-flow).
+
+    ``edges`` are directed ``(u, v, capacity)`` triples.  Deterministic:
+    the flow and the returned side depend only on the edge order.
+    """
+    # Adjacency of mutable [to, residual, reverse-index] triples.
+    adj: list[list[list[int]]] = [[] for _ in range(n_nodes)]
+    for u, v, cap in edges:
+        adj[u].append([v, cap, len(adj[v])])
+        adj[v].append([u, 0, len(adj[u]) - 1])
+    while True:
+        level = [-1] * n_nodes
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for e in adj[u]:
+                if e[1] > 0 and level[e[0]] < 0:
+                    level[e[0]] = level[u] + 1
+                    queue.append(e[0])
+        if level[t] < 0:
+            break
+        # Iterative blocking-flow DFS (windows can be hundreds of gates
+        # deep — no recursion-limit surprises).
+        it = [0] * n_nodes
+        path: list[list[int]] = []
+        u = s
+        while True:
+            if u == t:
+                pushed = min(e[1] for e in path)
+                for e in path:
+                    e[1] -= pushed
+                    adj[e[0]][e[2]][1] += pushed
+                path = []
+                u = s
+                continue
+            advanced = False
+            while it[u] < len(adj[u]):
+                e = adj[u][it[u]]
+                if e[1] > 0 and level[e[0]] == level[u] + 1:
+                    path.append(e)
+                    u = e[0]
+                    advanced = True
+                    break
+                it[u] += 1
+            if advanced:
+                continue
+            if u == s:
+                break  # the level graph is saturated: next BFS phase
+            # Dead end: prune the node and retreat one edge (the pruned
+            # level makes the predecessor's iterator skip this edge).
+            level[u] = -1
+            path.pop()
+            u = path[-1][0] if path else s
+    seen = {s}
+    stack = [s]
+    while stack:
+        u = stack.pop()
+        for e in adj[u]:
+            if e[1] > 0 and e[0] not in seen:
+                seen.add(e[0])
+                stack.append(e[0])
+    return seen
+
+
 def _bisect_window(
     design: MappedDesign,
     window: list[str],
@@ -166,18 +243,28 @@ def _bisect_window(
     per net a window gate sources, infinite-capacity closure edges from
     each reader back to its source so no cut can ever orient a net
     backwards — with the topologically earliest / latest ``pin`` gates
-    pinned to their shard, and lets ``networkx`` max-flow find the
-    narrowest channel waist in between.
+    pinned to their shard, and lets :func:`_min_cut_source_side` find
+    the narrowest channel waist in between.
     """
     s_pinned = set(window[:pin])
     t_pinned = set(window[-pin:])
     wset = set(window)
-    inf = float("inf")
-    graph = nx.DiGraph()
-    for g in s_pinned:
-        graph.add_edge("s", ("g", g), capacity=inf)
-    for g in t_pinned:
-        graph.add_edge(("g", g), "t", capacity=inf)
+    # Node ids: 0 = s, 1 = t, gates and nets numbered on first use.
+    ids: dict[tuple[str, str], int] = {}
+
+    def nid(kind: str, name: str) -> int:
+        key = (kind, name)
+        i = ids.get(key)
+        if i is None:
+            i = ids[key] = len(ids) + 2
+        return i
+
+    edges: list[tuple[int, int, int]] = []
+    for g in window:
+        if g in s_pinned:
+            edges.append((0, nid("g", g), _FLOW_INF))
+        if g in t_pinned:
+            edges.append((nid("g", g), 1, _FLOW_INF))
     for gname in window:
         net = design.gates[gname].output
         readers = sorted(
@@ -185,16 +272,59 @@ def _bisect_window(
         )
         if not readers:
             continue
-        graph.add_edge(("g", gname), ("n", net), capacity=1)
+        edges.append((nid("g", gname), nid("n", net), 1))
         for r in readers:
-            graph.add_edge(("n", net), ("g", r), capacity=inf)
+            edges.append((nid("n", net), nid("g", r), _FLOW_INF))
             # Closure: a reader on the source side forces its source
             # there too, so the cut can never orient the net backwards.
-            graph.add_edge(("g", r), ("g", gname), capacity=inf)
-    if not graph.has_node("s") or not graph.has_node("t"):
+            edges.append((nid("g", r), nid("g", gname), _FLOW_INF))
+    if not s_pinned or not t_pinned:
         return None
-    _, (s_side, _) = nx.minimum_cut(graph, "s", "t")
-    return {g: (k if ("g", g) in s_side else k + 1) for g in window}
+    s_side = _min_cut_source_side(len(ids) + 2, edges, 0, 1)
+    return {
+        g: (k if ids.get(("g", g), -1) in s_side else k + 1) for g in window
+    }
+
+
+def _side_fits(
+    design: MappedDesign,
+    window: list[str],
+    candidate: dict[str, int],
+    max_side: int,
+) -> bool:
+    """Placement-aware fit check: would both candidate sides still
+    compile onto a ``max_side`` x ``max_side`` array?
+
+    Estimates each side's required array with the same
+    :func:`repro.pnr.flow.suggest_side` heuristic the per-shard flow
+    uses — longest chain *within the side* (one topological DP over the
+    window) plus its cell count — so the min-cut refinement never trades
+    crossings for a shard the placer cannot host.
+    """
+    for side in (min(candidate.values()), max(candidate.values())):
+        depth: dict[str, int] = {}
+        cells = 0
+        stateful = False
+        deepest = 0
+        for g in window:  # ``window`` is topologically ordered
+            if candidate.get(g) != side:
+                continue
+            gate = design.gates[g]
+            cells += gate.width
+            stateful = stateful or gate.is_stateful
+            d = 1
+            for net in gate.inputs:
+                src = design.source_of.get(net)
+                if src is not None and candidate.get(src) == side:
+                    sd = depth.get(src)
+                    if sd is not None and sd + 1 > d:
+                        d = sd + 1
+            depth[g] = d
+            if d > deepest:
+                deepest = d
+        if cells and suggest_side(deepest, cells, stateful) > max_side:
+            return False
+    return True
 
 
 def _refine_boundary(
@@ -202,6 +332,7 @@ def _refine_boundary(
     order: list[str],
     assignment: dict[str, int],
     k: int,
+    max_side: int | None = None,
 ) -> None:
     """Min-cut refinement of the boundary between shards ``k`` and ``k+1``.
 
@@ -210,7 +341,9 @@ def _refine_boundary(
     complement whose only readers sit far downstream) across the
     boundary, tighter pins guarantee balance — and keeps the candidate
     with the fewest total crossings among those whose smaller side
-    still holds a quarter of the window's cells.
+    still holds a quarter of the window's cells (and, when the flow
+    compiles under an array-side cap, whose sides both still *fit* that
+    cap by the placement-aware :func:`_side_fits` estimate).
     """
     window = [g for g in order if assignment[g] in (k, k + 1)]
     if len(window) < 4:
@@ -226,6 +359,10 @@ def _refine_boundary(
             continue
         low = sum(c for g, c in cells.items() if candidate[g] == k)
         if not window_cells // 4 <= low <= window_cells - window_cells // 4:
+            continue
+        if max_side is not None and not _side_fits(
+            design, window, candidate, max_side
+        ):
             continue
         trial = dict(assignment)
         trial.update(candidate)
@@ -305,14 +442,17 @@ def partition_design(
     n_shards: int,
     *,
     refine: bool = True,
+    max_side: int | None = None,
 ) -> Partition:
     """Split a mapped design into ``n_shards`` acyclic shards.
 
     Seeds with contiguous chunks of the topological order (balanced by
     cell count — chunking a topological order makes the shard graph
     acyclic for free), then runs the min-cut refinement over every
-    adjacent boundary.  Raises :class:`PartitionError` when the request
-    is impossible (more shards than gates).
+    adjacent boundary; with ``max_side`` set, refinement only accepts
+    cuts whose sides still fit a ``max_side``-capped array by the
+    placement-aware estimate.  Raises :class:`PartitionError` when the
+    request is impossible (more shards than gates).
     """
     if n_shards < 1:
         raise PartitionError(f"n_shards must be >= 1, got {n_shards}")
@@ -324,7 +464,7 @@ def partition_design(
     assignment = _initial_chunks(design, order, n_shards)
     if refine and n_shards > 1:
         for k in range(n_shards - 1):
-            _refine_boundary(design, order, assignment, k)
+            _refine_boundary(design, order, assignment, k, max_side=max_side)
     _check_acyclic(design, assignment)
     shards, cut = _subdesigns(design, assignment, n_shards)
     if design.n_gates and any(not s.gates for s in shards):
@@ -763,6 +903,48 @@ def _system_timing(
     )
 
 
+def _compile_shards(
+    partition: Partition,
+    *,
+    seed: int,
+    anneal_steps: int | None,
+    max_attempts: int,
+    timing_driven: bool,
+    timing_weight: float,
+    target_period: int | None,
+    max_side: int | None,
+    workers: int | None,
+) -> list[PnrResult]:
+    """Compile every shard of a partition, concurrently when asked.
+
+    Per-shard place/route/time/emit are fully independent — each shard
+    has its own sub-design, seed (``seed + 101 * i``), RNG, array and
+    routing state — so they run on a ``concurrent.futures`` thread pool.
+    Results are returned in shard order and are bit-identical to a
+    serial compile (``workers=1``); the first shard failure propagates
+    as :class:`repro.pnr.flow.PnrError`.
+    """
+
+    def compile_one(item: tuple[int, MappedDesign]) -> PnrResult:
+        i, sub = item
+        return _compile_mapped(
+            sub, shard_source_netlist(sub),
+            seed=seed + 101 * i, anneal_steps=anneal_steps,
+            max_attempts=max_attempts, timing_driven=timing_driven,
+            timing_weight=timing_weight, target_period=target_period,
+            max_side=max_side,
+        )
+
+    items = list(enumerate(partition.shards))
+    if len(items) <= 1 or workers == 1:
+        return [compile_one(item) for item in items]
+    n_workers = workers if workers is not None else min(
+        len(items), os.cpu_count() or 1
+    )
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(compile_one, items))
+
+
 def compile_sharded(
     netlist: Netlist,
     n_shards: int | None = None,
@@ -775,14 +957,20 @@ def compile_sharded(
     timing_weight: float = 2.0,
     target_period: int | None = None,
     refine: bool = True,
+    workers: int | None = 1,
 ) -> ShardedPnrResult:
     """Compile one netlist across several chiplet cell arrays.
 
     Either pass an explicit ``n_shards``, or pass ``max_side`` (the
     largest array a chiplet offers) and let the flow pick the smallest
     shard count whose per-shard arrays fit — growing it further when a
-    shard still fails to place/route under the cap.  All other knobs
-    match :func:`repro.pnr.flow.compile_to_fabric` and apply per shard.
+    shard still fails to place/route under the cap.  ``workers`` sets
+    the ``concurrent.futures`` pool width for the independent per-shard
+    compiles (``None`` = one per shard up to the CPU count; the default
+    ``1`` compiles serially — CPython's GIL makes threads a wash for
+    this pure-Python hot path today, so parallelism is opt-in); results
+    are bit-identical for any worker count.  All other knobs match
+    :func:`repro.pnr.flow.compile_to_fabric` and apply per shard.
 
     Returns a :class:`ShardedPnrResult`; raises
     :class:`repro.pnr.flow.PnrError` (or :class:`PartitionError`) when
@@ -809,19 +997,16 @@ def compile_sharded(
     auto = n_shards is None
     last_error: Exception | None = None
     grow_budget = 8
-    for n in range(n0, min(max_shards, n0 + grow_budget) + 1):
-        partition = partition_design(design, n, refine=refine)
+    n_hi = min(max_shards, n0 + grow_budget)
+    for n in range(n0, n_hi + 1):
+        partition = partition_design(design, n, refine=refine, max_side=max_side)
         try:
-            results = [
-                _compile_mapped(
-                    sub, shard_source_netlist(sub),
-                    seed=seed + 101 * i, anneal_steps=anneal_steps,
-                    max_attempts=max_attempts, timing_driven=timing_driven,
-                    timing_weight=timing_weight, target_period=target_period,
-                    max_side=max_side,
-                )
-                for i, sub in enumerate(partition.shards)
-            ]
+            results = _compile_shards(
+                partition, seed=seed, anneal_steps=anneal_steps,
+                max_attempts=max_attempts, timing_driven=timing_driven,
+                timing_weight=timing_weight, target_period=target_period,
+                max_side=max_side, workers=workers,
+            )
         except PnrError as e:
             last_error = e
             if auto:

@@ -14,11 +14,17 @@ Two phases, in the spirit of the annealing placers in Kuree/cgra_pnr:
 * :func:`initial_placement` — greedy topological seeding.  Gates are
   placed in topological order at the free cell nearest the centroid of
   their placed fan-in, constrained to that fan-in's dominance quadrant —
-  so the seed is always legal.
+  so the seed is always legal.  Candidates are scanned outward from the
+  wanted cell in L1 rings (O(found distance²), not O(region cells)) in
+  a fixed sorted order, so the seed is bit-reproducible everywhere.
 * :func:`anneal_placement` — simulated annealing over single-gate
   relocations confined to each gate's dominance window, with
   half-perimeter wirelength (HPWL) cost; every accepted state stays
-  legal by construction and the best state seen wins.
+  legal by construction and the best state seen wins.  Move costs come
+  from :class:`IncrementalHpwl` — a VPR-style cached per-net bounding
+  box updated in O(pins of the moved gate) with *exact* deltas, so the
+  accept/reject trajectory for a seed is identical to a full recompute
+  (see ``docs/performance.md``).
 
 Both operate inside a :class:`repro.fabric.floorplan.Region`, so a design
 can be compiled into a carved-out module slot of a shared array.
@@ -29,6 +35,8 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.fabric.floorplan import Region
 from repro.pnr.techmap import MappedDesign, MappedGate
@@ -177,31 +185,75 @@ def weighted_hpwl(
 def initial_placement(
     design: MappedDesign,
     region: Region,
-    rng: random.Random,
+    rng: random.Random | None = None,
 ) -> Placement:
-    """Greedy legal seeding: topological order, dominance-constrained."""
+    """Greedy legal seeding: topological order, dominance-constrained.
+
+    For each gate the candidate cells are scanned outward from the
+    wanted position in L1 rings, in ascending ``(distance, row, col)``
+    order, stopping as soon as no farther ring can beat the best cost —
+    O(found distance²) instead of a sweep over every free cell of the
+    region.  Cost ties resolve through a platform-stable arithmetic hash
+    of ``(gate, row, col)`` — salted with one draw from ``rng`` so retry
+    attempts still explore different seeds — rather than a coin flip
+    over set-iteration order, so equal-cost candidates spread across the
+    region (a lowest-(row, col) tie-break packs deep chains into a
+    corner until they jam) while the same ``rng`` seed produces
+    bit-identical placements on every platform and run (the Mersenne
+    Twister draw is itself platform-stable).  When one tie-break policy
+    jams — the greedy is a heuristic; any fixed policy jams on *some*
+    design — the seeding restarts with the next policy in a fixed
+    ladder, so success and the resulting positions stay deterministic.
+    """
     capacity = region.cells
     if design.n_cells > capacity:
         raise PlacementError(
             f"design needs {design.n_cells} cells but region "
             f"{region.name!r} offers {capacity}"
         )
+    salt_base = rng.getrandbits(32) if rng is not None else 0
+    last: PlacementError | None = None
+    for variant in (1, 0, 2, 3):
+        try:
+            return _seed_once(design, region, variant, salt_base)
+        except PlacementError as e:
+            last = e
+    raise last
+
+
+def _seed_once(
+    design: MappedDesign, region: Region, variant: int, salt_base: int = 0
+) -> Placement:
+    """One deterministic greedy seeding pass under tie-break ``variant``.
+
+    Variant 1 spreads both axes by hash (the routability-friendly
+    default, tried first); variant 0 prefers the smaller column on cost
+    ties (conserving the columns deep chains march east through) with
+    hash-spread rows; variants 2 and 3 fall back to plain lexicographic
+    packing (low-column-first, then low-row-first).
+    """
     levels = gate_levels(design)
     order = sorted(design.gates, key=lambda n: (levels[n], n))
     placement = Placement(region=region)
-    free: set[tuple[int, int]] = {
-        (r, c)
-        for r in range(region.row, region.row + region.n_rows)
-        for c in range(region.col, region.col + region.n_cols)
-    }
+    row0, col0 = region.row, region.col
+    row_hi = region.row + region.n_rows - 1
+    col_hi = region.col + region.n_cols - 1
+    free = np.zeros((row_hi + 1, col_hi + 1), dtype=bool)
+    free[row0:, col0:] = True
     mid_row = region.row + region.n_rows // 2
     #: Cells fixed-pin macros depend on for pin delivery (their west and
     #: south neighbours): placing anything there, or making two macros
     #: share one, invites routing contention.
-    soft_reserved: set[tuple[int, int]] = set()
+    soft_reserved = np.zeros_like(free)
+    #: Input cells of placed pair macros: candidates for further pairs
+    #: are repelled from them, since clustered fixed-pin macros starve
+    #: the shared west/south delivery cells of rows and columns.
+    pair_cells: list[tuple[int, int]] = []
+
     for name in order:
         gate = design.gates[name]
-        min_r, min_c = region.row, region.col
+        width = gate.width
+        min_r, min_c = row0, col0
         fan_rows, fan_cols = [], []
         for net in gate.inputs:
             src = design.source_of.get(net)
@@ -217,41 +269,318 @@ def initial_placement(
         # Gates with many (or fixed-column) input pins need a usable
         # west/south neighbour to deliver those pins from; weight
         # crowded positions accordingly.
-        pin_weight = 3 if gate.width == 2 else (1 if len(gate.inputs) >= 3 else 0)
-        best, best_cost = None, None
-        for (r, c) in free:
-            if r < min_r or c < min_c:
-                continue
-            if gate.width == 2 and (
-                (r, c + 1) not in free
-                or c + 1 >= region.col + region.n_cols
-            ):
-                continue
-            cost = abs(r - want_r) + abs(c - want_c)
+        pin_weight = 3 if width == 2 else (1 if len(gate.inputs) >= 3 else 0)
+        lo_r, hi_r = min_r, row_hi
+        lo_c, hi_c = min_c, col_hi - (width - 1)
+        # Stable per-gate salt for the tie-break mix (not Python's
+        # salted str hash — this must agree across runs and platforms).
+        salt = salt_base
+        for ch in name:
+            salt = (salt * 131 + ord(ch)) & 0xFFFFFFFF
+
+        def candidate_cost(r: int, c: int, base: int) -> int | None:
+            for k in range(width):
+                if not free[r, c + k]:
+                    return None
+            cost = base
             if pin_weight:
-                for feeder in ((r, c - 1), (r - 1, c)):
-                    if feeder not in free or feeder in soft_reserved:
+                for fr, fc in ((r, c - 1), (r - 1, c)):
+                    if (
+                        fr < row0
+                        or fc < col0
+                        or not free[fr, fc]
+                        or soft_reserved[fr, fc]
+                    ):
                         cost += pin_weight
-            for k in range(gate.width):
-                if (r, c + k) in soft_reserved:
+            for k in range(width):
+                if soft_reserved[r, c + k]:
                     cost += 2
-            if best_cost is None or cost < best_cost or (
-                cost == best_cost and rng.random() < 0.5
-            ):
-                best, best_cost = (r, c), cost
+            if width == 2:
+                # Pair macros read several fixed pin columns, each
+                # delivered on its own row of the west/south neighbour
+                # cells — clustered pairs starve that shared capacity,
+                # so repel them from each other with a decaying penalty.
+                for pr, pc in pair_cells:
+                    d = abs(r - pr) + abs(c - pc)
+                    if d < 5:
+                        cost += 2 * (5 - d)
+            return cost
+
+        best, best_key = None, None
+        if lo_r <= hi_r and lo_c <= hi_c:
+            d_max = max(
+                abs(r - want_r) + abs(c - want_c)
+                for r in (lo_r, hi_r)
+                for c in (lo_c, hi_c)
+            )
+            for d in range(d_max + 1):
+                # Penalties only add, so once a best exists no ring
+                # beyond its cost can improve on it.
+                if best is not None and d > best_key[0]:
+                    break
+                for r in range(max(lo_r, want_r - d), min(hi_r, want_r + d) + 1):
+                    rem = d - abs(r - want_r)
+                    cols = (want_c - rem, want_c + rem) if rem else (want_c,)
+                    for c in cols:
+                        if not lo_c <= c <= hi_c:
+                            continue
+                        cost = candidate_cost(r, c, d)
+                        if cost is None:
+                            continue
+                        mix = (
+                            (salt ^ (r * 0x9E3779B1) ^ (c * 0x85EBCA77))
+                            & 0xFFFFFFFF
+                        )
+                        if variant == 0:
+                            key = (cost, c, mix, r)
+                        elif variant == 1:
+                            key = (cost, mix, r, c)
+                        elif variant == 2:
+                            key = (cost, c, r, 0)
+                        else:
+                            key = (cost, r, c, 0)
+                        if best_key is None or key < best_key:
+                            best, best_key = (r, c), key
         if best is None:
             raise PlacementError(
                 f"no legal cell for gate {name!r} (needs row >= {min_r}, "
-                f"col >= {min_c}, width {gate.width}) in region "
+                f"col >= {min_c}, width {width}) in region "
                 f"{region.name!r}"
             )
         placement.positions[name] = best
-        for cell in placement.cells_of(gate):
-            free.discard(cell)
-        if gate.width == 2:
-            br, bc = best
-            soft_reserved.update({(br, bc - 1), (br - 1, bc)})
+        br, bc = best
+        free[br, bc:bc + width] = False
+        if width == 2:
+            pair_cells.append(best)
+            if bc - 1 >= col0:
+                soft_reserved[br, bc - 1] = True
+            if br - 1 >= row0:
+                soft_reserved[br - 1, bc] = True
     return placement
+
+
+class IncrementalHpwl:
+    """Cached per-net bounding boxes with exact O(pins of gate) updates.
+
+    The VPR-style structure behind :func:`anneal_placement`: every net
+    keeps its bounding box **and the number of pins sitting on each of
+    the four edges**, so moving one gate updates each incident net in
+    O(1) — unless the move vacates an edge whose pin count drops to
+    zero, in which case that net alone is rescanned in O(its pins).
+    Deltas are therefore *exact* (not the VPR approximation): the
+    accept/reject trajectory under a fixed seed is identical to a full
+    recompute, which is what keeps annealed results reproducible.
+
+    Gate positions live in numpy int32 arrays (``rows`` / ``cols``,
+    indexed by ``index[name]``); :meth:`propose` prices a move without
+    committing, :meth:`commit` applies it, and :attr:`total` always
+    equals :func:`weighted_hpwl` of the current state (``hpwl`` when no
+    weights were given).
+    """
+
+    def __init__(
+        self,
+        design: MappedDesign,
+        placement: Placement,
+        net_weights: dict[str, float] | None = None,
+    ) -> None:
+        self.design = design
+        names = list(design.gates)
+        self.names = names
+        self.index = {n: i for i, n in enumerate(names)}
+        n = len(names)
+        self.rows = np.zeros(n, dtype=np.int32)
+        self.cols = np.zeros(n, dtype=np.int32)
+        self.widths = np.zeros(n, dtype=np.int32)
+        for i, nm in enumerate(names):
+            r, c = placement.positions[nm]
+            self.rows[i] = r
+            self.cols[i] = c
+            self.widths[i] = design.gates[nm].width
+
+        # One pin list per net: (gate index, column offset) — the output
+        # pin sits on the gate's east cell, sinks on its input cell.
+        # Multiplicity is kept (a pair macro may read a net twice).
+        weights = net_weights or {}
+        net_names: list[str] = []
+        net_id: dict[str, int] = {}
+        pins: list[list[tuple[int, int]]] = []
+
+        def nid(net: str) -> int:
+            k = net_id.get(net)
+            if k is None:
+                k = net_id[net] = len(net_names)
+                net_names.append(net)
+                pins.append([])
+            return k
+
+        for g in design.gates.values():
+            pins[nid(g.output)].append((self.index[g.name], g.width - 1))
+        for net, sinks in design.sinks_of.items():
+            k = nid(net)
+            for gname, _pin in sinks:
+                gi = self.index.get(gname)
+                if gi is not None:
+                    pins[k].append((gi, 0))
+        self.net_names = net_names
+        self.net_pins = pins
+        self.weight = [float(weights.get(nm, 1.0)) for nm in net_names]
+
+        # Per-gate incident pin occurrences, grouped by net.
+        by_gate: list[dict[int, list[int]]] = [{} for _ in range(n)]
+        for k, plist in enumerate(pins):
+            for gi, off in plist:
+                by_gate[gi].setdefault(k, []).append(off)
+        self.gate_nets: list[list[tuple[int, tuple[int, ...]]]] = [
+            sorted((k, tuple(offs)) for k, offs in d.items()) for d in by_gate
+        ]
+
+        m = len(net_names)
+        self._bbox: list[tuple[int, int, int, int, int, int, int, int]] = (
+            [(0, 0, 0, 0, 0, 0, 0, 0)] * m
+        )
+        self.total = 0.0
+        for k in range(m):
+            box = self._scan(k, -1, 0, 0)
+            self._bbox[k] = box
+            self.total += self.weight[k] * ((box[1] - box[0]) + (box[3] - box[2]))
+
+    # -- internals -------------------------------------------------------
+    def _scan(
+        self, k: int, moved: int, new_r: int, new_c: int
+    ) -> tuple[int, int, int, int, int, int, int, int]:
+        """Full bbox + edge-count rescan of net ``k`` (gate ``moved`` at
+        its hypothetical new position)."""
+        rows, cols = self.rows, self.cols
+        rmin = cmin = 1 << 30
+        rmax = cmax = -(1 << 30)
+        pts = []
+        for gi, off in self.net_pins[k]:
+            if gi == moved:
+                r, c = new_r, new_c + off
+            else:
+                r, c = int(rows[gi]), int(cols[gi]) + off
+            pts.append((r, c))
+            if r < rmin:
+                rmin = r
+            if r > rmax:
+                rmax = r
+            if c < cmin:
+                cmin = c
+            if c > cmax:
+                cmax = c
+        nrmin = nrmax = ncmin = ncmax = 0
+        for r, c in pts:
+            if r == rmin:
+                nrmin += 1
+            if r == rmax:
+                nrmax += 1
+            if c == cmin:
+                ncmin += 1
+            if c == cmax:
+                ncmax += 1
+        return (rmin, rmax, cmin, cmax, nrmin, nrmax, ncmin, ncmax)
+
+    def _bbox_after(
+        self, k: int, gi: int, offs: tuple[int, ...],
+        old_r: int, old_c: int, new_r: int, new_c: int,
+    ) -> tuple[int, int, int, int, int, int, int, int]:
+        rmin, rmax, cmin, cmax, nrmin, nrmax, ncmin, ncmax = self._bbox[k]
+        for off in offs:
+            # Remove the old pin point from the edge counts.
+            if old_r == rmin:
+                nrmin -= 1
+            if old_r == rmax:
+                nrmax -= 1
+            oc = old_c + off
+            if oc == cmin:
+                ncmin -= 1
+            if oc == cmax:
+                ncmax -= 1
+            if nrmin == 0 or nrmax == 0 or ncmin == 0 or ncmax == 0:
+                # The move vacated a bounding edge: rescan this net.
+                return self._scan(k, gi, new_r, new_c)
+            # Add the new pin point.
+            if new_r < rmin:
+                rmin, nrmin = new_r, 1
+            elif new_r == rmin:
+                nrmin += 1
+            if new_r > rmax:
+                rmax, nrmax = new_r, 1
+            elif new_r == rmax:
+                nrmax += 1
+            nc = new_c + off
+            if nc < cmin:
+                cmin, ncmin = nc, 1
+            elif nc == cmin:
+                ncmin += 1
+            if nc > cmax:
+                cmax, ncmax = nc, 1
+            elif nc == cmax:
+                ncmax += 1
+        return (rmin, rmax, cmin, cmax, nrmin, nrmax, ncmin, ncmax)
+
+    # -- the move API ----------------------------------------------------
+    def propose(
+        self, gi: int, new_r: int, new_c: int
+    ) -> tuple[float, list[tuple[int, tuple]]]:
+        """Exact weighted-HPWL delta of moving gate ``gi``; commits nothing.
+
+        Returns ``(delta, updates)``; pass ``updates`` to :meth:`commit`
+        to apply the move.
+        """
+        old_r, old_c = int(self.rows[gi]), int(self.cols[gi])
+        delta = 0.0
+        updates: list[tuple[int, tuple]] = []
+        bbox = self._bbox
+        weight = self.weight
+        for k, offs in self.gate_nets[gi]:
+            old = bbox[k]
+            new = self._bbox_after(k, gi, offs, old_r, old_c, new_r, new_c)
+            d = ((new[1] - new[0]) + (new[3] - new[2])) - (
+                (old[1] - old[0]) + (old[3] - old[2])
+            )
+            if d:
+                delta += weight[k] * d
+            updates.append((k, new))
+        return delta, updates
+
+    def commit(
+        self, gi: int, new_r: int, new_c: int,
+        delta: float, updates: list[tuple[int, tuple]],
+    ) -> None:
+        """Apply a move priced by :meth:`propose`."""
+        self.rows[gi] = new_r
+        self.cols[gi] = new_c
+        for k, box in updates:
+            self._bbox[k] = box
+        self.total += delta
+
+    def move(self, name: str, position: tuple[int, int]) -> float:
+        """Relocate gate ``name``; returns the exact cost delta applied."""
+        gi = self.index[name]
+        delta, updates = self.propose(gi, *position)
+        self.commit(gi, *position, delta, updates)
+        return delta
+
+
+def default_anneal_steps(n_gates: int) -> int:
+    """The annealing budget :func:`anneal_placement` uses when unset."""
+    return max(600, 80 * n_gates)
+
+
+def anneal_temperatures(
+    steps: int, t_start: float, t_end: float
+) -> list[float]:
+    """The geometric cooling ladder: ``steps`` temperatures from
+    ``t_start`` (used by the very first move) down to ``t_end``."""
+    if steps <= 0:
+        return []
+    cooling = (t_end / t_start) ** (1.0 / max(1, steps - 1))
+    temps = [t_start]
+    for _ in range(steps - 1):
+        temps.append(temps[-1] * cooling)
+    return temps
 
 
 def anneal_placement(
@@ -269,96 +598,103 @@ def anneal_placement(
     rectangle bounded below by its placed fan-ins' output cells and
     above by its fan-outs' input cells — so every accepted state stays
     legal by construction (the greedy seed is legal, and a window move
-    cannot break an edge that was satisfied).  Cost is incremental
-    HPWL over the nets incident to the moved gate; with ``net_weights``
-    each net's half-perimeter is scaled by its weight (the flow passes
-    timing criticality here, turning the objective into the
-    weighted-HPWL trade-off of :func:`weighted_hpwl`).
+    cannot break an edge that was satisfied).  Cost deltas come from the
+    cached :class:`IncrementalHpwl` bounding boxes — exact and O(pins of
+    the moved gate) per move; with ``net_weights`` each net's
+    half-perimeter is scaled by its weight (the flow passes timing
+    criticality here, turning the objective into the weighted-HPWL
+    trade-off of :func:`weighted_hpwl`).  Occupancy is a numpy grid, and
+    the temperature ladder starts *at* ``t_start`` (the first move is
+    judged at the starting temperature, not one cooling step below it).
     """
     region = placement.region
     names = list(design.gates)
     if len(names) < 2:
         return placement
     if steps is None:
-        steps = max(600, 80 * len(names))
+        steps = default_anneal_steps(len(names))
     if t_start is None:
         t_start = 0.5 * (region.n_rows + region.n_cols)
 
-    positions = dict(placement.positions)
-    state = Placement(region=region, positions=positions)
-    occupied: dict[tuple[int, int], str] = {}
-    for name in names:
-        for cell in state.cells_of(design.gates[name]):
-            occupied[cell] = name
+    cost = IncrementalHpwl(design, placement, net_weights)
+    rows, cols, widths = cost.rows, cost.cols, cost.widths
+    occupied = np.full(
+        (region.row + region.n_rows, region.col + region.n_cols),
+        -1, dtype=np.int32,
+    )
+    for i in range(len(names)):
+        occupied[rows[i], cols[i]:cols[i] + widths[i]] = i
 
-    # Nets each gate touches (for incremental cost) and its neighbours.
-    incident: dict[str, list[str]] = {name: [] for name in names}
-    fanins: dict[str, list[str]] = {name: [] for name in names}
-    fanouts: dict[str, list[str]] = {name: [] for name in names}
+    # Fan-in / fan-out gate indices bounding each gate's legal window.
+    fanins: list[list[int]] = [[] for _ in names]
+    fanouts: list[list[int]] = [[] for _ in names]
     for g in design.gates.values():
-        incident[g.name].append(g.output)
+        gi = cost.index[g.name]
         for net in dict.fromkeys(g.inputs):
-            incident[g.name].append(net)
             src = design.source_of.get(net)
             if src is not None and src != g.name:
-                fanins[g.name].append(src)
-                fanouts[src].append(g.name)
+                si = cost.index[src]
+                fanins[gi].append(si)
+                fanouts[si].append(gi)
 
-    def window(name: str) -> tuple[int, int, int, int]:
-        gate = design.gates[name]
-        lo_r, lo_c = region.row, region.col
-        hi_r = region.row + region.n_rows - 1
-        hi_c = region.col + region.n_cols - gate.width
-        for f in fanins[name]:
-            fr, fc = state.output_cell(design.gates[f])
-            lo_r, lo_c = max(lo_r, fr), max(lo_c, fc)
-        for f in fanouts[name]:
-            fr, fc = state.input_cell(design.gates[f])
-            hi_r = min(hi_r, fr)
-            hi_c = min(hi_c, fc - (gate.width - 1))
-        return lo_r, lo_c, hi_r, hi_c
+    row_lo, col_lo = region.row, region.col
+    row_hi = region.row + region.n_rows - 1
+    col_hi = region.col + region.n_cols - 1
 
-    weights = net_weights or {}
-
-    def incident_cost(name: str) -> float:
-        return sum(
-            net_hpwl(design, state, net) * weights.get(net, 1.0)
-            for net in incident[name]
-        )
-
-    best_positions = dict(positions)
-    best_delta = 0
-    total_delta = 0
-    cooling = (t_end / t_start) ** (1.0 / max(1, steps - 1))
-    temp = t_start
-    for _ in range(steps):
-        temp *= cooling
+    best_rows = rows.copy()
+    best_cols = cols.copy()
+    best_total = cost.total
+    exp = math.exp
+    for temp in anneal_temperatures(steps, t_start, t_end):
         name = rng.choice(names)
-        gate = design.gates[name]
-        lo_r, lo_c, hi_r, hi_c = window(name)
+        gi = cost.index[name]
+        w = int(widths[gi])
+        if w == 2:
+            # Fixed-pin pair macros stay where the seed spread them:
+            # HPWL gains from compacting them are routinely wiped out
+            # by the routing congestion their clustering causes.
+            continue
+        lo_r, lo_c = row_lo, col_lo
+        hi_r, hi_c = row_hi, col_hi - (w - 1)
+        for f in fanins[gi]:
+            fr = int(rows[f])
+            fc = int(cols[f]) + int(widths[f]) - 1
+            if fr > lo_r:
+                lo_r = fr
+            if fc > lo_c:
+                lo_c = fc
+        for f in fanouts[gi]:
+            fr = int(rows[f])
+            fc = int(cols[f]) - (w - 1)
+            if fr < hi_r:
+                hi_r = fr
+            if fc < hi_c:
+                hi_c = fc
         if lo_r > hi_r or lo_c > hi_c:
             continue
-        target = (rng.randint(lo_r, hi_r), rng.randint(lo_c, hi_c))
-        if target == positions[name]:
+        tr = rng.randint(lo_r, hi_r)
+        tc = rng.randint(lo_c, hi_c)
+        if tr == rows[gi] and tc == cols[gi]:
             continue
-        span = [(target[0], target[1] + k) for k in range(gate.width)]
-        if any(occupied.get(cell, name) != name for cell in span):
+        blocked = False
+        for k in range(w):
+            o = occupied[tr, tc + k]
+            if o != -1 and o != gi:
+                blocked = True
+                break
+        if blocked:
             continue
-        old = positions[name]
-        before = incident_cost(name)
-        for cell in state.cells_of(gate):
-            del occupied[cell]
-        positions[name] = target
-        d = incident_cost(name) - before
-        if d <= 0 or rng.random() < math.exp(-d / max(temp, 1e-9)):
-            for cell in state.cells_of(gate):
-                occupied[cell] = name
-            total_delta += d
-            if total_delta < best_delta:
-                best_delta = total_delta
-                best_positions = dict(positions)
-        else:
-            positions[name] = old
-            for cell in state.cells_of(gate):
-                occupied[cell] = name
-    return Placement(region=region, positions=best_positions)
+        d, updates = cost.propose(gi, tr, tc)
+        if d <= 0 or rng.random() < exp(-d / max(temp, 1e-9)):
+            occupied[rows[gi], cols[gi]:cols[gi] + w] = -1
+            occupied[tr, tc:tc + w] = gi
+            cost.commit(gi, tr, tc, d, updates)
+            if cost.total < best_total:
+                best_total = cost.total
+                best_rows = rows.copy()
+                best_cols = cols.copy()
+    positions = {
+        name: (int(best_rows[i]), int(best_cols[i]))
+        for i, name in enumerate(names)
+    }
+    return Placement(region=region, positions=positions)

@@ -24,7 +24,11 @@ straight channels to arbitrary nets:
 * congestion is handled by ordering (short nets first), a cost ladder
   that prefers reusing cells the net (or anything else) already
   occupies over burning fresh blanks, and rip-up-and-retry passes that
-  reroute failed nets first.
+  reroute failed nets first while *replaying* the rest from their
+  committed claim journals;
+* all A* searches share one preallocated, generation-stamped cost grid
+  and a numpy congestion-history array — no per-net allocation (see
+  ``docs/performance.md``).
 
 Routing is monotone by construction — rows drive east or north only —
 so every search is confined to the dominance quadrant between source
@@ -36,6 +40,8 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.fabric.floorplan import Region
 from repro.fabric.nandcell import N_INPUTS, N_ROWS, Direction
@@ -61,6 +67,14 @@ PAIR_INTERNAL_ROWS: dict[str, int] = {
     PAIR_EVENTLATCH: 5,
 }
 
+#: Free-row tuples by used-row bitmask: ``_ROWS_BY_MASK[mask]`` lists the
+#: rows whose bit is clear — the O(1) lookup behind
+#: :meth:`RoutingState.free_rows`.
+_ROWS_BY_MASK: tuple[tuple[int, ...], ...] = tuple(
+    tuple(r for r in range(N_ROWS) if not mask >> r & 1)
+    for mask in range(1 << N_ROWS)
+)
+
 
 class RoutingError(RuntimeError):
     """A net could not be routed with the available cells and wires."""
@@ -68,12 +82,20 @@ class RoutingError(RuntimeError):
 
 @dataclass
 class NetRoute:
-    """Everything one routed net occupies."""
+    """Everything one routed net occupies.
+
+    ``ops`` is the net's commit journal — the ordered resource claims
+    (entry wires, source-row drives, feed-through hops, sink column
+    landings) that produced the route.  A later router pass replays the
+    journal verbatim when the net's endpoints have not moved, instead of
+    searching again (see :meth:`Router.route_design`).
+    """
 
     net: str
     wires: list[tuple[int, int, int]] = field(default_factory=list)
     entry_wire: tuple[int, int, int] | None = None
     sink_cols: dict[tuple[str, int], int] = field(default_factory=dict)
+    ops: list[tuple] = field(default_factory=list, repr=False)
 
     @property
     def wirelength(self) -> int:
@@ -100,6 +122,11 @@ class RoutingState:
         self.logic_cells: dict[tuple[int, int], str] = {}
         #: Pair-macro cells: fully committed, never shared with routing.
         self.opaque: set[tuple[int, int]] = set()
+        #: (r, c) -> bitmask of driver rows in use (gate + feed-through):
+        #: the O(1) source of :meth:`free_rows`.
+        self._row_mask: dict[tuple[int, int], int] = {}
+        #: Pair product cells whose rows are all spoken for.
+        self._pair_committed: set[tuple[int, int]] = set()
         #: (r, c) -> {row: Direction} of gate fan-out (function) rows.
         self.gate_rows: dict[tuple[int, int], dict[int, Direction]] = {}
         #: (r, c) -> {row: (in_col, Direction)} of feed-through rows.
@@ -130,6 +157,7 @@ class RoutingState:
                 self.pending_inputs[in_cell] = set(gate.inputs)
             if cols is not None:
                 self.opaque.update(placement.cells_of(gate))
+                self._pair_committed.add(in_cell)
                 assign = self.col_assign.setdefault(in_cell, {})
                 for pin, col in enumerate(cols):
                     assign[col] = gate.inputs[pin]
@@ -192,6 +220,7 @@ class RoutingState:
     def add_gate_row(self, cell, row: int, direction: Direction) -> None:
         rows = self.gate_rows.setdefault(cell, {})
         rows[row] = direction
+        self._mark_row(cell, row)
         self._undo.append(lambda: rows.pop(row, None))
         if cell in self.pending_output:
             self.pending_output.discard(cell)
@@ -204,7 +233,13 @@ class RoutingState:
         self.assign_col(cell, in_col, net)
         rows = self.thru_rows.setdefault(cell, {})
         rows[row] = (in_col, direction)
+        self._mark_row(cell, row)
         self._undo.append(lambda: rows.pop(row, None))
+
+    def _mark_row(self, cell, row: int) -> None:
+        mask = self._row_mask
+        mask[cell] = mask.get(cell, 0) | 1 << row
+        self._undo.append(lambda: mask.__setitem__(cell, mask[cell] & ~(1 << row)))
 
     def assign_col(self, cell, col: int, net: str) -> None:
         assign = self.col_assign.setdefault(cell, {})
@@ -232,15 +267,11 @@ class RoutingState:
         """True when nothing drives or claims the wire."""
         return w not in self.wire_net
 
-    def free_rows(self, cell: tuple[int, int]) -> list[int]:
+    def free_rows(self, cell: tuple[int, int]) -> tuple[int, ...]:
         """Rows still available for drivers on a cell."""
-        gate_name = self.logic_cells.get(cell)
-        if gate_name is not None:
-            gate = self.design.gates[gate_name]
-            if gate.width == 2 and cell == self.placement.input_cell(gate):
-                return []  # the pair's product cell is fully committed
-        used = set(self.gate_rows.get(cell, ())) | set(self.thru_rows.get(cell, ()))
-        return [r for r in range(N_ROWS) if r not in used]
+        if cell in self._pair_committed:
+            return ()  # the pair's product cell is fully committed
+        return _ROWS_BY_MASK[self._row_mask.get(cell, 0)]
 
     def cell_passable(self, cell: tuple[int, int], net: str, in_col: int) -> bool:
         """Can ``net`` pass through ``cell`` reading column ``in_col``?"""
@@ -262,11 +293,11 @@ class RoutingState:
             return free > len(pending)
         return True
 
-    def thru_rows_available(self, cell: tuple[int, int]) -> list[int]:
+    def thru_rows_available(self, cell: tuple[int, int]) -> tuple[int, ...]:
         """Rows through-traffic may take: keeps one for an undriven gate."""
         rows = self.free_rows(cell)
         if cell in self.pending_output and len(rows) <= 1:
-            return []
+            return ()
         return rows
 
     def is_route_only(self, cell: tuple[int, int]) -> bool:
@@ -329,11 +360,17 @@ class Router:
         max_passes: int = 6,
         array=None,
         net_criticality: dict[str, float] | None = None,
+        warm_routes: dict[str, NetRoute] | None = None,
+        warm_moved: set[str] | None = None,
     ) -> None:
         self.design = design
         self.placement = placement
         self.shape = shape
         self.region = region
+        #: Retained for API compatibility: rip-up retries used to
+        #: shuffle the remaining net order with this rng; they now keep
+        #: a stable order so journal replays stay consistent, and
+        #: routing is fully deterministic for a given placement.
         self.rng = rng or random.Random(0)
         self.max_passes = max_passes
         self.array = array
@@ -346,8 +383,36 @@ class Router:
         self.routes: dict[str, NetRoute] = {}
         #: Per-cell congestion history, grown between rip-up passes so
         #: later passes spread traffic away from contested cells
-        #: (a light take on PathFinder's negotiated congestion).
-        self.history: dict[tuple[int, int], float] = {}
+        #: (a light take on PathFinder's negotiated congestion) — a
+        #: numpy grid so charging and lookups stay cheap.
+        self.history = np.zeros(shape, dtype=np.float64)
+        #: Routes from a previous compile of (almost) this placement:
+        #: a net none of whose endpoint gates appear in ``warm_moved``
+        #: replays its journal instead of searching (see ``route_design``).
+        self.warm_routes = warm_routes or {}
+        self.warm_moved = warm_moved if warm_moved is not None else set()
+        self._use_warm = bool(self.warm_routes)
+        #: The most critical nets always re-search rather than replay —
+        #: capped to a handful so a design whose whole spine is critical
+        #: (a carry chain) still replays most of its routes.
+        by_crit = sorted(
+            (n for n, c in self.net_criticality.items() if c >= 0.9),
+            key=lambda n: (-self.net_criticality[n], n),
+        )
+        self._warm_research = set(
+            by_crit[: max(8, len(self.net_criticality) // 16)]
+        )
+        # One preallocated search grid, reused by every A* call: slots
+        # are valid only when their generation stamp matches the current
+        # search, so "clearing" between nets is a counter increment —
+        # no per-net dict allocation or snapshot copies.
+        nr, nc = shape
+        self._nid_cols = nc + 1
+        n_nodes = (nr + 1) * (nc + 1) * N_INPUTS
+        self._gcost: list[float] = [0.0] * n_nodes
+        self._parent: list[tuple | None] = [None] * n_nodes
+        self._stamp: list[int] = [0] * n_nodes
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # Net enumeration and ordering
@@ -377,6 +442,20 @@ class Router:
 
         Nets route shortest-span first; timing-critical nets jump the
         queue so they claim direct paths before congestion builds.
+
+        When the router was built with ``warm_routes`` (the timing-driven
+        ladder re-entering after a warm-start re-anneal), any net whose
+        endpoint gates all kept their position replays its previous
+        commit journal — validating every claim against the current
+        occupancy — and only falls back to a fresh A* search when the
+        replay collides with a moved net's resources.
+
+        Rip-up passes reuse state the same way: after a failed pass the
+        failures route first (claiming whatever they need, with the
+        congestion history charged), and every net the failed pass *did*
+        route becomes a warm route — so a pass with one stuck net costs
+        one search plus journal replays, not a full re-route of the
+        design.
         """
         nets = sorted(
             self.routable_nets(),
@@ -387,8 +466,36 @@ class Router:
         )
         failed: list[str] = []
         for attempt in range(self.max_passes):
+            prev_failed = failed
             failed = []
-            for net in nets:
+            ordered = nets
+            if self._use_warm:
+                # Last pass's failures keep absolute priority, then the
+                # replays: they re-claim slices of one mutually
+                # consistent previous solution, so played back-to-back
+                # they almost never collide; fresh searches then route
+                # around the replayed fabric.
+                front = set(prev_failed)
+                eligible = [
+                    n for n in nets
+                    if n not in front
+                    and n in self.warm_routes
+                    and self._warm_eligible(n)
+                ]
+                taken = front | set(eligible)
+                ordered = (
+                    prev_failed
+                    + eligible
+                    + [n for n in nets if n not in taken]
+                )
+            for net in ordered:
+                if self._use_warm:
+                    warm = self.warm_routes.get(net)
+                    if warm is not None and self._warm_eligible(net):
+                        replayed = self._replay_net(warm)
+                        if replayed is not None:
+                            self.routes[net] = replayed
+                            continue
                 self.state.begin_net()
                 try:
                     self.routes[net] = self._route_net(net)
@@ -403,16 +510,23 @@ class Router:
             if attempt == self.max_passes - 1:
                 break
             # Charge the cells this pass leaned on, then rip everything
-            # up and lead with the failures.
+            # up and lead with the failures; the routes this pass *did*
+            # commit replay from their journals unless the retried
+            # failures grab their resources first.
             for cell in set(self.state.thru_rows) | set(self.state.gate_rows):
-                self.history[cell] = self.history.get(cell, 0.0) + 0.3
+                self.history[cell] += 0.3
+            self.warm_routes = dict(self.routes)
+            self.warm_moved = set()
+            self._use_warm = True
             self.state = RoutingState(
                 self.design, self.placement, self.shape, self.region,
                 array=self.array,
             )
             self.routes = {}
+            # Keep the remaining order stable: journal replays then stay
+            # consistent pass over pass instead of cascading failures
+            # through a reshuffled claim order.
             rest = [n for n in nets if n not in failed]
-            self.rng.shuffle(rest)
             nets = failed + rest
         if strict:
             raise RoutingError(
@@ -420,6 +534,87 @@ class Router:
                 f"{failed[:6]} (of {len(failed)})"
             )
         return self.routes
+
+    # ------------------------------------------------------------------
+    # Warm replay of an earlier pass's routes
+    # ------------------------------------------------------------------
+    def _warm_eligible(self, net: str) -> bool:
+        """True when every endpoint gate of ``net`` is unmoved.
+
+        The most critical nets (capped to a handful — see
+        ``_warm_research``) always re-search: the flattened cost ladder
+        may find them a lower-detour tree than the one the previous rung
+        committed, and re-searching those nets is what the timing-driven
+        loop is *for*.
+        """
+        if net in self._warm_research:
+            return False
+        src = self.design.source_of.get(net)
+        if src is not None and src in self.warm_moved:
+            return False
+        return all(
+            g not in self.warm_moved
+            for g, _ in self.design.sinks_of.get(net, [])
+        )
+
+    def _replay_net(self, warm: NetRoute) -> NetRoute | None:
+        """Re-claim a previous route's resources from its commit journal.
+
+        Every op is validated against the *current* routing state before
+        it is applied; the first collision rolls the whole net back and
+        returns ``None`` so the caller searches from scratch.  A replay
+        that completes reproduces the old route exactly (same wires,
+        same sink columns), which is what keeps the timing-driven ladder
+        deterministic.
+        """
+        st = self.state
+        net = warm.net
+        st.begin_net()
+        route = NetRoute(net=net, sink_cols=dict(warm.sink_cols))
+        for op in warm.ops:
+            kind = op[0]
+            if kind == "entry" or kind == "entry_front":
+                w = op[1]
+                if not st.wire_free(w):
+                    break
+                st.claim_wire(w, net)
+                if kind == "entry":
+                    route.wires.append(w)
+                else:
+                    route.wires.insert(0, w)
+                route.entry_wire = w
+            elif kind == "drive":
+                _, w, cell, row, direction = op
+                if not st.wire_free(w) or row not in st.free_rows(cell):
+                    break
+                st.add_gate_row(cell, row, direction)
+                st.claim_wire(w, net)
+                route.wires.append(w)
+            elif kind == "thru":
+                _, w, cell, in_col, row, direction = op
+                if (
+                    not st.wire_free(w)
+                    or not st.cell_passable(cell, net, in_col)
+                    or row not in st.thru_rows_available(cell)
+                ):
+                    break
+                st.add_thru_row(cell, net, in_col, row, direction)
+                st.claim_wire(w, net)
+                route.wires.append(w)
+            elif kind == "col":
+                _, cell, col = op
+                owner = st.col_assign.get(cell, {}).get(col)
+                if owner is not None and owner != net:
+                    break
+                st.assign_col(cell, col, net)
+            else:  # pragma: no cover - journal kinds are closed
+                break
+        else:
+            route.ops = list(warm.ops)
+            st.commit_net()
+            return route
+        st.rollback_net()
+        return None
 
     # ------------------------------------------------------------------
     # One net
@@ -499,11 +694,13 @@ class Router:
             if self.state.wire_net.get((tr, tc, col)) == route.net:
                 route.sink_cols[(sink_name, pin)] = col
                 self._assign_col(target_cell, col, route.net)
+                route.ops.append(("col", target_cell, col))
                 return
         came = self._search(route, src_gate, target_cell, allowed, multi, entry_bound)
         goal_col = self._commit(route, came)
         route.sink_cols[(sink_name, pin)] = goal_col
         self._assign_col(target_cell, goal_col, route.net)
+        route.ops.append(("col", target_cell, goal_col))
 
     def _assign_col(self, cell: tuple[int, int], col: int, net: str) -> None:
         self.state.assign_col(cell, col, net)
@@ -525,7 +722,7 @@ class Router:
         crit = self.net_criticality.get(net, 0.0)
         if crit > 0.0:
             base = base * (1.0 - crit) + self.REUSE_COST * crit
-        return base + self.history.get(cell, 0.0)
+        return base + float(self.history[cell])
 
     def _search(
         self,
@@ -538,80 +735,173 @@ class Router:
     ):
         """Find a path of wires ending on ``target``'s allowed columns.
 
-        Returns the parent map and the goal node; raises RoutingError.
+        Returns ``(parent lookup, goal node)``; raises RoutingError.
         Nodes are wires ``(r, c, i)``; parents record how the wire came
         to carry the net: ``("seed",)`` (already in the tree),
         ``("drive", row, dir)`` (a new source row), ``("entry",)``
         (primary-input entry) or ``("hop", prev, row, dir)``.
+
+        Cost and parent slots live in the router's single preallocated
+        grid, validity-stamped with the search generation — no per-net
+        allocation, no clearing sweep.
         """
         st = self.state
+        net = route.net
+        wire_net = st.wire_net
         tr, tc = target
+        self._generation += 1
+        gen = self._generation
+        gcost = self._gcost
+        parent = self._parent
+        stamp = self._stamp
+        nid_cols = self._nid_cols
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        east = Direction.EAST
+        north = Direction.NORTH
 
-        def h(node: tuple[int, int, int]) -> float:
-            return (tr - node[0]) + (tc - node[1])
-
-        frontier: list[tuple[float, int, tuple[int, int, int]]] = []
-        came: dict[tuple[int, int, int], tuple] = {}
-        gcost: dict[tuple[int, int, int], float] = {}
+        frontier: list[tuple[float, int, int, tuple[int, int, int]]] = []
         tick = 0
 
-        def push(node, cost, parent):
+        def push(node, cost, par):
             nonlocal tick
-            if node[0] > tr or node[1] > tc:
+            r, c, i = node
+            if r > tr or c > tc:
                 return
-            if node in gcost and gcost[node] <= cost:
+            nid = (r * nid_cols + c) * N_INPUTS + i
+            if stamp[nid] == gen and gcost[nid] <= cost:
                 return
-            gcost[node] = cost
-            came[node] = parent
+            gcost[nid] = cost
+            parent[nid] = par
+            stamp[nid] = gen
             tick += 1
-            heapq.heappush(frontier, (cost + h(node), tick, node))
+            # f = g + h with the Manhattan heuristic to the target cell.
+            heappush(frontier, (cost + (tr - r) + (tc - c), tick, nid, node))
 
         for w in route.wires:
             push(w, 0.0, ("seed",))
         if src_gate is not None:
             cell, rows = st.output_candidates(src_gate)
             for row in rows:
-                for direction in (Direction.EAST, Direction.NORTH):
+                for direction in (east, north):
                     w = _wire_after(cell, row, direction)
-                    if st.wire_exists(*w) and st.wire_free(w):
+                    if st.wire_exists(*w) and w not in wire_net:
                         push(w, 1.0, ("drive", row, direction))
         elif not route.wires:
             # Primary input: enter on any free wire the search can use —
             # a passable cell's free column, or the sink pin directly.
             # The entry bound keeps the root inside every sink's quadrant.
+            # Cell-level vetoes (opaque, committed pin capacity) are
+            # hoisted out of the per-wire loop: this scan visits every
+            # cell of the entry quadrant.
             er, ec = entry_bound if entry_bound is not None else (tr, tc)
+            opaque = st.opaque
+            col_assign = st.col_assign
+            pending_inputs = st.pending_inputs
+            thru_col = st.thru_col
             for r in range(self.region.row, min(self.region.row + self.region.n_rows, er + 1)):
                 for c in range(self.region.col, min(self.region.col + self.region.n_cols, ec + 1)):
                     cell = (r, c)
+                    is_target = cell == target
+                    if cell in opaque and not is_target:
+                        continue
+                    assign = col_assign.get(cell)
+                    existing = thru_col.get((cell, net))
+                    pending = pending_inputs.get(cell)
+                    free_cols = (
+                        N_INPUTS - len(assign) if assign is not None else N_INPUTS
+                    )
                     for i in range(N_INPUTS):
                         w = (r, c, i)
-                        if not st.wire_free(w):
+                        if w in wire_net:
                             continue
-                        direct = (
-                            not multi and cell == target and i in allowed_cols
-                        )
-                        if direct or st.cell_passable(cell, route.net, i):
+                        if not multi and is_target and i in allowed_cols:
                             push(w, 0.0, ("entry",))
+                            continue
+                        if cell in opaque:
+                            continue
+                        # Inline cell_passable(cell, net, i):
+                        if existing is not None:
+                            if i != existing:
+                                continue
+                        else:
+                            owner = assign.get(i) if assign is not None else None
+                            if owner is not None:
+                                if owner != net:
+                                    continue
+                            elif pending and net not in pending:
+                                if free_cols <= len(pending):
+                                    continue
+                        push(w, 0.0, ("entry",))
 
         while frontier:
-            f, _, node = heapq.heappop(frontier)
-            if gcost[node] + h(node) < f - 1e-9:
+            f, _, nid, node = heappop(frontier)
+            if gcost[nid] + 1e-9 < f - (tr - node[0]) - (tc - node[1]):
                 continue
             r, c, i = node
-            if (r, c) == target and i in allowed_cols:
-                return came, node
+            if r == tr and c == tc and i in allowed_cols:
+                return self._parent_lookup(gen), node
             cell = (r, c)
-            if not st.cell_passable(cell, route.net, i):
+            if not st.cell_passable(cell, net, i):
                 continue
-            base = self._hop_cost(cell, route.net)
+            base = self._hop_cost(cell, net)
+            g_here = gcost[nid]
+            ce = c + 1
+            rn = r + 1
+            push_east = ce <= tc
+            push_north = rn <= tr
+            if not (push_east or push_north):
+                continue
             for row in st.thru_rows_available(cell):
-                for direction in (Direction.EAST, Direction.NORTH):
-                    w = _wire_after(cell, row, direction)
-                    if st.wire_exists(*w) and st.wire_free(w):
-                        push(w, gcost[node] + base, ("hop", node, row, direction))
+                # Produced wires always exist: the cell is in-region,
+                # so (r, c+1) / (r+1, c) index real wires and
+                # row < N_ROWS == N_INPUTS.
+                if push_east:
+                    w = (r, ce, row)
+                    if w not in wire_net:
+                        nid2 = (r * nid_cols + ce) * N_INPUTS + row
+                        cost = g_here + base
+                        if stamp[nid2] != gen or gcost[nid2] > cost:
+                            gcost[nid2] = cost
+                            parent[nid2] = ("hop", node, row, east)
+                            stamp[nid2] = gen
+                            tick += 1
+                            heappush(
+                                frontier,
+                                (cost + (tr - r) + (tc - ce), tick, nid2, w),
+                            )
+                if push_north:
+                    w = (rn, c, row)
+                    if w not in wire_net:
+                        nid2 = (rn * nid_cols + c) * N_INPUTS + row
+                        cost = g_here + base
+                        if stamp[nid2] != gen or gcost[nid2] > cost:
+                            gcost[nid2] = cost
+                            parent[nid2] = ("hop", node, row, north)
+                            stamp[nid2] = gen
+                            tick += 1
+                            heappush(
+                                frontier,
+                                (cost + (tr - rn) + (tc - c), tick, nid2, w),
+                            )
         raise RoutingError(
             f"net {route.net!r}: no path to cell {target} columns {allowed_cols}"
         )
+
+    def _parent_lookup(self, gen: int):
+        """Parent-map accessor over the generation-stamped search grid."""
+        parent = self._parent
+        stamp = self._stamp
+        nid_cols = self._nid_cols
+
+        def lookup(node: tuple[int, int, int]) -> tuple:
+            r, c, i = node
+            nid = (r * nid_cols + c) * N_INPUTS + i
+            if stamp[nid] != gen:  # pragma: no cover - defensive
+                raise RoutingError(f"search grid has no parent for {node}")
+            return parent[nid]
+
+        return lookup
 
     # ------------------------------------------------------------------
     # Committing a found path
@@ -622,7 +912,7 @@ class Router:
         path: list[tuple[tuple[int, int, int], tuple]] = []
         node = goal
         while True:
-            parent = came[node]
+            parent = came(node)
             path.append((node, parent))
             if parent[0] == "hop":
                 node = parent[1]
@@ -636,6 +926,7 @@ class Router:
                 st.claim_wire(node, route.net)
                 route.wires.append(node)
                 route.entry_wire = node
+                route.ops.append(("entry", node))
                 continue
             if kind == "drive":
                 _, row, direction = parent
@@ -643,10 +934,14 @@ class Router:
                     self.design.gates[self.design.source_of[route.net]]
                 )
                 st.add_gate_row(src_cell, row, direction)
+                route.ops.append(("drive", node, src_cell, row, direction))
             else:  # hop
                 _, prev, row, direction = parent
                 st.add_thru_row(
                     (prev[0], prev[1]), route.net, prev[2], row, direction
+                )
+                route.ops.append(
+                    ("thru", node, (prev[0], prev[1]), prev[2], row, direction)
                 )
             st.claim_wire(node, route.net)
             route.wires.append(node)
@@ -706,6 +1001,7 @@ class Router:
         self.state.claim_wire(entry, route.net)
         route.wires.insert(0, entry)
         route.entry_wire = entry
+        route.ops.append(("entry_front", entry))
         return True
 
     def _tap_from(self, route, cell, rows, in_col) -> bool:
@@ -716,8 +1012,10 @@ class Router:
                 if st.wire_exists(*w) and st.wire_free(w):
                     if in_col is not None:
                         st.add_thru_row(cell, route.net, in_col, row, direction)
+                        route.ops.append(("thru", w, cell, in_col, row, direction))
                     else:
                         st.add_gate_row(cell, row, direction)
+                        route.ops.append(("drive", w, cell, row, direction))
                     st.claim_wire(w, route.net)
                     route.wires.append(w)
                     return True

@@ -117,3 +117,28 @@ def test_tolerance_is_adjustable(committed):
     row["cycle_time"] = int(row["cycle_time"] * 1.15)
     assert check(committed, fresh, tolerance=0.10) != []
     assert check(committed, fresh, tolerance=0.25) == []
+
+
+def test_compile_s_is_recorded_but_never_gated(committed, capsys):
+    """A 10x compile-time blowup must not fail the gate (machine noise),
+    but the drift table must still show the trajectory."""
+    from check_regressions import REPORT_ONLY_METRICS
+
+    assert "compile_s" in REPORT_ONLY_METRICS
+    fresh = copy.deepcopy(committed)
+    for design in PINNED_DESIGNS:
+        row = fresh["microbench"]["pnr"]["quality"][design]
+        if "compile_s" in row:
+            row["compile_s"] = row["compile_s"] * 10
+    assert check(committed, fresh) == []
+
+
+def test_cli_prints_compile_s_trajectory(tmp_path, committed, capsys):
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(committed))
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(committed))
+    assert main(["--baseline", str(base), "--fresh", str(fresh)]) == 0
+    out = capsys.readouterr().out
+    assert "compile_s" in out
+    assert "recorded, not gated" in out

@@ -1,0 +1,230 @@
+"""Tests for the incremental-cost PnR engine (`repro.pnr` hot paths).
+
+Covers the correctness contracts the perf rework leans on:
+
+* the cached delta-HPWL structure (:class:`repro.pnr.place.IncrementalHpwl`)
+  stays *exactly* equal to a from-scratch ``hpwl()`` / ``weighted_hpwl()``
+  recompute after any random move sequence (hypothesis property);
+* the annealing temperature ladder starts at ``t_start`` (step 0 used to
+  run one cooling step below it);
+* greedy seeding is bit-reproducible for a seed, and whole compiles are
+  deterministic;
+* warm journal replay reproduces routes exactly when nothing moved;
+* parallel shard compilation produces byte-identical bitstreams to a
+  serial compile.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datapath.adder import ripple_carry_netlist
+from repro.fabric.floorplan import Region
+from repro.netlist import Netlist
+from repro.pnr import compile_sharded, compile_to_fabric, map_netlist
+from repro.pnr.flow import suggest_array
+from repro.pnr.place import (
+    IncrementalHpwl,
+    Placement,
+    anneal_placement,
+    anneal_temperatures,
+    hpwl,
+    initial_placement,
+    weighted_hpwl,
+)
+from repro.pnr.route import Router
+
+
+def small_design():
+    """A mapped rca4: ~50 gates, enough net shapes to stress the cache."""
+    return map_netlist(ripple_carry_netlist(4))
+
+
+def seeded_placement(design):
+    array = suggest_array(design)
+    region = Region("t", 0, 0, array.n_rows, array.n_cols)
+    return array, region, initial_placement(design, region, random.Random(0))
+
+
+# ----------------------------------------------------------------------
+# Incremental cost correctness
+# ----------------------------------------------------------------------
+
+class TestIncrementalHpwl:
+    def test_initial_total_matches_scratch(self):
+        design = small_design()
+        _, _, placement = seeded_placement(design)
+        inc = IncrementalHpwl(design, placement)
+        assert inc.total == pytest.approx(hpwl(design, placement))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(0, 30),
+                              st.integers(0, 30)), min_size=1, max_size=60))
+    def test_delta_equals_scratch_after_any_move_sequence(self, moves):
+        """Property: cached total == hpwl() recomputed, move by move.
+
+        Cost math does not care about legality, so moves land anywhere
+        in the region — including on top of other gates — and the cache
+        must stay exact regardless.
+        """
+        design = small_design()
+        _, region, placement = seeded_placement(design)
+        inc = IncrementalHpwl(design, placement)
+        names = list(design.gates)
+        positions = dict(placement.positions)
+        for pick, r, c in moves:
+            name = names[pick % len(names)]
+            target = (region.row + r % region.n_rows,
+                      region.col + c % region.n_cols)
+            inc.move(name, target)
+            positions[name] = target
+            scratch = hpwl(
+                design, Placement(region=region, positions=positions)
+            )
+            assert inc.total == pytest.approx(scratch), (name, target)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 10_000), st.integers(0, 30),
+                           st.integers(0, 30)), min_size=1, max_size=40),
+        st.integers(0, 2**31),
+    )
+    def test_weighted_delta_equals_scratch(self, moves, wseed):
+        design = small_design()
+        _, region, placement = seeded_placement(design)
+        wrng = random.Random(wseed)
+        weights = {
+            net: round(1.0 + 3.0 * wrng.random(), 3)
+            for net in design.sinks_of
+        }
+        inc = IncrementalHpwl(design, placement, weights)
+        names = list(design.gates)
+        positions = dict(placement.positions)
+        for pick, r, c in moves:
+            name = names[pick % len(names)]
+            target = (region.row + r % region.n_rows,
+                      region.col + c % region.n_cols)
+            inc.move(name, target)
+            positions[name] = target
+        scratch = weighted_hpwl(
+            design, Placement(region=region, positions=positions), weights
+        )
+        assert inc.total == pytest.approx(scratch)
+
+
+# ----------------------------------------------------------------------
+# Annealing schedule + determinism
+# ----------------------------------------------------------------------
+
+class TestSchedule:
+    def test_first_temperature_is_t_start(self):
+        temps = anneal_temperatures(100, t_start=8.0, t_end=0.05)
+        assert temps[0] == 8.0
+        assert temps[-1] == pytest.approx(0.05)
+        assert all(a > b for a, b in zip(temps, temps[1:]))
+
+    def test_single_step_runs_at_t_start(self):
+        assert anneal_temperatures(1, 8.0, 0.05) == [8.0]
+
+    def test_anneal_never_worse_and_legal(self):
+        design = small_design()
+        _, _, placement = seeded_placement(design)
+        refined = anneal_placement(design, placement, random.Random(1))
+        from repro.pnr.place import dominance_violations
+
+        assert dominance_violations(design, refined) == 0
+        assert hpwl(design, refined) <= hpwl(design, placement)
+
+
+class TestDeterminism:
+    def test_seed_is_bit_reproducible(self):
+        """Same rng seed -> identical greedy placement, every time."""
+        design = small_design()
+        array = suggest_array(design)
+        region = Region("t", 0, 0, array.n_rows, array.n_cols)
+        a = initial_placement(design, region, random.Random(42))
+        b = initial_placement(design, region, random.Random(42))
+        assert a.positions == b.positions
+
+    def test_distinct_salts_explore_distinct_seeds(self):
+        """Different rng seeds may differ — that is the retry ladder's
+        diversity — but each must be individually reproducible."""
+        design = small_design()
+        array = suggest_array(design)
+        region = Region("t", 0, 0, array.n_rows, array.n_cols)
+        for s in (0, 1, 7):
+            a = initial_placement(design, region, random.Random(s))
+            b = initial_placement(design, region, random.Random(s))
+            assert a.positions == b.positions
+
+    def test_full_compile_deterministic(self):
+        r1 = compile_to_fabric(ripple_carry_netlist(4), seed=3)
+        r2 = compile_to_fabric(ripple_carry_netlist(4), seed=3)
+        assert r1.placement.positions == r2.placement.positions
+        assert np.array_equal(r1.to_bitstream(), r2.to_bitstream())
+
+
+# ----------------------------------------------------------------------
+# Warm journal replay
+# ----------------------------------------------------------------------
+
+class TestWarmReplay:
+    def test_unmoved_design_replays_routes_exactly(self):
+        design = small_design()
+        array, region, placement = seeded_placement(design)
+        rng = random.Random(0)
+        placement = anneal_placement(design, placement, rng)
+        shape = (array.n_rows, array.n_cols)
+        first = Router(design, placement, shape, region,
+                       rng=random.Random(1))
+        routes = first.route_design(strict=True)
+        second = Router(design, placement, shape, region,
+                        rng=random.Random(2),
+                        warm_routes=routes, warm_moved=set())
+        replayed = second.route_design(strict=True)
+        assert set(replayed) == set(routes)
+        for net, route in routes.items():
+            assert replayed[net].wires == route.wires, net
+            assert replayed[net].sink_cols == route.sink_cols, net
+            assert replayed[net].entry_wire == route.entry_wire, net
+
+    def test_timing_driven_compile_verifies(self):
+        """The warm-started ladder still produces a correct fabric."""
+        res = compile_to_fabric(
+            ripple_carry_netlist(4), seed=0, timing_driven=True
+        )
+        report = res.verify(n_vectors=256, event_vectors=2)
+        assert report["ok"]
+        base = compile_to_fabric(ripple_carry_netlist(4), seed=0)
+        assert res.stats.cycle_time <= base.stats.cycle_time
+
+
+# ----------------------------------------------------------------------
+# Parallel shard compilation
+# ----------------------------------------------------------------------
+
+class TestParallelShards:
+    def _chain(self, n=20):
+        nl = Netlist("chain")
+        prev = nl.add_input("a")
+        for k in range(n):
+            prev = nl.add("not", f"g{k}", [prev], f"n{k}")
+        nl.add("buf", "out", [prev], nl.add_output("y"))
+        return nl
+
+    def test_parallel_bitstreams_byte_identical_to_serial(self):
+        nl = self._chain()
+        serial = compile_sharded(nl, n_shards=3, seed=0, workers=1)
+        parallel = compile_sharded(nl, n_shards=3, seed=0, workers=3)
+        s_bits = [bytes(b) for b in serial.to_bitstreams()]
+        p_bits = [bytes(b) for b in parallel.to_bitstreams()]
+        assert s_bits == p_bits
+        assert serial.stats == parallel.stats
+
+    def test_parallel_result_verifies(self):
+        nl = self._chain()
+        res = compile_sharded(nl, n_shards=3, seed=0, workers=3)
+        assert res.verify(n_vectors=64, event_vectors=2)["ok"]

@@ -126,8 +126,10 @@ def run_pnr_sharded() -> dict[str, dict]:
     bound (``rows + cols - 1 = 47``); mul4 (168 mapped gates, depth 32)
     fits the bound but not the placement/routing capacity of one capped
     array (the sizer wants side 36); rca32 (depth ~99) needs many
-    chiplets — a row the pre-incremental engine couldn't afford.  The
-    sharded flow partitions all three; the rows record the shard count
+    chiplets — a row the pre-incremental engine couldn't afford.  mul5
+    (290 gates) and rca64 (960 gates, 17 chiplets) joined once the
+    vectorized batch annealer made them interactive compiles.  The
+    sharded flow partitions all five; the rows record the shard count
     the auto-sizer settled on, the channel cut, and the composed system
     cycle time, with equivalence verified against the source netlist on
     both backends, plus ``compile_parallel_s`` — the same compile
@@ -138,6 +140,8 @@ def run_pnr_sharded() -> dict[str, dict]:
         "mul4_array": (array_multiplier_netlist(4), 24),
         "rca16": (ripple_carry_netlist(16), 24),
         "rca32": (ripple_carry_netlist(32), 24),
+        "mul5_array": (array_multiplier_netlist(5), 24),
+        "rca64": (ripple_carry_netlist(64), 24),
     }
     results: dict[str, dict] = {}
     for name, (netlist, max_side) in designs.items():

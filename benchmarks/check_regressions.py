@@ -50,6 +50,21 @@ METRICS: tuple[str, ...] = ("cycle_time", "wirelength")
 #: Metrics shown in the drift table but never gated (machine-dependent).
 REPORT_ONLY_METRICS: tuple[str, ...] = ("compile_s",)
 
+#: Throughput rows from ``microbench.pnr_speed`` shown (never gated) so
+#: the annealer/fleet perf trajectory is visible next to the quality
+#: gate: evaluated moves/s per design, and the replica fleet's exchange
+#: acceptance rate + process-pool speedup.  All machine-dependent.
+SPEED_REPORT_METRICS: tuple[str, ...] = ("anneal_moves_per_s",)
+FLEET_REPORT_METRICS: tuple[str, ...] = (
+    "exchange_accept_rate",
+    "fleet_pool_speedup",
+)
+
+
+def speed_table(results: dict) -> dict:
+    """The ``microbench.pnr_speed`` rows of one trajectory (may be {})."""
+    return results.get("microbench", {}).get("pnr_speed", {}) or {}
+
 #: Allowed relative drift upward (worse) before the gate fails.
 TOLERANCE: float = 0.10
 
@@ -142,6 +157,24 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"  {design:<20} {metric:<12} {b!s:>8} -> {f!s:>8}  "
                 f"{drift}{gated}"
+            )
+    base_s, fresh_s = speed_table(baseline), speed_table(fresh)
+    for row in sorted(set(base_s) | set(fresh_s)):
+        metrics = (
+            FLEET_REPORT_METRICS if "fleet" in row else SPEED_REPORT_METRICS
+        )
+        for metric in metrics:
+            b = base_s.get(row, {}).get(metric)
+            f = fresh_s.get(row, {}).get(metric)
+            if b is None and f is None:
+                continue
+            drift = (
+                f"{(f - b) / b:+.1%}" if b not in (None, 0) and f is not None
+                else "n/a"
+            )
+            print(
+                f"  {row:<20} {metric:<20} {b!s:>9} -> {f!s:>9}  "
+                f"{drift}  (recorded, not gated)"
             )
     if violations:
         print("REGRESSIONS:")

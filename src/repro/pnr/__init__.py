@@ -8,7 +8,10 @@ components can be used interchangeably for logic and interconnection"
    and stateful cell pairs;
 2. **place** (:mod:`repro.pnr.place`): deterministic ring-scan seeding
    plus simulated annealing over cached incremental delta-HPWL bounding
-   boxes, under the fabric's monotone east/north dominance rule;
+   boxes, under the fabric's monotone east/north dominance rule —
+   candidates priced in vectorized batches, optionally as a
+   parallel-tempering replica fleet fanned out through
+   :mod:`repro.pnr.parallel`;
 3. **route** (:mod:`repro.pnr.route`): A* maze routing on one reusable
    generation-stamped search grid, burning blank cells as
    feed-throughs, with journal-replay rip-up-and-retry (see
@@ -39,13 +42,16 @@ from repro.pnr.flow import (
     suggest_side,
     verify_equivalence,
 )
+from repro.pnr.parallel import parallel_map, resolve_workers
 from repro.pnr.place import (
+    BatchMoveEvaluator,
     IncrementalHpwl,
     Placement,
     PlacementError,
     anneal_placement,
     anneal_temperatures,
     default_anneal_steps,
+    derive_t_start,
     dominance_violations,
     gate_levels,
     hpwl,
@@ -87,13 +93,17 @@ __all__ = [
     "suggest_array",
     "suggest_side",
     "verify_equivalence",
+    "BatchMoveEvaluator",
     "IncrementalHpwl",
     "Placement",
     "PlacementError",
     "anneal_placement",
     "anneal_temperatures",
     "default_anneal_steps",
+    "derive_t_start",
     "dominance_violations",
+    "parallel_map",
+    "resolve_workers",
     "gate_levels",
     "hpwl",
     "initial_placement",

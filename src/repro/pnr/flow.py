@@ -200,7 +200,8 @@ def compile_to_fabric(
     target_period: int | None = None,
     shards: int | None = None,
     max_side: int | None = None,
-    workers: int | None = 1,
+    workers: int | None = None,
+    replicas: int = 1,
 ) -> PnrResult | ShardedPnrResult:
     """Place and route a netlist onto a cell array.
 
@@ -241,10 +242,21 @@ def compile_to_fabric(
         most ``max_side`` x ``max_side`` cells).  Incompatible with an
         explicit ``array`` / ``region``.  See ``docs/sharding.md``.
     workers:
-        Sharded compiles only: width of the ``concurrent.futures`` pool
-        the independent per-shard compiles run on (``None`` = one per
-        shard up to the CPU count; default ``1`` = serial).  Results
-        are bit-identical regardless of the worker count.
+        Width of the ``concurrent.futures`` pool the flow's independent
+        tasks fan out on: per-shard compiles for sharded runs, and the
+        annealing replicas when ``replicas > 1``.  ``None`` (the
+        default) auto-selects one worker per task capped at the CPU
+        count; ``0``/``1`` run everything serially on the calling
+        thread.  Results are bit-identical regardless of the worker
+        count — parallelism is a wall-clock knob only.
+    replicas:
+        ``N > 1`` anneals N parallel-tempering replicas at staggered
+        temperatures with periodic Metropolis exchanges, keeping the
+        best placement found by any replica (see
+        :func:`repro.pnr.place.anneal_placement`).  Composes with
+        sharding: each shard's compile anneals its own N-replica fleet
+        (serially, inside the shard's pool slot).  ``replicas=1``
+        (default) is the single-replica path.
 
     Returns a :class:`PnrResult` (with a routed
     :class:`repro.pnr.timing.TimingReport` under ``.timing``), or a
@@ -265,6 +277,7 @@ def compile_to_fabric(
             anneal_steps=anneal_steps, max_attempts=max_attempts,
             timing_driven=timing_driven, timing_weight=timing_weight,
             target_period=target_period, workers=workers,
+            replicas=replicas,
         )
     try:
         design = map_netlist(netlist)
@@ -275,7 +288,7 @@ def compile_to_fabric(
         design, netlist, array=array, region=region, seed=seed,
         anneal_steps=anneal_steps, max_attempts=max_attempts,
         timing_driven=timing_driven, timing_weight=timing_weight,
-        target_period=target_period,
+        target_period=target_period, replicas=replicas, workers=workers,
     )
 
 
@@ -292,6 +305,8 @@ def _compile_mapped(
     timing_weight: float = 2.0,
     target_period: int | None = None,
     max_side: int | None = None,
+    replicas: int = 1,
+    workers: int | None = 0,
 ) -> PnrResult:
     """The place/route/time/emit retry ladder over a mapped design.
 
@@ -341,7 +356,8 @@ def _compile_mapped(
             # back to the (sparser) greedy seed.
             if attempt % 2 == 0:
                 placement = anneal_placement(
-                    design, placement, rng, steps=anneal_steps
+                    design, placement, rng, steps=anneal_steps,
+                    replicas=replicas, workers=workers,
                 )
             router = Router(
                 design, placement, shape, reg, rng=rng, array=target,
@@ -375,6 +391,12 @@ def _compile_mapped(
     ) from last_error
 
 
+#: Acceptance probability the weight-ladder rungs derive their starting
+#: temperature from: cool enough that a warm-started refinement mostly
+#: descends, warm enough to hop out of shallow minima.
+_RUNG_T_ACCEPT = 0.2
+
+
 def _timing_driven_candidate(
     design, target, reg, placement, router, routes, report,
     *, seed, anneal_steps, timing_weight, target_period,
@@ -383,8 +405,10 @@ def _timing_driven_candidate(
 
     The baseline candidate is the wirelength-only compile.  Each
     challenger **warm-starts** from the best placement so far: a short,
-    cool anneal (a quarter of the full budget, starting at a fraction of
-    the full temperature) with every net's HPWL scaled by
+    cool anneal (a fraction of the full budget, its ``t_start``
+    re-derived per rung from the :data:`_RUNG_T_ACCEPT` acceptance
+    target against that rung's weighted landscape) with every net's
+    HPWL scaled by
     ``1 + w * criticality`` (criticality from the best report so far) —
     refining the previous rung's answer instead of re-annealing from the
     greedy seed.  Routing reuses the previous rung's work too: nets none
@@ -402,7 +426,6 @@ def _timing_driven_candidate(
         rung_steps = anneal_steps
     else:
         rung_steps = max(200, default_anneal_steps(len(design.gates)) // 8)
-    rung_t_start = max(1.0, 0.02 * (reg.n_rows + reg.n_cols))
     # Two rungs: the requested weight and an aggressive one.  (The old
     # engine also tried 0.5x, but each rung re-annealed from scratch —
     # warm-started rungs refine the same placement, so the middle rung
@@ -415,9 +438,15 @@ def _timing_driven_candidate(
             net: 1.0 + w * crit for net, crit in b_report.criticality.items()
         }
         rng = random.Random(seed ^ (0x5EED71 + trial))
+        # Each rung cools from its own landscape: t_start is re-derived
+        # from the acceptance target against *this* rung's weighted
+        # objective and warm placement, rather than one region-sized
+        # constant shared by every rung (which overheated cool rungs —
+        # a warm-started refinement wants low acceptance, and the right
+        # temperature for that depends on the weights in play).
         t_placement = anneal_placement(
             design, b_placement, rng, steps=rung_steps,
-            t_start=rung_t_start, net_weights=weights,
+            net_weights=weights, t_start_accept=_RUNG_T_ACCEPT,
         )
         moved = {
             name

@@ -1,0 +1,77 @@
+"""Deterministic fan-out helpers shared by the PnR parallel paths.
+
+Two consumers, one contract: the sharded flow
+(:func:`repro.pnr.partition.compile_sharded`) fans independent
+per-shard compiles onto a *thread* pool, and the placer fleet
+(:func:`repro.pnr.place.anneal_placement` with ``replicas > 1``) fans
+annealing-replica rounds onto a *process* pool.  Both demand the same
+property: **results must be byte-identical for any worker count**, so
+the helpers here never let pool scheduling leak into results — tasks
+are mapped in submission order and returned in submission order
+(``Executor.map`` semantics), and the serial path is the plain list
+comprehension.
+
+``workers`` convention (used across the compile flow):
+
+* ``None`` — auto: one worker per item, capped at ``os.cpu_count()``;
+* ``0`` or ``1`` — serial, no pool at all (the exact debugging path:
+  everything runs on the calling thread, tracebacks stay flat);
+* ``N > 1`` — a pool of at most ``N`` workers.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+__all__ = ["parallel_map", "resolve_workers"]
+
+
+def resolve_workers(n_items: int, workers: int | None) -> int:
+    """The effective pool width for ``n_items`` independent tasks.
+
+    ``None`` auto-selects ``min(n_items, os.cpu_count())``; ``0`` and
+    ``1`` both mean serial (0 reads as "no pool", the debugging
+    convention); anything larger is capped at ``n_items`` — a wider
+    pool would only hold idle workers.
+
+    >>> resolve_workers(4, 1)
+    1
+    >>> resolve_workers(4, 0)
+    1
+    >>> resolve_workers(4, 16)
+    4
+    """
+    if n_items <= 1:
+        return 1
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, min(int(workers), n_items))
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    workers: int | None = None,
+    *,
+    processes: bool = False,
+) -> list:
+    """``[fn(x) for x in items]``, optionally on an executor pool.
+
+    Results come back in item order whatever the pool width, and the
+    first exception propagates (remaining futures are drained by the
+    executor's context manager) — so callers observe serial semantics.
+    With ``processes=True`` the map runs on a
+    :class:`~concurrent.futures.ProcessPoolExecutor` (``fn`` and every
+    item must be picklable: use module-level functions); otherwise a
+    thread pool, which suffices when the work releases the GIL or the
+    caller only wants overlap of independent pure-Python compiles.
+    """
+    items = list(items) if not isinstance(items, Sequence) else items
+    n_workers = resolve_workers(len(items), workers)
+    if n_workers <= 1:
+        return [fn(item) for item in items]
+    pool_cls = ProcessPoolExecutor if processes else ThreadPoolExecutor
+    with pool_cls(max_workers=n_workers) as pool:
+        return list(pool.map(fn, items))

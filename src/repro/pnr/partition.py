@@ -46,9 +46,7 @@ True
 from __future__ import annotations
 
 import math
-import os
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,6 +64,7 @@ from repro.pnr.flow import (
     _sweep_equivalence,
     suggest_side,
 )
+from repro.pnr.parallel import parallel_map
 from repro.pnr.place import PlacementError, gate_levels
 from repro.pnr.techmap import (
     CONST_GATE,
@@ -914,15 +913,21 @@ def _compile_shards(
     target_period: int | None,
     max_side: int | None,
     workers: int | None,
+    replicas: int = 1,
 ) -> list[PnrResult]:
     """Compile every shard of a partition, concurrently when asked.
 
     Per-shard place/route/time/emit are fully independent — each shard
     has its own sub-design, seed (``seed + 101 * i``), RNG, array and
-    routing state — so they run on a ``concurrent.futures`` thread pool.
-    Results are returned in shard order and are bit-identical to a
-    serial compile (``workers=1``); the first shard failure propagates
-    as :class:`repro.pnr.flow.PnrError`.
+    routing state — so they fan out through
+    :func:`repro.pnr.parallel.parallel_map` on a thread pool
+    (``workers=None`` auto-sizes it to ``min(shards, cpu_count)``;
+    ``0``/``1`` compile serially).  A shard's ``replicas``-wide
+    annealing fleet runs serially inside its pool slot — the shard
+    fan-out already owns the machine's parallelism.  Results are
+    returned in shard order and are bit-identical for any worker
+    count; the first shard failure propagates as
+    :class:`repro.pnr.flow.PnrError`.
     """
 
     def compile_one(item: tuple[int, MappedDesign]) -> PnrResult:
@@ -932,17 +937,10 @@ def _compile_shards(
             seed=seed + 101 * i, anneal_steps=anneal_steps,
             max_attempts=max_attempts, timing_driven=timing_driven,
             timing_weight=timing_weight, target_period=target_period,
-            max_side=max_side,
+            max_side=max_side, replicas=replicas, workers=0,
         )
 
-    items = list(enumerate(partition.shards))
-    if len(items) <= 1 or workers == 1:
-        return [compile_one(item) for item in items]
-    n_workers = workers if workers is not None else min(
-        len(items), os.cpu_count() or 1
-    )
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(compile_one, items))
+    return parallel_map(compile_one, enumerate(partition.shards), workers)
 
 
 def compile_sharded(
@@ -957,7 +955,8 @@ def compile_sharded(
     timing_weight: float = 2.0,
     target_period: int | None = None,
     refine: bool = True,
-    workers: int | None = 1,
+    workers: int | None = None,
+    replicas: int = 1,
 ) -> ShardedPnrResult:
     """Compile one netlist across several chiplet cell arrays.
 
@@ -966,11 +965,13 @@ def compile_sharded(
     shard count whose per-shard arrays fit — growing it further when a
     shard still fails to place/route under the cap.  ``workers`` sets
     the ``concurrent.futures`` pool width for the independent per-shard
-    compiles (``None`` = one per shard up to the CPU count; the default
-    ``1`` compiles serially — CPython's GIL makes threads a wash for
-    this pure-Python hot path today, so parallelism is opt-in); results
-    are bit-identical for any worker count.  All other knobs match
-    :func:`repro.pnr.flow.compile_to_fabric` and apply per shard.
+    compiles; the default ``None`` auto-selects ``min(shards,
+    os.cpu_count())``, ``0``/``1`` compile serially (the exact
+    debugging path), and results are bit-identical for any worker
+    count.  ``replicas > 1`` anneals a parallel-tempering fleet per
+    shard (serially inside that shard's pool slot).  All other knobs
+    match :func:`repro.pnr.flow.compile_to_fabric` and apply per
+    shard.
 
     Returns a :class:`ShardedPnrResult`; raises
     :class:`repro.pnr.flow.PnrError` (or :class:`PartitionError`) when
@@ -1005,7 +1006,7 @@ def compile_sharded(
                 partition, seed=seed, anneal_steps=anneal_steps,
                 max_attempts=max_attempts, timing_driven=timing_driven,
                 timing_weight=timing_weight, target_period=target_period,
-                max_side=max_side, workers=workers,
+                max_side=max_side, workers=workers, replicas=replicas,
             )
         except PnrError as e:
             last_error = e

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.fabric.floorplan import Region
+from repro.pnr.parallel import parallel_map, resolve_workers
 from repro.pnr.techmap import MappedDesign, MappedGate
 
 
@@ -435,17 +436,25 @@ class IncrementalHpwl:
             sorted((k, tuple(offs)) for k, offs in d.items()) for d in by_gate
         ]
 
+        # Bounding boxes + edge pin counts, one row per net:
+        # (rmin, rmax, cmin, cmax, nrmin, nrmax, ncmin, ncmax).  A 2-D
+        # numpy array rather than a list of tuples so the batched
+        # evaluator can gather every candidate's incident boxes in one
+        # fancy-index; the scalar path reads rows back as python ints
+        # through :meth:`_box`.
         m = len(net_names)
-        self._bbox: list[tuple[int, int, int, int, int, int, int, int]] = (
-            [(0, 0, 0, 0, 0, 0, 0, 0)] * m
-        )
+        self._boxes = np.zeros((m, 8), dtype=np.int64)
         self.total = 0.0
         for k in range(m):
             box = self._scan(k, -1, 0, 0)
-            self._bbox[k] = box
+            self._boxes[k] = box
             self.total += self.weight[k] * ((box[1] - box[0]) + (box[3] - box[2]))
 
     # -- internals -------------------------------------------------------
+    def _box(self, k: int) -> list[int]:
+        """Net ``k``'s cached row, as plain python ints."""
+        return self._boxes[k].tolist()
+
     def _scan(
         self, k: int, moved: int, new_r: int, new_c: int
     ) -> tuple[int, int, int, int, int, int, int, int]:
@@ -485,7 +494,7 @@ class IncrementalHpwl:
         self, k: int, gi: int, offs: tuple[int, ...],
         old_r: int, old_c: int, new_r: int, new_c: int,
     ) -> tuple[int, int, int, int, int, int, int, int]:
-        rmin, rmax, cmin, cmax, nrmin, nrmax, ncmin, ncmax = self._bbox[k]
+        rmin, rmax, cmin, cmax, nrmin, nrmax, ncmin, ncmax = self._box(k)
         for off in offs:
             # Remove the old pin point from the edge counts.
             if old_r == rmin:
@@ -532,10 +541,9 @@ class IncrementalHpwl:
         old_r, old_c = int(self.rows[gi]), int(self.cols[gi])
         delta = 0.0
         updates: list[tuple[int, tuple]] = []
-        bbox = self._bbox
         weight = self.weight
         for k, offs in self.gate_nets[gi]:
-            old = bbox[k]
+            old = self._box(k)
             new = self._bbox_after(k, gi, offs, old_r, old_c, new_r, new_c)
             d = ((new[1] - new[0]) + (new[3] - new[2])) - (
                 (old[1] - old[0]) + (old[3] - old[2])
@@ -553,7 +561,7 @@ class IncrementalHpwl:
         self.rows[gi] = new_r
         self.cols[gi] = new_c
         for k, box in updates:
-            self._bbox[k] = box
+            self._boxes[k] = box
         self.total += delta
 
     def move(self, name: str, position: tuple[int, int]) -> float:
@@ -562,6 +570,259 @@ class IncrementalHpwl:
         delta, updates = self.propose(gi, *position)
         self.commit(gi, *position, delta, updates)
         return delta
+
+
+@dataclass
+class BatchEval:
+    """A priced batch of candidate moves, ready to commit selectively.
+
+    Produced by :meth:`BatchMoveEvaluator.propose_batch`.  ``deltas[j]``
+    is the exact weighted-HPWL delta of candidate ``j`` against the
+    state the batch was priced on; :meth:`nets_of` lists the nets that
+    pricing read, which is what conflict screening needs: a candidate
+    stays commit-safe for as long as none of those nets has been
+    touched by an earlier commit from the same batch.
+    """
+
+    gis: np.ndarray
+    trs: np.ndarray
+    tcs: np.ndarray
+    deltas: np.ndarray
+    #: Entry-slice bounds per candidate into ``ent_net`` / ``new_boxes``.
+    bounds: np.ndarray
+    ent_net: np.ndarray
+    #: Fast-path replacement bbox rows, one per entry.
+    new_boxes: np.ndarray
+    #: Candidates priced through the scalar fallback: j -> propose updates.
+    slow: dict[int, list]
+
+    def nets_of(self, j: int) -> np.ndarray:
+        """Net ids candidate ``j``'s pricing depends on."""
+        return self.ent_net[self.bounds[j]:self.bounds[j + 1]]
+
+
+class BatchMoveEvaluator:
+    """Vectorized pricing of K single-gate moves against one cache state.
+
+    The numpy companion to :class:`IncrementalHpwl`: candidate moves
+    arrive as arrays ``(gis, trs, tcs)`` and all K exact deltas come
+    back from one vectorized pass over the cached bbox/edge-count rows.
+    The per-pin fast path mirrors :meth:`IncrementalHpwl._bbox_after`
+    arithmetic exactly — remove the old pin from the edge counts, slide
+    the edge if the new pin extends it.  The cases the scalar code
+    rescans (a move vacating a bounding edge whose pin count hits zero)
+    are rescanned here too, but vectorized: a per-net pin CSR and
+    segmented ``reduceat`` reductions recompute exactly the boxes
+    :meth:`IncrementalHpwl._scan` would.  Only gates reading one net
+    through several pins (``nand(a, a)`` style — the one-pin update
+    does not compose) fall back to the scalar
+    :meth:`IncrementalHpwl.propose`.  Deltas are bit-equal to the
+    scalar path's (same operands, same accumulation order), which is
+    what keeps the annealer's ``cache == scratch`` invariant intact
+    under batching.
+    """
+
+    def __init__(self, cost: IncrementalHpwl) -> None:
+        self.cost = cost
+        n = len(cost.names)
+        ptr = [0]
+        ent_net: list[int] = []
+        ent_off: list[int] = []
+        slow = np.zeros(n, dtype=bool)
+        for gi in range(n):
+            for k, offs in cost.gate_nets[gi]:
+                if len(offs) > 1:
+                    # One net read through several pins of the same
+                    # gate: the one-pin edge-count update below does
+                    # not compose, price such gates through the scalar
+                    # path (they are rare — nand(a, a) style).
+                    slow[gi] = True
+                for off in offs:
+                    ent_net.append(k)
+                    ent_off.append(off)
+            ptr.append(len(ent_net))
+        self.ent_ptr = np.asarray(ptr, dtype=np.int64)
+        self.ent_net = np.asarray(ent_net, dtype=np.int64)
+        self.ent_off = np.asarray(ent_off, dtype=np.int64)
+        self.slow_gate = slow
+        self.net_weight = np.asarray(cost.weight, dtype=np.float64)
+        self.net_npins = np.asarray(
+            [len(p) for p in cost.net_pins], dtype=np.int64
+        )
+        # Flat per-net pin lists for the vectorized rescan.
+        pin_ptr = [0]
+        pin_gate: list[int] = []
+        pin_off: list[int] = []
+        for plist in cost.net_pins:
+            for gi, off in plist:
+                pin_gate.append(gi)
+                pin_off.append(off)
+            pin_ptr.append(len(pin_gate))
+        self.pin_ptr = np.asarray(pin_ptr, dtype=np.int64)
+        self.pin_gate = np.asarray(pin_gate, dtype=np.int64)
+        self.pin_off = np.asarray(pin_off, dtype=np.int64)
+
+    def propose_batch(
+        self, gis: np.ndarray, trs: np.ndarray, tcs: np.ndarray
+    ) -> tuple[np.ndarray, BatchEval]:
+        """Exact deltas for K hypothetical moves; commits nothing.
+
+        All candidates are priced against the *current* cache state,
+        independently of each other — the caller decides which subset
+        to commit (and in what order) via :meth:`commit`.
+        """
+        cost = self.cost
+        gis = np.asarray(gis, dtype=np.int64)
+        trs = np.asarray(trs, dtype=np.int64)
+        tcs = np.asarray(tcs, dtype=np.int64)
+        kk = len(gis)
+        starts = self.ent_ptr[gis]
+        counts = self.ent_ptr[gis + 1] - starts
+        bounds = np.zeros(kk + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        total = int(bounds[-1])
+        reps = np.repeat(np.arange(kk, dtype=np.int64), counts)
+        eidx = starts[reps] + (np.arange(total, dtype=np.int64) - bounds[reps])
+        ks = self.ent_net[eidx]
+        off = self.ent_off[eidx]
+        g = gis[reps]
+        old_r = cost.rows[g].astype(np.int64)
+        old_c = cost.cols[g].astype(np.int64) + off
+        new_r = trs[reps]
+        new_c = tcs[reps] + off
+
+        boxes = cost._boxes[ks]
+        rmin, rmax = boxes[:, 0], boxes[:, 1]
+        cmin, cmax = boxes[:, 2], boxes[:, 3]
+        nrmin, nrmax = boxes[:, 4], boxes[:, 5]
+        ncmin, ncmax = boxes[:, 6], boxes[:, 7]
+        single = self.net_npins[ks] <= 1
+
+        def lo_edge(old, new, edge, n_on_edge):
+            on = old == edge
+            rest = n_on_edge - on
+            rescan = on & (rest == 0) & (new > edge)
+            return (
+                np.minimum(edge, new),
+                np.where(new < edge, 1, np.where(new == edge, rest + 1, rest)),
+                rescan,
+            )
+
+        def hi_edge(old, new, edge, n_on_edge):
+            on = old == edge
+            rest = n_on_edge - on
+            rescan = on & (rest == 0) & (new < edge)
+            return (
+                np.maximum(edge, new),
+                np.where(new > edge, 1, np.where(new == edge, rest + 1, rest)),
+                rescan,
+            )
+
+        n_rmin, c_rmin, s0 = lo_edge(old_r, new_r, rmin, nrmin)
+        n_rmax, c_rmax, s1 = hi_edge(old_r, new_r, rmax, nrmax)
+        n_cmin, c_cmin, s2 = lo_edge(old_c, new_c, cmin, ncmin)
+        n_cmax, c_cmax, s3 = hi_edge(old_c, new_c, cmax, ncmax)
+        rescan = (s0 | s1 | s2 | s3) & ~single
+        # A net whose only pin is the moved one needs no rescan: its
+        # box collapses onto the new point and its hpwl stays zero.
+        np.copyto(n_rmin, new_r, where=single)
+        np.copyto(n_rmax, new_r, where=single)
+        np.copyto(n_cmin, new_c, where=single)
+        np.copyto(n_cmax, new_c, where=single)
+        for counts_arr in (c_rmin, c_rmax, c_cmin, c_cmax):
+            np.copyto(counts_arr, 1, where=single)
+
+        re = np.nonzero(rescan)[0]
+        if len(re):
+            # Entries that vacated a bounding edge: recompute their
+            # nets' boxes from scratch, vectorized over all pins of all
+            # rescanned nets at once — the segmented twin of
+            # :meth:`IncrementalHpwl._scan`.  (Moves shared with the
+            # scalar path hit this with the scalar-measured frequency:
+            # small 2-3 pin nets leave a lone pin on an edge often, so
+            # keeping the rescan off the scalar path is what makes the
+            # batch pass pay.)
+            k_re = ks[re]
+            g_re = g[re]
+            nr_re = new_r[re]
+            tc_re = tcs[reps[re]]
+            np_re = self.net_npins[k_re]
+            b2 = np.zeros(len(re) + 1, dtype=np.int64)
+            np.cumsum(np_re, out=b2[1:])
+            reps2 = np.repeat(np.arange(len(re), dtype=np.int64), np_re)
+            pidx = self.pin_ptr[k_re][reps2] + (
+                np.arange(int(b2[-1]), dtype=np.int64) - b2[reps2]
+            )
+            pg = self.pin_gate[pidx]
+            po = self.pin_off[pidx]
+            moved = pg == g_re[reps2]
+            pr = np.where(moved, nr_re[reps2], cost.rows[pg])
+            pc = np.where(moved, tc_re[reps2], cost.cols[pg]) + po
+            starts = b2[:-1]
+            r_lo = np.minimum.reduceat(pr, starts)
+            r_hi = np.maximum.reduceat(pr, starts)
+            c_lo = np.minimum.reduceat(pc, starts)
+            c_hi = np.maximum.reduceat(pc, starts)
+            n_rmin[re] = r_lo
+            n_rmax[re] = r_hi
+            n_cmin[re] = c_lo
+            n_cmax[re] = c_hi
+            c_rmin[re] = np.add.reduceat(
+                (pr == r_lo[reps2]).astype(np.int64), starts
+            )
+            c_rmax[re] = np.add.reduceat(
+                (pr == r_hi[reps2]).astype(np.int64), starts
+            )
+            c_cmin[re] = np.add.reduceat(
+                (pc == c_lo[reps2]).astype(np.int64), starts
+            )
+            c_cmax[re] = np.add.reduceat(
+                (pc == c_hi[reps2]).astype(np.int64), starts
+            )
+
+        span_delta = ((n_rmax - n_rmin) + (n_cmax - n_cmin)) - (
+            (rmax - rmin) + (cmax - cmin)
+        )
+        d_e = self.net_weight[ks] * span_delta
+        deltas = np.bincount(reps, weights=d_e, minlength=kk)
+
+        new_boxes = np.empty((total, 8), dtype=np.int64)
+        for col, arr in enumerate(
+            (n_rmin, n_rmax, n_cmin, n_cmax, c_rmin, c_rmax, c_cmin, c_cmax)
+        ):
+            new_boxes[:, col] = arr
+
+        slow_c = self.slow_gate[gis]
+        slow: dict[int, list] = {}
+        for j in np.nonzero(slow_c)[0]:
+            d, ups = cost.propose(int(gis[j]), int(trs[j]), int(tcs[j]))
+            deltas[j] = d
+            slow[int(j)] = ups
+        return deltas, BatchEval(
+            gis=gis, trs=trs, tcs=tcs, deltas=deltas, bounds=bounds,
+            ent_net=ks, new_boxes=new_boxes, slow=slow,
+        )
+
+    def commit(self, batch: BatchEval, j: int) -> None:
+        """Apply candidate ``j`` through the exact cache update.
+
+        Only valid while none of ``batch.nets_of(j)`` has been touched
+        since the batch was priced (the annealer's conflict screen
+        guarantees exactly that), so the precomputed boxes and delta
+        still describe the live state.
+        """
+        cost = self.cost
+        gi = int(batch.gis[j])
+        tr, tc = int(batch.trs[j]), int(batch.tcs[j])
+        ups = batch.slow.get(j)
+        if ups is not None:
+            cost.commit(gi, tr, tc, float(batch.deltas[j]), ups)
+            return
+        e0, e1 = int(batch.bounds[j]), int(batch.bounds[j + 1])
+        cost._boxes[batch.ent_net[e0:e1]] = batch.new_boxes[e0:e1]
+        cost.rows[gi] = tr
+        cost.cols[gi] = tc
+        cost.total += float(batch.deltas[j])
 
 
 def default_anneal_steps(n_gates: int) -> int:
@@ -583,6 +844,467 @@ def anneal_temperatures(
     return temps
 
 
+#: Candidate moves priced per vectorized batch when the caller does not
+#: choose.  Each batch shares one temperature, so the ladder has
+#: ``ceil(steps / batch_moves)`` rungs (floored at
+#: :data:`MIN_ANNEAL_RUNGS` when ``steps`` is defaulted); larger
+#: batches amortize the numpy pass better but drift further from
+#: move-by-move annealing.  768 with the 64-rung floor prices ~5x the
+#: scalar move budget in ~2/3 the wall-clock on rca8.
+DEFAULT_BATCH_MOVES = 768
+
+#: Minimum temperature rungs for a default-budget batched anneal.  A
+#: large batch divided into ``ceil(steps / batch_moves)`` rungs alone
+#: would cool in a handful of giant jumps (rca8: 13 rungs) and lose
+#: ~25% quality; flooring the ladder keeps temperature resolution and
+#: the extra batches are cheap.  Explicit ``steps`` are honoured
+#: exactly — the floor applies only when the budget is defaulted.
+MIN_ANNEAL_RUNGS = 96
+
+#: Cap on how far a default budget is boosted over
+#: :func:`default_anneal_steps`.  Batched moves are ~6x cheaper than
+#: scalar ones, so pricing up to 8x the scalar budget still compiles
+#: faster; the boost scales with design size (one x per
+#: :data:`GATES_PER_BOOST` gates) because dense designs keep improving
+#: with extra moves while a few-dozen-gate shard converges within its
+#: scalar budget — measurably, 8x budget on an rca16 shard buys
+#: nothing, on rca8 it is worth ~10% wirelength.
+MAX_BUDGET_BOOST = 8
+
+#: Gates per unit of default-budget boost (see :data:`MAX_BUDGET_BOOST`).
+GATES_PER_BOOST = 15
+
+#: Smallest batch the default path shrinks to.  Below this the numpy
+#: pass stops amortizing and the scalar loop would be as fast.
+MIN_BATCH_MOVES = 64
+
+#: Ratio between adjacent fleet replicas' temperature ladders.  Both
+#: ``t_start`` and ``t_end`` scale by ``stagger**i``, so the ratio of
+#: adjacent replicas' temperatures is the same at every rung — the
+#: replica-exchange criterion stays meaningful through the whole cool.
+DEFAULT_STAGGER = 1.6
+
+
+def _pad_indices(lists: list[list[int]], sentinel: int) -> np.ndarray:
+    """Ragged index lists as one padded matrix (``sentinel`` fills)."""
+    width = max((len(xs) for xs in lists), default=0)
+    mat = np.full((len(lists), width), sentinel, dtype=np.int64)
+    for i, xs in enumerate(lists):
+        mat[i, :len(xs)] = xs
+    return mat
+
+
+class _AnnealContext:
+    """One annealing replica's working state (cache, occupancy, windows).
+
+    Everything :func:`anneal_placement`'s batched path needs, bundled so
+    a fleet replica can be rebuilt from shipped positions inside a
+    worker process: the exact :class:`IncrementalHpwl` cache, the
+    occupancy grid, padded fan-in/fan-out matrices for vectorized
+    dominance windows, and best-state tracking.
+    """
+
+    def __init__(
+        self,
+        design: MappedDesign,
+        placement: Placement,
+        net_weights: dict[str, float] | None = None,
+    ) -> None:
+        region = placement.region
+        self.region = region
+        self.cost = IncrementalHpwl(design, placement, net_weights)
+        cost = self.cost
+        names = cost.names
+        rows, cols, widths = cost.rows, cost.cols, cost.widths
+        self.occupied = np.full(
+            (region.row + region.n_rows, region.col + region.n_cols),
+            -1, dtype=np.int32,
+        )
+        for i in range(len(names)):
+            self.occupied[rows[i], cols[i]:cols[i] + widths[i]] = i
+
+        # Fan-in / fan-out gate indices bounding each gate's legal window.
+        fanins: list[list[int]] = [[] for _ in names]
+        fanouts: list[list[int]] = [[] for _ in names]
+        for g in design.gates.values():
+            gi = cost.index[g.name]
+            for net in dict.fromkeys(g.inputs):
+                src = design.source_of.get(net)
+                if src is not None and src != g.name:
+                    si = cost.index[src]
+                    fanins[gi].append(si)
+                    fanouts[si].append(gi)
+        n = len(names)
+        # Only 1-wide gates move (pair macros stay where the seed
+        # spread them — compacting them trades HPWL for congestion).
+        self.movable = np.nonzero(widths == 1)[0].astype(np.int64)
+        self.fi = _pad_indices(fanins, n)
+        self.fo = _pad_indices(fanouts, n)
+        self.evaluator = BatchMoveEvaluator(cost)
+        self.row_lo, self.col_lo = region.row, region.col
+        self.row_hi = region.row + region.n_rows - 1
+        self.col_hi = region.col + region.n_cols - 1
+        self.best_rows = rows.copy()
+        self.best_cols = cols.copy()
+        self.best_total = cost.total
+        self._touched = [0] * len(cost.net_names)
+        self._batch_id = 0
+        # Scratch for the window gathers: positions extended by one
+        # sentinel slot (index n) the padded fan-in/fan-out matrices
+        # point at; refreshed per batch, never reallocated.
+        big = 1 << 30
+        self._rows_max = np.full(n + 1, -1, dtype=np.int64)
+        self._ocol_max = np.full(n + 1, -1, dtype=np.int64)
+        self._rows_min = np.full(n + 1, big, dtype=np.int64)
+        self._cols_min = np.full(n + 1, big, dtype=np.int64)
+        self._w1 = (widths - 1).astype(np.int64)
+
+    def draw(
+        self, gen: np.random.Generator, k: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """K candidate (gate, target) pairs plus their validity mask.
+
+        Dominance windows are computed vectorized from the padded
+        fan-in/fan-out matrices: the window floor is the max over
+        fan-in output cells, the ceiling the min over fan-out input
+        cells (sentinel rows fall back to the region bounds).  Exactly
+        ``k`` gate draws, ``2k`` target draws are consumed whatever the
+        masks say, so the rng stream is data-independent.
+        """
+        cost = self.cost
+        rows, cols = cost.rows, cost.cols
+        pick = self.movable[gen.integers(0, len(self.movable), k)]
+        big = 1 << 30
+        n = len(rows)
+        rows_max = self._rows_max
+        ocol_max = self._ocol_max
+        rows_min = self._rows_min
+        cols_min = self._cols_min
+        rows_max[:n] = rows
+        rows_min[:n] = rows
+        cols_min[:n] = cols
+        ocol_max[:n] = cols
+        ocol_max[:n] += self._w1
+        fi = self.fi[pick]
+        fo = self.fo[pick]
+        lo_r = np.maximum(self.row_lo, rows_max[fi].max(axis=1, initial=-1))
+        lo_c = np.maximum(self.col_lo, ocol_max[fi].max(axis=1, initial=-1))
+        hi_r = np.minimum(self.row_hi, rows_min[fo].min(axis=1, initial=big))
+        hi_c = np.minimum(self.col_hi, cols_min[fo].min(axis=1, initial=big))
+        valid = (lo_r <= hi_r) & (lo_c <= hi_c)
+        trs = gen.integers(lo_r, np.maximum(lo_r, hi_r) + 1)
+        tcs = gen.integers(lo_c, np.maximum(lo_c, hi_c) + 1)
+        valid &= (trs != rows[pick]) | (tcs != cols[pick])
+        occ = self.occupied[trs, tcs]
+        valid &= (occ == -1) | (occ == pick)
+        return pick, trs, tcs, valid
+
+    def run_batches(
+        self,
+        temps: list[float],
+        gen: np.random.Generator,
+        batch_moves: int,
+        move_log: list | None = None,
+    ) -> dict[str, int]:
+        """Anneal one batch of ``batch_moves`` candidates per rung.
+
+        Every batch prices its candidates in one vectorized pass, then
+        Metropolis-accepts greedily in draw order under a conflict
+        screen: a candidate is skipped when any net its pricing read
+        was touched by an earlier commit of the same batch (which also
+        covers stale dominance windows — a moved fan-in/fan-out always
+        shares a net with the gate), or when its target cell was
+        claimed meanwhile.  Commits go through the exact cache update,
+        so ``cost.total`` tracks a from-scratch recompute bit-for-bit.
+        """
+        evaluated = accepted = 0
+        if not len(self.movable):
+            return {"evaluated": 0, "accepted": 0, "batches": 0}
+        cost = self.cost
+        evaluator = self.evaluator
+        occupied = self.occupied
+        rows, cols = cost.rows, cost.cols
+        names = cost.names
+        touched = self._touched
+        for temp in temps:
+            self._batch_id += 1
+            bid = self._batch_id
+            pick, trs, tcs, valid = self.draw(gen, batch_moves)
+            u = gen.random(batch_moves)
+            evaluated += batch_moves
+            idx = np.nonzero(valid)[0]
+            if not len(idx):
+                continue
+            deltas, batch = evaluator.propose_batch(
+                pick[idx], trs[idx], tcs[idx]
+            )
+            bar = np.exp(-np.maximum(deltas, 0.0) / max(temp, 1e-9))
+            accept = (deltas <= 0.0) | (u[idx] < bar)
+            acc_idx = np.nonzero(accept)[0]
+            if not len(acc_idx):
+                continue
+            # The accept/commit pass is scalar by nature; python-list
+            # views of the batch arrays keep it off numpy's per-element
+            # overhead.  Committed candidates touch pairwise-disjoint
+            # nets (the conflict screen guarantees it), so their cache
+            # writes commute — they are collected and applied in one
+            # vectorized scatter at the end of the rung, with only the
+            # occupancy grid and the running total updated in-loop.
+            gis_l = batch.gis.tolist()
+            trs_l = batch.trs.tolist()
+            tcs_l = batch.tcs.tolist()
+            bounds_l = batch.bounds.tolist()
+            ents_l = batch.ent_net.tolist()
+            deltas_l = batch.deltas.tolist()
+            slow = batch.slow
+            moved_g: list[int] = []
+            moved_r: list[int] = []
+            moved_c: list[int] = []
+            moved_e: list[int] = []
+            for j in acc_idx.tolist():
+                e0, e1 = bounds_l[j], bounds_l[j + 1]
+                nets = ents_l[e0:e1]
+                clean = True
+                for k in nets:
+                    if touched[k] == bid:
+                        clean = False
+                        break
+                if not clean:
+                    continue
+                gi = gis_l[j]
+                tr, tc = trs_l[j], tcs_l[j]
+                o = occupied[tr, tc]
+                if o != -1 and o != gi:
+                    continue
+                occupied[rows[gi], cols[gi]] = -1
+                occupied[tr, tc] = gi
+                ups = slow.get(j)
+                if ups is not None:
+                    cost.commit(gi, tr, tc, deltas_l[j], ups)
+                else:
+                    moved_g.append(gi)
+                    moved_r.append(tr)
+                    moved_c.append(tc)
+                    moved_e.extend(range(e0, e1))
+                    cost.total += deltas_l[j]
+                for k in nets:
+                    touched[k] = bid
+                accepted += 1
+                if move_log is not None:
+                    move_log.append((names[gi], (tr, tc), deltas_l[j]))
+            if moved_g:
+                rows[moved_g] = moved_r
+                cols[moved_g] = moved_c
+                sel = np.asarray(moved_e, dtype=np.int64)
+                cost._boxes[batch.ent_net[sel]] = batch.new_boxes[sel]
+            if cost.total < self.best_total:
+                self.best_total = cost.total
+                self.best_rows = rows.copy()
+                self.best_cols = cols.copy()
+        return {
+            "evaluated": evaluated,
+            "accepted": accepted,
+            "batches": len(temps),
+        }
+
+    def derive_t_start(
+        self, accept_target: float, samples: int, seed: int
+    ) -> float:
+        """A ``t_start`` matching an acceptance target on this landscape.
+
+        Prices ``samples`` random in-window moves against the current
+        state (committing nothing) and returns the temperature at which
+        a mean-sized uphill move is accepted with ``accept_target``
+        probability: ``t = mean(uphill deltas) / ln(1 / target)``.
+        Deterministic in ``seed``; falls back to 1.0 when the sample
+        finds no uphill move (already frozen landscapes).
+        """
+        if not len(self.movable):
+            return 1.0
+        gen = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence((seed, 0x715A27)))
+        )
+        pick, trs, tcs, valid = self.draw(gen, samples)
+        idx = np.nonzero(valid)[0]
+        if not len(idx):
+            return 1.0
+        deltas, _ = self.evaluator.propose_batch(pick[idx], trs[idx], tcs[idx])
+        uphill = deltas[deltas > 0]
+        if not len(uphill):
+            return 1.0
+        target = min(max(accept_target, 1e-3), 0.999)
+        return float(uphill.mean() / -math.log(target))
+
+    def positions(self) -> dict[str, tuple[int, int]]:
+        rows, cols = self.cost.rows, self.cost.cols
+        return {
+            name: (int(rows[i]), int(cols[i]))
+            for i, name in enumerate(self.cost.names)
+        }
+
+    def best_positions(self) -> dict[str, tuple[int, int]]:
+        return {
+            name: (int(self.best_rows[i]), int(self.best_cols[i]))
+            for i, name in enumerate(self.cost.names)
+        }
+
+    def best_placement(self) -> Placement:
+        return Placement(region=self.region, positions=self.best_positions())
+
+
+def derive_t_start(
+    design: MappedDesign,
+    placement: Placement,
+    net_weights: dict[str, float] | None = None,
+    *,
+    accept_target: float = 0.5,
+    samples: int = 256,
+    seed: int = 0,
+) -> float:
+    """Sample-derived starting temperature for ``anneal_placement``.
+
+    See :meth:`_AnnealContext.derive_t_start`: the returned temperature
+    accepts a mean-sized uphill move with probability ``accept_target``
+    on *this* design/placement/weights landscape — which is what lets
+    the timing-driven ladder re-derive a fresh ``t_start`` per rung
+    instead of reusing a constant tuned for rung 0.
+    """
+    ctx = _AnnealContext(design, placement, net_weights)
+    return ctx.derive_t_start(accept_target, samples, seed)
+
+
+def _replica_round(payload: dict) -> dict:
+    """One fleet replica advancing one exchange round (a pool task).
+
+    Pure function of its payload: rebuilds the annealing state from the
+    shipped positions, runs the round's slice of the replica's
+    temperature ladder with the shipped numpy bit-generator state, and
+    returns the advanced state.  Everything in and out is picklable and
+    nothing depends on which worker (or how many) ran it — the fleet's
+    byte-identical-for-any-worker-count guarantee rests on that.
+    """
+    placement = Placement(
+        region=payload["region"], positions=dict(payload["positions"])
+    )
+    ctx = _AnnealContext(
+        payload["design"], placement, payload["net_weights"]
+    )
+    gen = np.random.Generator(np.random.PCG64())
+    gen.bit_generator.state = payload["rng_state"]
+    counters = ctx.run_batches(
+        payload["temps"], gen, payload["batch_moves"]
+    )
+    return {
+        "positions": ctx.positions(),
+        "rng_state": gen.bit_generator.state,
+        "total": float(ctx.cost.total),
+        "best_total": float(ctx.best_total),
+        "best_positions": ctx.best_positions(),
+        "counters": counters,
+    }
+
+
+def _temper_fleet(
+    design: MappedDesign,
+    placement: Placement,
+    net_weights: dict[str, float] | None,
+    *,
+    master: int,
+    n_batches: int,
+    batch_moves: int,
+    t_start: float,
+    t_end: float,
+    replicas: int,
+    workers: int | None,
+    exchange_rounds: int,
+    stagger: float,
+    stats: dict | None,
+) -> Placement:
+    """Parallel-tempering over ``replicas`` staggered-temperature copies.
+
+    Replica ``i`` cools through its own geometric ladder scaled by
+    ``stagger**i`` (both endpoints, so adjacent replicas keep a constant
+    temperature ratio at every rung).  The ladders are cut into
+    ``exchange_rounds`` synchronized rounds; each round every replica
+    advances independently (fanned onto a process pool via
+    :func:`repro.pnr.parallel.parallel_map`), then adjacent pairs —
+    even pairs on even rounds, odd pairs on odd, the standard
+    checkerboard — swap *placements* with the Metropolis exchange
+    criterion ``min(1, exp((1/T_i - 1/T_j) * (E_i - E_j)))`` drawn from
+    a dedicated exchange rng.  Exchange decisions depend only on the
+    round-barrier results and a seed-derived rng, never on pool
+    scheduling, so results are byte-identical for any worker count.
+    The best weighted-HPWL state seen by any replica in any round wins.
+    """
+    region = placement.region
+    ladders = [
+        anneal_temperatures(
+            n_batches, t_start * stagger**i, t_end * stagger**i
+        )
+        for i in range(replicas)
+    ]
+    rounds = max(1, min(exchange_rounds, n_batches))
+    seg = [(r * n_batches) // rounds for r in range(rounds + 1)]
+    positions = [dict(placement.positions) for _ in range(replicas)]
+    rng_states = []
+    for i in range(replicas):
+        gen = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence((master, i)))
+        )
+        rng_states.append(gen.bit_generator.state)
+    totals = [0.0] * replicas
+    best_total = math.inf
+    best_positions = dict(placement.positions)
+    xrng = random.Random(master ^ 0x7E0F1EE7)
+    counters = {"evaluated": 0, "accepted": 0, "batches": 0}
+    exchange_attempts = exchange_accepted = 0
+    for r in range(rounds):
+        payloads = [
+            {
+                "design": design,
+                "region": region,
+                "positions": positions[i],
+                "net_weights": net_weights,
+                "temps": ladders[i][seg[r]:seg[r + 1]],
+                "rng_state": rng_states[i],
+                "batch_moves": batch_moves,
+            }
+            for i in range(replicas)
+        ]
+        outs = parallel_map(_replica_round, payloads, workers, processes=True)
+        for i, out in enumerate(outs):
+            positions[i] = out["positions"]
+            rng_states[i] = out["rng_state"]
+            totals[i] = out["total"]
+            for key in counters:
+                counters[key] += out["counters"][key]
+            if out["best_total"] < best_total:
+                best_total = out["best_total"]
+                best_positions = out["best_positions"]
+        if r + 1 < rounds:
+            for i in range(r % 2, replicas - 1, 2):
+                t_i = ladders[i][seg[r + 1] - 1]
+                t_j = ladders[i + 1][seg[r + 1] - 1]
+                d = (1.0 / t_i - 1.0 / t_j) * (totals[i] - totals[i + 1])
+                exchange_attempts += 1
+                if d >= 0 or xrng.random() < math.exp(d):
+                    positions[i], positions[i + 1] = (
+                        positions[i + 1], positions[i]
+                    )
+                    totals[i], totals[i + 1] = totals[i + 1], totals[i]
+                    exchange_accepted += 1
+    if stats is not None:
+        stats.update(counters)
+        stats.update(
+            replicas=replicas,
+            workers=resolve_workers(replicas, workers),
+            rounds=rounds,
+            exchange_attempts=exchange_attempts,
+            exchange_accepted=exchange_accepted,
+        )
+    return Placement(region=region, positions=best_positions)
+
+
 def anneal_placement(
     design: MappedDesign,
     placement: Placement,
@@ -591,6 +1313,15 @@ def anneal_placement(
     t_start: float | None = None,
     t_end: float = 0.05,
     net_weights: dict[str, float] | None = None,
+    *,
+    batch_moves: int | None = None,
+    replicas: int = 1,
+    workers: int | None = 0,
+    exchange_rounds: int = 4,
+    temperature_stagger: float = DEFAULT_STAGGER,
+    t_start_accept: float | None = None,
+    stats: dict | None = None,
+    move_log: list | None = None,
 ) -> Placement:
     """Refine a legal placement by simulated annealing on (weighted) HPWL.
 
@@ -599,23 +1330,135 @@ def anneal_placement(
     above by its fan-outs' input cells — so every accepted state stays
     legal by construction (the greedy seed is legal, and a window move
     cannot break an edge that was satisfied).  Cost deltas come from the
-    cached :class:`IncrementalHpwl` bounding boxes — exact and O(pins of
-    the moved gate) per move; with ``net_weights`` each net's
-    half-perimeter is scaled by its weight (the flow passes timing
-    criticality here, turning the objective into the weighted-HPWL
-    trade-off of :func:`weighted_hpwl`).  Occupancy is a numpy grid, and
-    the temperature ladder starts *at* ``t_start`` (the first move is
-    judged at the starting temperature, not one cooling step below it).
+    cached :class:`IncrementalHpwl` bounding boxes — exact, so the
+    trajectory for a seed is identical to a full recompute; with
+    ``net_weights`` each net's half-perimeter is scaled by its weight
+    (the flow passes timing criticality here, turning the objective into
+    the weighted-HPWL trade-off of :func:`weighted_hpwl`).
+
+    By default candidates are priced ``batch_moves`` at a time through
+    the vectorized :class:`BatchMoveEvaluator` — one temperature rung
+    per batch, Metropolis acceptance applied greedily in draw order
+    under a conflict screen (see :meth:`_AnnealContext.run_batches`).
+    ``batch_moves=0`` selects the legacy scalar loop: one
+    ``rng``-driven move per rung, the exact pre-batching trajectory,
+    kept as the debugging reference.
+
+    ``replicas=N > 1`` runs a **parallel-tempering fleet**: N copies at
+    staggered temperatures (ratio ``temperature_stagger`` between
+    neighbours), synchronized at ``exchange_rounds`` round barriers
+    where adjacent-temperature pairs may swap placements under the
+    Metropolis exchange criterion; ``workers`` sizes the process pool
+    the replicas fan out on (``None`` auto-selects up to the CPU count,
+    ``0``/``1`` run serially) and never affects results — fleets are
+    byte-identical for any worker count.  ``replicas=1, workers=0`` is
+    the plain single-replica path with no pool at all.
+
+    ``t_start`` defaults to ``0.5 * (rows + cols)``; passing
+    ``t_start_accept`` instead derives it from the landscape via
+    :func:`derive_t_start` (the timing-driven ladder re-derives one per
+    rung this way).  ``stats``, when given a dict, receives evaluated/
+    accepted move counts and fleet exchange counters; ``move_log``
+    (batched paths only) collects ``(gate, target, delta)`` per commit
+    for replay-style testing.
     """
     region = placement.region
     names = list(design.gates)
+    if stats is not None:
+        stats.update(
+            evaluated=0, accepted=0, batches=0, replicas=replicas,
+            workers=1, rounds=0, exchange_attempts=0, exchange_accepted=0,
+        )
     if len(names) < 2:
         return placement
+    default_budget = steps is None
     if steps is None:
         steps = default_anneal_steps(len(names))
-    if t_start is None:
-        t_start = 0.5 * (region.n_rows + region.n_cols)
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    auto_batch = batch_moves is None
+    if batch_moves is None:
+        batch_moves = DEFAULT_BATCH_MOVES
+    if batch_moves == 0:
+        if replicas != 1:
+            raise ValueError(
+                "the scalar path (batch_moves=0) is single-replica; "
+                "use batch_moves > 0 with replicas > 1"
+            )
+        if t_start is None:
+            t_start = 0.5 * (region.n_rows + region.n_cols)
+        return _anneal_scalar(
+            design, placement, rng, steps, t_start, t_end, net_weights,
+            stats=stats,
+        )
 
+    # One draw seeds every numpy generator of the batched/fleet paths,
+    # so the whole anneal is a function of the caller's rng state.
+    master = rng.getrandbits(64)
+    if t_start is None:
+        if t_start_accept is not None:
+            t_start = derive_t_start(
+                design, placement, net_weights,
+                accept_target=t_start_accept, seed=master,
+            )
+        else:
+            t_start = 0.5 * (region.n_rows + region.n_cols)
+    if default_budget:
+        # Size-scaled budget boost (see MAX_BUDGET_BOOST), with the
+        # batch shrunk so the cooling ladder keeps ~MIN_ANNEAL_RUNGS
+        # rungs even at small budgets — a handful of giant rungs loses
+        # the temperature resolution annealing quality rides on.
+        boost = min(MAX_BUDGET_BOOST, max(1, len(names) // GATES_PER_BOOST))
+        budget = boost * steps
+        if auto_batch:
+            batch_moves = min(
+                batch_moves,
+                max(MIN_BATCH_MOVES, -(-budget // MIN_ANNEAL_RUNGS)),
+            )
+        n_batches = max(
+            -(-steps // batch_moves),
+            min(MIN_ANNEAL_RUNGS, -(-budget // batch_moves)),
+        )
+    else:
+        n_batches = max(1, -(-steps // batch_moves))
+    if replicas == 1:
+        ctx = _AnnealContext(design, placement, net_weights)
+        gen = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence((master, 0)))
+        )
+        temps = anneal_temperatures(n_batches, t_start, t_end)
+        counters = ctx.run_batches(temps, gen, batch_moves, move_log=move_log)
+        if stats is not None:
+            stats.update(counters)
+            stats.update(workers=1, rounds=1)
+        return ctx.best_placement()
+    return _temper_fleet(
+        design, placement, net_weights,
+        master=master, n_batches=n_batches, batch_moves=batch_moves,
+        t_start=t_start, t_end=t_end, replicas=replicas, workers=workers,
+        exchange_rounds=exchange_rounds, stagger=temperature_stagger,
+        stats=stats,
+    )
+
+
+def _anneal_scalar(
+    design: MappedDesign,
+    placement: Placement,
+    rng: random.Random,
+    steps: int,
+    t_start: float,
+    t_end: float,
+    net_weights: dict[str, float] | None,
+    stats: dict | None = None,
+) -> Placement:
+    """The legacy one-move-per-rung annealer (``batch_moves=0``).
+
+    Bit-for-bit the pre-batching trajectory: same ``rng`` draw
+    sequence, same windows, same accept rule — kept as the exact serial
+    debugging reference the batched path is tested against.
+    """
+    region = placement.region
+    names = list(design.gates)
     cost = IncrementalHpwl(design, placement, net_weights)
     rows, cols, widths = cost.rows, cost.cols, cost.widths
     occupied = np.full(
@@ -644,8 +1487,10 @@ def anneal_placement(
     best_rows = rows.copy()
     best_cols = cols.copy()
     best_total = cost.total
+    evaluated = accepted = 0
     exp = math.exp
     for temp in anneal_temperatures(steps, t_start, t_end):
+        evaluated += 1
         name = rng.choice(names)
         gi = cost.index[name]
         w = int(widths[gi])
@@ -689,10 +1534,16 @@ def anneal_placement(
             occupied[rows[gi], cols[gi]:cols[gi] + w] = -1
             occupied[tr, tc:tc + w] = gi
             cost.commit(gi, tr, tc, d, updates)
+            accepted += 1
             if cost.total < best_total:
                 best_total = cost.total
                 best_rows = rows.copy()
                 best_cols = cols.copy()
+    if stats is not None:
+        stats.update(
+            evaluated=evaluated, accepted=accepted, batches=evaluated,
+            workers=1, rounds=1,
+        )
     positions = {
         name: (int(best_rows[i]), int(best_cols[i]))
         for i, name in enumerate(names)

@@ -26,7 +26,9 @@ from repro.fabric.floorplan import Region
 from repro.netlist import Netlist
 from repro.pnr import compile_sharded, compile_to_fabric, map_netlist
 from repro.pnr.flow import suggest_array
+from repro.pnr.parallel import parallel_map, resolve_workers
 from repro.pnr.place import (
+    BatchMoveEvaluator,
     IncrementalHpwl,
     Placement,
     anneal_placement,
@@ -113,6 +115,174 @@ class TestIncrementalHpwl:
             design, Placement(region=region, positions=positions), weights
         )
         assert inc.total == pytest.approx(scratch)
+
+
+# ----------------------------------------------------------------------
+# Batched move evaluation
+# ----------------------------------------------------------------------
+
+class TestBatchedEvaluator:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(0, 2**31),
+        st.sampled_from([7, 64, 256, 768]),
+    )
+    def test_batched_deltas_match_sequential_replay(self, seed, k):
+        """Property: every delta the batched annealer committed is exactly
+        the delta a fresh ``IncrementalHpwl`` computes replaying the same
+        move sequence one move at a time — for any seed and batch size."""
+        design = small_design()
+        _, _, placement = seeded_placement(design)
+        log: list = []
+        refined = anneal_placement(
+            design, placement, random.Random(seed), batch_moves=k,
+            move_log=log,
+        )
+        replay = IncrementalHpwl(design, placement)
+        for name, target, delta in log:
+            assert replay.move(name, target) == delta, (name, target)
+        assert replay.total == pytest.approx(hpwl(design, refined))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31), st.integers(1, 200))
+    def test_propose_batch_matches_scalar_propose(self, seed, k):
+        """propose_batch prices exactly like k scalar propose() calls."""
+        design = small_design()
+        _, region, placement = seeded_placement(design)
+        cost = IncrementalHpwl(design, placement)
+        evaluator = BatchMoveEvaluator(cost)
+        gen = np.random.Generator(np.random.PCG64(seed))
+        gis = gen.integers(0, len(cost.names), k)
+        trs = gen.integers(region.row, region.row + region.n_rows, k)
+        tcs = gen.integers(region.col, region.col + region.n_cols, k)
+        deltas, _ = evaluator.propose_batch(gis, trs, tcs)
+        for j in range(k):
+            want, _ = cost.propose(int(gis[j]), int(trs[j]), int(tcs[j]))
+            assert deltas[j] == want, (j, int(gis[j]))
+
+    def test_batched_cache_equals_scratch_after_anneal(self):
+        design = small_design()
+        _, _, placement = seeded_placement(design)
+        refined = anneal_placement(
+            design, placement, random.Random(3), batch_moves=128
+        )
+        assert hpwl(design, refined) <= hpwl(design, placement)
+        from repro.pnr.place import dominance_violations
+
+        assert dominance_violations(design, refined) == 0
+
+    def test_scalar_path_still_available(self):
+        """batch_moves=0 selects the legacy scalar loop (debug path)."""
+        design = small_design()
+        _, _, placement = seeded_placement(design)
+        a = anneal_placement(design, placement, random.Random(5),
+                             batch_moves=0)
+        b = anneal_placement(design, placement, random.Random(5),
+                             batch_moves=0)
+        assert a.positions == b.positions
+        assert hpwl(design, a) <= hpwl(design, placement)
+
+
+# ----------------------------------------------------------------------
+# Parallel-tempering fleet
+# ----------------------------------------------------------------------
+
+class TestTemperFleet:
+    def test_fleet_byte_identical_across_worker_counts(self):
+        """replicas=4 must give identical results for workers in 1/2/4."""
+        design = small_design()
+        _, _, placement = seeded_placement(design)
+        reference = None
+        ref_stats = None
+        for workers in (1, 2, 4):
+            stats: dict = {}
+            out = anneal_placement(
+                design, placement, random.Random(11), replicas=4,
+                workers=workers, stats=stats,
+            )
+            if reference is None:
+                reference = out.positions
+                ref_stats = {
+                    k: stats[k] for k in
+                    ("evaluated", "accepted", "exchange_attempts",
+                     "exchange_accepted")
+                }
+            else:
+                assert out.positions == reference, f"workers={workers}"
+                for key, val in ref_stats.items():
+                    assert stats[key] == val, (workers, key)
+
+    def test_fleet_bitstreams_identical_across_worker_counts(self):
+        """Whole compiles with a replica fleet are worker-invariant."""
+        netlist = ripple_carry_netlist(4)
+        bits = [
+            compile_to_fabric(
+                netlist, seed=5, replicas=4, workers=w
+            ).to_bitstream()
+            for w in (1, 2, 4)
+        ]
+        assert np.array_equal(bits[0], bits[1])
+        assert np.array_equal(bits[0], bits[2])
+
+    def test_single_replica_ignores_workers(self):
+        """replicas=1 is the plain path whatever the worker knob says."""
+        design = small_design()
+        _, _, placement = seeded_placement(design)
+        a = anneal_placement(design, placement, random.Random(2),
+                             replicas=1, workers=0)
+        b = anneal_placement(design, placement, random.Random(2),
+                             replicas=1, workers=4)
+        c = anneal_placement(design, placement, random.Random(2))
+        assert a.positions == b.positions == c.positions
+
+    def test_fleet_never_worse_than_its_cold_replica(self):
+        """The fleet keeps the best replica, which cools at the base
+        ladder — so it can only match or beat the single-replica run
+        on the annealing objective it optimizes (weighted HPWL)."""
+        design = small_design()
+        _, _, placement = seeded_placement(design)
+        single = anneal_placement(design, placement, random.Random(9))
+        fleet = anneal_placement(design, placement, random.Random(9),
+                                 replicas=3)
+        assert hpwl(design, fleet) <= hpwl(design, single)
+
+    def test_exchange_counters_populated(self):
+        design = small_design()
+        _, _, placement = seeded_placement(design)
+        stats: dict = {}
+        anneal_placement(design, placement, random.Random(1), replicas=3,
+                         exchange_rounds=4, stats=stats)
+        assert stats["replicas"] == 3
+        assert stats["rounds"] == 4
+        assert stats["exchange_attempts"] >= stats["exchange_accepted"] >= 0
+        assert stats["evaluated"] > 0
+
+
+# ----------------------------------------------------------------------
+# Parallel helpers
+# ----------------------------------------------------------------------
+
+class TestParallelHelpers:
+    def test_resolve_workers_contract(self):
+        assert resolve_workers(1, None) == 1
+        assert resolve_workers(5, None) >= 1
+        assert resolve_workers(5, 0) == 1
+        assert resolve_workers(5, 1) == 1
+        assert resolve_workers(5, 3) == 3
+        assert resolve_workers(5, 99) == 5
+
+    def test_parallel_map_matches_serial(self):
+        items = list(range(17))
+        want = [x * x for x in items]
+        assert parallel_map(lambda x: x * x, items, 0) == want
+        assert parallel_map(lambda x: x * x, items, 4) == want
+
+    def test_parallel_map_propagates_errors(self):
+        def boom(x):
+            raise ValueError(f"x={x}")
+
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1, 2], 2)
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +393,24 @@ class TestParallelShards:
         p_bits = [bytes(b) for b in parallel.to_bitstreams()]
         assert s_bits == p_bits
         assert serial.stats == parallel.stats
+
+    def test_auto_workers_byte_identical_to_serial(self):
+        """The workers=None default (auto pool) changes nothing but
+        wall-clock: same bitstreams as the workers=0 debug path."""
+        nl = self._chain()
+        auto = compile_sharded(nl, n_shards=3, seed=0)
+        serial = compile_sharded(nl, n_shards=3, seed=0, workers=0)
+        a_bits = [bytes(b) for b in auto.to_bitstreams()]
+        s_bits = [bytes(b) for b in serial.to_bitstreams()]
+        assert a_bits == s_bits
+        assert auto.stats == serial.stats
+
+    def test_sharded_replicas_compose_and_stay_deterministic(self):
+        nl = self._chain()
+        a = compile_sharded(nl, n_shards=3, seed=0, replicas=2, workers=3)
+        b = compile_sharded(nl, n_shards=3, seed=0, replicas=2, workers=0)
+        assert [bytes(x) for x in a.to_bitstreams()] == \
+               [bytes(x) for x in b.to_bitstreams()]
 
     def test_parallel_result_verifies(self):
         nl = self._chain()

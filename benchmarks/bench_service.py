@@ -1,0 +1,140 @@
+"""Bench: the compile service under load (`repro.service`).
+
+Records what serving adds on top of the raw flow: throughput of a
+concurrent job mix (duplicates + distinct designs) against the same mix
+compiled serially cold, the cache hit rate that mix achieves, and the
+cold vs incremental recompile latency for a one-gate edit — the ISSUE 7
+acceptance number (``incremental_speedup``, required >= 5x).
+``run_all.py`` imports :func:`run_service_throughput` and
+:func:`run_service_incremental` and folds both into
+``BENCH_results.json``; ``check_regressions.py`` prints the rows
+(recorded, not gated).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datapath.adder import ripple_carry_netlist
+from repro.datapath.multiplier import array_multiplier_netlist
+from repro.netlist import Netlist
+from repro.pnr import compile_incremental, compile_to_fabric
+from repro.service import CompileService
+
+
+def _job_mix() -> list[Netlist]:
+    """18 submissions over 3 distinct circuits — a cache-friendly burst."""
+    makers = [
+        lambda: ripple_carry_netlist(4),
+        lambda: ripple_carry_netlist(8),
+        lambda: array_multiplier_netlist(2),
+    ]
+    return [makers[i % 3]() for i in range(18)]
+
+
+def _one_gate_edit(nl: Netlist) -> Netlist:
+    flip = next(c for c in nl.cells if c.kind == "and").name
+    out = Netlist(nl.name)
+    for p in nl.inputs:
+        out.add_input(p)
+    for p in nl.outputs:
+        out.add_output(p)
+    for c in nl.cells:
+        kind = "or" if c.name == flip else c.kind
+        out.add(kind, c.name, list(c.inputs), c.output,
+                delay=c.delay, **dict(c.params))
+    return out
+
+
+def run_service_throughput(workers: int = 4) -> dict:
+    """Concurrent served mix vs the same mix compiled serially cold."""
+    jobs = _job_mix()
+
+    t0 = time.perf_counter()
+    for nl in jobs:
+        compile_to_fabric(nl, seed=0, workers=0)
+    serial_s = time.perf_counter() - t0
+
+    with CompileService(workers=workers, cache_capacity=16) as svc:
+        t0 = time.perf_counter()
+        futures = [svc.submit(nl) for nl in jobs]
+        for f in futures:
+            f.result()
+        served_s = time.perf_counter() - t0
+        # Second wave of the same mix against the warm cache: the
+        # steady-state latency a recompiling client actually sees.
+        t0 = time.perf_counter()
+        for f in [svc.submit(nl) for nl in jobs]:
+            f.result()
+        warm_s = time.perf_counter() - t0
+        stats = svc.stats()
+
+    cache = stats["cache"]
+    return {
+        "jobs": len(jobs),
+        "distinct": stats["compiles"],
+        "workers": workers,
+        "serial_cold_s": round(serial_s, 4),
+        "served_s": round(served_s, 4),
+        "warm_pass_s": round(warm_s, 4),
+        "speedup": round(serial_s / served_s, 2) if served_s > 0 else None,
+        "jobs_per_s": round(len(jobs) / served_s, 1) if served_s > 0 else None,
+        "coalesced": stats["coalesced"],
+        "cache_hits": cache["hits"],
+        "cache_hit_rate": round(
+            cache["hits"] / cache["lookups"], 3
+        ) if cache["lookups"] else None,
+    }
+
+
+def run_service_incremental() -> dict:
+    """Cold vs delta-path latency for a one-gate rca8 edit (min of 3)."""
+    nl = ripple_carry_netlist(8)
+    base = compile_to_fabric(nl, seed=0, workers=0)
+    edited = _one_gate_edit(nl)
+
+    def best_of(fn, n=3):
+        times = []
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    cold_s = best_of(lambda: compile_to_fabric(edited, seed=0, workers=0))
+    inc_s = best_of(lambda: compile_incremental(edited, base, seed=0))
+    return {
+        "design": "rca8",
+        "edit": "one-gate kind flip",
+        "cold_s": round(cold_s, 4),
+        "incremental_s": round(inc_s, 4),
+        "incremental_speedup": round(cold_s / inc_s, 1) if inc_s > 0 else None,
+    }
+
+
+def test_service_throughput_with_cache_beats_serial(capsys):
+    """The served mix must win: 15 of 18 jobs are cache/coalesce wins."""
+    r = run_service_throughput()
+    assert r["distinct"] == 3
+    # wave 1 duplicates coalesce or hit; wave 2 is all hits
+    assert r["coalesced"] + r["cache_hits"] == 2 * r["jobs"] - r["distinct"]
+    assert r["served_s"] < r["serial_cold_s"]
+    assert r["warm_pass_s"] < r["served_s"]
+    with capsys.disabled():
+        print(
+            f"\n  service mix: {r['jobs']} jobs -> {r['distinct']} compiles, "
+            f"{r['served_s']:.2f}s vs {r['serial_cold_s']:.2f}s serial "
+            f"({r['speedup']}x), warm pass {r['warm_pass_s'] * 1e3:.0f} ms, "
+            f"hit rate {r['cache_hit_rate']}"
+        )
+
+
+def test_incremental_recompile_meets_5x(capsys):
+    """ISSUE 7 acceptance: one-gate rca8 edit recompiles >= 5x faster."""
+    r = run_service_incremental()
+    assert r["incremental_speedup"] >= 5
+    with capsys.disabled():
+        print(
+            f"\n  incremental rca8: cold {r['cold_s'] * 1e3:.1f} ms -> "
+            f"{r['incremental_s'] * 1e3:.1f} ms ({r['incremental_speedup']}x)"
+        )

@@ -65,6 +65,20 @@ def speed_table(results: dict) -> dict:
     """The ``microbench.pnr_speed`` rows of one trajectory (may be {})."""
     return results.get("microbench", {}).get("pnr_speed", {}) or {}
 
+
+#: Compile-service rows from ``microbench.service`` shown (never gated):
+#: throughput and latency are machine-dependent, and the hit rate is a
+#: property of the bench's job mix, not of the code under test.
+SERVICE_REPORT_METRICS: dict[str, tuple[str, ...]] = {
+    "throughput": ("speedup", "jobs_per_s", "cache_hit_rate"),
+    "incremental": ("incremental_speedup", "cold_s", "incremental_s"),
+}
+
+
+def service_table(results: dict) -> dict:
+    """The ``microbench.service`` rows of one trajectory (may be {})."""
+    return results.get("microbench", {}).get("service", {}) or {}
+
 #: Allowed relative drift upward (worse) before the gate fails.
 TOLERANCE: float = 0.10
 
@@ -174,6 +188,21 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(
                 f"  {row:<20} {metric:<20} {b!s:>9} -> {f!s:>9}  "
+                f"{drift}  (recorded, not gated)"
+            )
+    base_svc, fresh_svc = service_table(baseline), service_table(fresh)
+    for row, svc_metrics in SERVICE_REPORT_METRICS.items():
+        for metric in svc_metrics:
+            b = base_svc.get(row, {}).get(metric)
+            f = fresh_svc.get(row, {}).get(metric)
+            if b is None and f is None:
+                continue
+            drift = (
+                f"{(f - b) / b:+.1%}" if b not in (None, 0) and f is not None
+                else "n/a"
+            )
+            print(
+                f"  service.{row:<12} {metric:<20} {b!s:>9} -> {f!s:>9}  "
                 f"{drift}  (recorded, not gated)"
             )
     if violations:

@@ -155,6 +155,17 @@ def microbench_pnr_speed() -> dict:
     return run_pnr_speed()
 
 
+def microbench_service() -> dict:
+    """Compile-service throughput, hit rate, incremental latency."""
+    sys.path.insert(0, str(HERE))
+    from bench_service import run_service_incremental, run_service_throughput
+
+    return {
+        "throughput": run_service_throughput(),
+        "incremental": run_service_incremental(),
+    }
+
+
 def main() -> int:
     quick = "--quick" in sys.argv[1:]
     sys.path.insert(0, str(SRC))
@@ -167,6 +178,7 @@ def main() -> int:
         "mc_yield": microbench_mc_yield(),
         "pnr": microbench_pnr(),
         "pnr_speed": microbench_pnr_speed(),
+        "service": microbench_service(),
     }
     results["microbench"] = micro
     print(f"  event scheduler : {micro['event_sim']['events_per_s']:>12,} events/s")
@@ -197,6 +209,13 @@ def main() -> int:
     print(
         f"  PnR engine      : {speed8['anneal_moves_per_s']:>12,} anneal moves/s, "
         f"{speed8['routed_nets_per_s']:,} routed nets/s (rca8)"
+    )
+    svc = micro["service"]
+    print(
+        f"  compile service : {svc['throughput']['jobs']} jobs -> "
+        f"{svc['throughput']['distinct']} compiles "
+        f"({svc['throughput']['speedup']}x over serial cold), incremental "
+        f"rca8 edit {svc['incremental']['incremental_speedup']}x faster"
     )
     out = HERE / "BENCH_results.json"
     out.write_text(json.dumps(results, indent=2) + "\n")

@@ -42,6 +42,7 @@ such netlist onto a :class:`repro.fabric.array.CellArray` — see
 layer diagram.
 """
 
+from repro.netlist.canonical import CANONICAL_HASH_VERSION, canonical_hash
 from repro.netlist.backends import (
     BackendError,
     BatchBackend,
@@ -64,6 +65,8 @@ from repro.netlist.ir import (
 from repro.sim.limits import DEFAULT_LIMITS, SimLimits
 
 __all__ = [
+    "CANONICAL_HASH_VERSION",
+    "canonical_hash",
     "BackendError",
     "BatchBackend",
     "EventBackend",

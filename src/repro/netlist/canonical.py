@@ -1,0 +1,216 @@
+"""Canonical content hashing for netlists.
+
+:func:`canonical_hash` digests a :class:`repro.netlist.ir.Netlist` into
+a hex string that depends only on the *circuit* — the DAG of cell kinds,
+parameters, delays and port structure — and not on how the netlist
+object happens to be spelled:
+
+* **insertion-order invariant** — adding the same cells in any order
+  produces the same hash (the digest is built over the dependency
+  structure, not the construction sequence);
+* **name invariant** — bijectively renaming cells and internal nets
+  (including renaming declared ports *in place*, keeping their
+  declaration order) leaves the hash unchanged, because every net is
+  identified by the structure that computes it and every declared port
+  by its position;
+* **pin-permutation invariant for commutative kinds** — swapping the
+  inputs of a ``nand``/``and``/``or``/``nor``/``xor``/``celement``
+  keeps the hash (those functions are symmetric); positional kinds
+  (``table``, ``tristate``, ``eventlatch``) hash their pins in order;
+* **content complete** — cell kinds, ``params`` (constant values, truth
+  tables, power-on inits), declared delays, dead logic, and the
+  input/output port lists all feed the digest, so *distinct* designs
+  get distinct hashes (up to SHA-256 collisions).
+
+This is the cache key of the compile service
+(:mod:`repro.service`): two clients submitting the same circuit under
+different spellings coalesce onto one compiled artifact.
+
+Two caveats, both documented contract rather than accident:
+
+* a free net that is read but neither driven nor declared as an input
+  port has no structure to identify it, so it hashes **by name** —
+  declare your inputs if you want spelling-independence for them;
+* netlists with feedback (cyclic at the cell level) fall back to a
+  Weisfeiler–Lehman-style iterative refinement: still deterministic
+  and order/name-invariant, but two non-isomorphic cyclic designs are
+  only distinguished up to WL refinement power (acyclic designs — the
+  only ones the compile flow accepts — use the exact DAG digest).
+
+>>> from repro.netlist import Netlist
+>>> a = Netlist("x")
+>>> _ = a.add("and", "g1", [a.add_input("p"), a.add_input("q")], a.add_output("y"))
+>>> b = Netlist("renamed")
+>>> _ = b.add("and", "k9", [b.add_input("u"), b.add_input("v")], b.add_output("out"))
+>>> canonical_hash(a) == canonical_hash(b)
+True
+>>> c = Netlist("different")
+>>> _ = c.add("or", "g1", [c.add_input("p"), c.add_input("q")], c.add_output("y"))
+>>> canonical_hash(a) == canonical_hash(c)
+False
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.netlist.ir import (
+    AND,
+    CELEMENT,
+    NAND,
+    NOR,
+    Netlist,
+    OR,
+    XOR,
+    CyclicNetlistError,
+)
+
+__all__ = ["canonical_hash", "CANONICAL_HASH_VERSION"]
+
+#: Bump when the digest construction changes: hashes are only
+#: comparable within one version (the version feeds the digest).
+CANONICAL_HASH_VERSION = 1
+
+#: Kinds whose function is symmetric in its inputs: their pin digests
+#: are sorted, so pin permutations hash identically.
+_COMMUTATIVE: frozenset[str] = frozenset((NAND, AND, OR, NOR, XOR, CELEMENT))
+
+
+def _h(*parts: str) -> str:
+    """SHA-256 over length-prefixed parts (no concatenation ambiguity)."""
+    m = hashlib.sha256()
+    for p in parts:
+        b = p.encode("utf-8")
+        m.update(str(len(b)).encode("ascii"))
+        m.update(b":")
+        m.update(b)
+    return m.hexdigest()
+
+
+def _params_token(cell) -> str:
+    """A canonical, order-independent rendering of ``cell.params``."""
+    items = sorted((str(k), repr(v)) for k, v in cell.params.items())
+    return ";".join(f"{k}={v}" for k, v in items)
+
+
+def _cell_digest(cell, in_digests: list[str]) -> str:
+    if cell.kind in _COMMUTATIVE:
+        in_digests = sorted(in_digests)
+    return _h(
+        "cell", cell.kind, str(cell.delay), _params_token(cell), *in_digests
+    )
+
+
+def _seed_digests(netlist: Netlist) -> dict[str, str]:
+    """Structural identity of nets that no cell computes."""
+    seeds: dict[str, str] = {}
+    for i, port in enumerate(netlist.inputs):
+        seeds[port] = _h("in", str(i))
+    for name in netlist.free_inputs():
+        # Undeclared free nets have no structure and no position: they
+        # are identified by name (see the module docstring).
+        seeds.setdefault(name, _h("freename", name))
+    return seeds
+
+
+def _net_digest_from_drivers(
+    netlist: Netlist, net: str, cell_digest: dict[str, str], seed: str | None
+) -> str:
+    parts = sorted(cell_digest[d.name] for d in netlist.drivers_of(net))
+    if seed is not None:
+        # A declared input that is *also* driven keeps its port identity.
+        parts.append(seed)
+    return _h("net", *parts)
+
+
+def _digest_acyclic(netlist: Netlist) -> tuple[dict[str, str], dict[str, str]]:
+    """Exact DAG digests: one pass in topological order."""
+    seeds = _seed_digests(netlist)
+    net_digest: dict[str, str] = {}
+    cell_digest: dict[str, str] = {}
+
+    def resolve(net: str) -> str:
+        d = net_digest.get(net)
+        if d is None:
+            # Either free (seeded) or all of its drivers already hashed
+            # (topological order guarantees drivers precede readers).
+            if netlist.drivers_of(net):
+                d = _net_digest_from_drivers(
+                    netlist, net, cell_digest, seeds.get(net)
+                )
+            else:
+                d = seeds.get(net) or _h("freename", net)
+            net_digest[net] = d
+        return d
+
+    for cell in netlist.topo_order():
+        cell_digest[cell.name] = _cell_digest(
+            cell, [resolve(n) for n in cell.inputs]
+        )
+    for net in netlist.net_names():
+        if net not in net_digest:
+            if netlist.drivers_of(net):
+                net_digest[net] = _net_digest_from_drivers(
+                    netlist, net, cell_digest, seeds.get(net)
+                )
+            else:
+                net_digest[net] = seeds.get(net) or _h("freename", net)
+    return net_digest, cell_digest
+
+
+def _digest_cyclic(netlist: Netlist) -> tuple[dict[str, str], dict[str, str]]:
+    """WL-style refinement for netlists with feedback.
+
+    Labels start from the same seeds as the exact path and refine until
+    the label multiset stabilises (bounded by the cell count): cyclic
+    netlists cannot be compiled anyway, but they must still hash
+    deterministically and order/name-invariantly.
+    """
+    seeds = _seed_digests(netlist)
+    net_digest = {
+        net: seeds.get(net, _h("net0")) for net in netlist.net_names()
+    }
+    cell_digest = {c.name: _h("cell0", c.kind) for c in netlist.cells}
+    cells = netlist.cells
+    for _ in range(max(1, len(cells))):
+        new_cells = {
+            c.name: _cell_digest(c, [net_digest[n] for n in c.inputs])
+            for c in cells
+        }
+        new_nets: dict[str, str] = {}
+        for net in netlist.net_names():
+            if netlist.drivers_of(net):
+                new_nets[net] = _net_digest_from_drivers(
+                    netlist, net, new_cells, seeds.get(net)
+                )
+            else:
+                new_nets[net] = net_digest[net]
+        if new_cells == cell_digest and new_nets == net_digest:
+            break
+        cell_digest, net_digest = new_cells, new_nets
+    return net_digest, cell_digest
+
+
+def canonical_hash(netlist: Netlist) -> str:
+    """The order- and name-invariant content hash of a netlist.
+
+    Returns a 64-char hex SHA-256 digest.  See the module docstring for
+    the exact invariances; the compile service keys its result cache on
+    ``(canonical_hash(netlist), compile options)``.
+    """
+    try:
+        netlist.topo_order()
+    except CyclicNetlistError:
+        net_digest, cell_digest = _digest_cyclic(netlist)
+    else:
+        net_digest, cell_digest = _digest_acyclic(netlist)
+    return _h(
+        "netlist",
+        str(CANONICAL_HASH_VERSION),
+        "inputs",
+        str(len(netlist.inputs)),
+        "outputs",
+        *[net_digest[o] for o in netlist.outputs],
+        "cells",
+        *sorted(cell_digest.values()),
+    )

@@ -42,7 +42,13 @@ from repro.pnr.flow import (
     suggest_side,
     verify_equivalence,
 )
-from repro.pnr.parallel import parallel_map, resolve_workers
+from repro.pnr.incremental import (
+    DesignDelta,
+    IncrementalFallback,
+    compile_incremental,
+    design_delta,
+)
+from repro.pnr.parallel import TaskPool, parallel_map, resolve_workers
 from repro.pnr.place import (
     BatchMoveEvaluator,
     IncrementalHpwl,
@@ -93,6 +99,10 @@ __all__ = [
     "suggest_array",
     "suggest_side",
     "verify_equivalence",
+    "DesignDelta",
+    "IncrementalFallback",
+    "compile_incremental",
+    "design_delta",
     "BatchMoveEvaluator",
     "IncrementalHpwl",
     "Placement",
@@ -102,6 +112,7 @@ __all__ = [
     "default_anneal_steps",
     "derive_t_start",
     "dominance_violations",
+    "TaskPool",
     "parallel_map",
     "resolve_workers",
     "gate_levels",

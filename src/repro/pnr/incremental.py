@@ -1,0 +1,301 @@
+"""Cross-compile incremental recompiles: edit, re-place the delta, replay.
+
+PR 5 taught the compile flow to reuse its own work *within* one
+compile — warm-started re-anneals and route-journal replays across the
+timing-driven ladder rungs and rip-up passes.  This module lifts that
+machinery **across compile boundaries**: given a cached
+:class:`repro.pnr.flow.PnrResult` and an edited netlist,
+:func:`compile_incremental`
+
+1. tech-maps the edited netlist and diffs the mapped gates against the
+   cached design (:func:`design_delta` — gates match by name and must
+   agree on kind, pins, output and parameters);
+2. **keeps the cached placement** for every surviving gate and seeds
+   only the delta around it (:func:`repro.pnr.place.initial_placement`
+   with ``fixed=``, whose candidate windows are bounded by pre-placed
+   fan-outs so the combined placement stays dominance-legal) — no
+   re-anneal;
+3. routes with the cached result's routes as **warm journals**: any net
+   whose endpoint gates are untouched, unmoved, and whose pin lists are
+   unchanged replays its committed claim journal verbatim
+   (:meth:`repro.pnr.route.Router.route_design`), and only the
+   disturbed nets pay for an A* search;
+4. re-times, re-emits and re-verifies exactly like a cold compile.
+
+When the edit is too large (``max_delta_frac``), the region cannot host
+the grown design, or the delta placement/routing jams,
+:class:`IncrementalFallback` is raised — the compile service catches it
+and falls back to a full cold compile, so the delta path can only ever
+trade wall-clock, never correctness.
+
+The incremental result is **deterministic** (a pure function of the
+edited netlist, the cached result and the seed — byte-identical across
+runs and worker counts) but not, in general, byte-identical to a cold
+compile of the edited netlist: the cold path re-anneals from scratch
+while the delta path deliberately keeps the cached placement.  It is
+held to the same bar on every axis that matters: dual-backend
+equivalence against the edited source, and quality within the
+regression gate of the cold compile (proven in
+``tests/test_pnr_incremental.py``).  See ``docs/compile-service.md``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.fabric.array import CellArray
+from repro.netlist.ir import Netlist
+from repro.pnr.emit import emit_design
+from repro.pnr.flow import PnrError, PnrResult, _build_result
+from repro.pnr.place import (
+    PlacementError,
+    dominance_violations,
+    gate_levels,
+    initial_placement,
+)
+from repro.pnr.route import Router, RoutingError
+from repro.pnr.techmap import MappedDesign, TechMapError, map_netlist
+from repro.pnr.timing import analyze_timing
+
+__all__ = [
+    "DesignDelta",
+    "IncrementalFallback",
+    "compile_incremental",
+    "design_delta",
+]
+
+#: Largest fraction of the cached design's gates the delta may touch
+#: (changed + added + removed) before the delta path declines: past
+#: this point re-placing the delta greedily costs quality the anneal
+#: would have bought back, and the replay fraction is too small to pay
+#: for skipping it.
+DEFAULT_MAX_DELTA_FRAC = 0.25
+
+#: How much of the design the dominance ripple (see
+#: :func:`compile_incremental`) may unfix before falling back: released
+#: gates are re-seeded greedily without an anneal, so past this point
+#: the "incremental" compile would mostly be a worse cold compile.
+DEFAULT_RELEASE_BUDGET_FRAC = 0.5
+
+
+class IncrementalFallback(PnrError):
+    """The delta path declined this edit; compile cold instead.
+
+    Raised *before* any work is wasted (delta too large, region too
+    small, sharded base) or when the warm placement/routing jams — the
+    message says which.  :meth:`repro.service.CompileService` catches
+    this and falls back to :func:`repro.pnr.flow.compile_to_fabric`.
+    """
+
+
+@dataclass(frozen=True)
+class DesignDelta:
+    """The gate-level diff between two mapped designs.
+
+    Gates are matched **by name**; a gate counts as ``changed`` when
+    any of its kind, input pins, output net, constant value or source
+    delay differ.  ``frac`` is the edit size relative to the base
+    design — the fallback predicate of the delta path.
+    """
+
+    added: frozenset[str]
+    removed: frozenset[str]
+    changed: frozenset[str]
+    n_base: int
+
+    @property
+    def touched(self) -> frozenset[str]:
+        """Gates of the *new* design that need placing: added + changed."""
+        return self.added | self.changed
+
+    @property
+    def n_edits(self) -> int:
+        """Total gate-level edit size (added + removed + changed)."""
+        return len(self.added) + len(self.removed) + len(self.changed)
+
+    @property
+    def frac(self) -> float:
+        """Edit size relative to the base design's gate count."""
+        return self.n_edits / max(1, self.n_base)
+
+
+def _gate_signature(gate) -> tuple:
+    return (gate.kind, gate.inputs, gate.output, gate.value, gate.source_delay)
+
+
+def design_delta(base: MappedDesign, new: MappedDesign) -> DesignDelta:
+    """Diff two mapped designs gate-by-gate (matched by name)."""
+    added = frozenset(new.gates) - frozenset(base.gates)
+    removed = frozenset(base.gates) - frozenset(new.gates)
+    changed = frozenset(
+        name
+        for name in frozenset(base.gates) & frozenset(new.gates)
+        if _gate_signature(base.gates[name]) != _gate_signature(new.gates[name])
+    )
+    return DesignDelta(
+        added=added, removed=removed, changed=changed, n_base=base.n_gates
+    )
+
+
+def _connectivity_moved(
+    base: MappedDesign, new: MappedDesign, touched: frozenset[str]
+) -> set[str]:
+    """Gates whose nets must re-search rather than replay.
+
+    Beyond the touched gates themselves, any net whose *pin list*
+    changed (a sink gained, lost, or re-pinned — e.g. an edit rewired
+    one input of an otherwise-identical gate) must not replay its old
+    journal: the replay would re-claim input columns at cells that no
+    longer read the net, and the emitted product rows would pick those
+    stale landings up.  Marking every endpoint of such nets as "moved"
+    makes :meth:`Router._warm_eligible` veto the replay.
+    """
+    moved = set(touched)
+    nets = set(base.sinks_of) | set(new.sinks_of)
+    for net in nets:
+        b_sinks = base.sinks_of.get(net, [])
+        n_sinks = new.sinks_of.get(net, [])
+        if b_sinks == n_sinks and base.source_of.get(net) == new.source_of.get(net):
+            continue
+        for gname, _pin in list(b_sinks) + list(n_sinks):
+            moved.add(gname)
+        for design in (base, new):
+            src = design.source_of.get(net)
+            if src is not None:
+                moved.add(src)
+    return moved
+
+
+def compile_incremental(
+    netlist: Netlist,
+    base: PnrResult,
+    *,
+    max_delta_frac: float = DEFAULT_MAX_DELTA_FRAC,
+    release_budget_frac: float = DEFAULT_RELEASE_BUDGET_FRAC,
+    target_period: int | None = None,
+    seed: int = 0,
+) -> PnrResult:
+    """Recompile an edited netlist against a cached result.
+
+    Parameters
+    ----------
+    netlist:
+        The edited design.
+    base:
+        A previously compiled :class:`PnrResult` of a *similar* design
+        (same gate names for the surviving logic).  Sharded results are
+        not accepted — raise-and-fallback keeps the delta path simple.
+    max_delta_frac:
+        Fallback threshold on :attr:`DesignDelta.frac`.
+    release_budget_frac:
+        Cap on the fraction of gates the dominance ripple may unfix
+        before the delta path gives up (see the release loop below).
+    target_period, seed:
+        As in :func:`repro.pnr.flow.compile_to_fabric`; the seed only
+        feeds the greedy seeding's tie-break salt for the delta gates.
+
+    Returns a fresh :class:`PnrResult` on a new array of the cached
+    shape.  Raises :class:`IncrementalFallback` when the edit cannot
+    (or should not) take the delta path, and plain :class:`PnrError`
+    when the netlist is not compilable at all.
+    """
+    if not isinstance(base, PnrResult):
+        raise IncrementalFallback(
+            "incremental recompile needs a single-array PnrResult base; "
+            f"got {type(base).__name__}"
+        )
+    try:
+        design = map_netlist(netlist)
+        gate_levels(design)  # fail fast on grid-level feedback
+    except (TechMapError, PlacementError) as e:
+        raise PnrError(f"cannot compile {netlist.name!r}: {e}") from e
+
+    delta = design_delta(base.design, design)
+    if delta.frac > max_delta_frac:
+        raise IncrementalFallback(
+            f"delta touches {delta.n_edits} of {delta.n_base} gates "
+            f"({delta.frac:.0%} > {max_delta_frac:.0%})"
+        )
+    region = base.region
+    if design.n_cells > region.cells:
+        raise IncrementalFallback(
+            f"edited design needs {design.n_cells} cells but the cached "
+            f"region offers {region.cells}"
+        )
+    shape = (base.array.n_rows, base.array.n_cols)
+
+    # Ripple release: an edit can rewire a gate so that no cell is
+    # dominance-compatible with *both* its new fan-ins and its frozen
+    # fan-outs (the monotone east/north rule means an edit that pulls a
+    # gate east pushes its downstream cone east too).  Each wave unfixes
+    # the fan-out gates of everything released so far and retries the
+    # (cheap) greedy seed, up to a release budget — past that, the warm
+    # placement would be mostly greedy anyway, so fall back.
+    released: set[str] = set(delta.touched)
+    placement = None
+    last_jam: PlacementError | None = None
+    for _wave in range(8):
+        if len(released - delta.touched) + delta.n_edits > max(
+            1, int(release_budget_frac * delta.n_base)
+        ):
+            raise IncrementalFallback(
+                f"release ripple grew past {release_budget_frac:.0%} of the "
+                f"design ({len(released)} gates)"
+            ) from last_jam
+        fixed = {
+            name: base.placement.positions[name]
+            for name in base.design.gates
+            if name in design.gates and name not in released
+        }
+        try:
+            placement = initial_placement(
+                design, region, random.Random(seed ^ 0x1C4E), fixed=fixed
+            )
+            break
+        except PlacementError as e:
+            last_jam = e
+            grow = set()
+            for gname in released:
+                g = design.gates.get(gname)
+                if g is None:
+                    continue
+                for sname, _pin in design.sinks_of.get(g.output, ()):
+                    grow.add(sname)
+            if grow <= released:
+                raise IncrementalFallback(f"delta placement jammed: {e}") from e
+            released |= grow
+    if placement is None:
+        raise IncrementalFallback(
+            f"delta placement jammed: {last_jam}"
+        ) from last_jam
+    if dominance_violations(design, placement):
+        raise IncrementalFallback("warm placement violates dominance")
+
+    moved = _connectivity_moved(base.design, design, delta.touched)
+    moved.update(
+        name
+        for name, pos in placement.positions.items()
+        if base.placement.positions.get(name, pos) != pos
+    )
+    try:
+        router = Router(
+            design, placement, shape, region, rng=random.Random(seed),
+            warm_routes=base.routes, warm_moved=moved,
+        )
+        routes = router.route_design(strict=True)
+    except (PlacementError, RoutingError) as e:
+        raise IncrementalFallback(f"delta routing jammed: {e}") from e
+
+    target = CellArray(*shape)
+    report = analyze_timing(
+        design, placement, state=router.state, routes=routes,
+        target_period=target_period,
+    )
+    counts = emit_design(target, router.state)
+    return _build_result(
+        netlist, design, target, region, placement, routes, counts,
+        n_routable=len(router.routable_nets()),
+        report=report,
+        state=router.state,
+    )

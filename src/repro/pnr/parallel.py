@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import os
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
-__all__ = ["parallel_map", "resolve_workers"]
+__all__ = ["TaskPool", "parallel_map", "resolve_workers"]
 
 
 def resolve_workers(n_items: int, workers: int | None) -> int:
@@ -75,3 +75,64 @@ def parallel_map(
     pool_cls = ProcessPoolExecutor if processes else ThreadPoolExecutor
     with pool_cls(max_workers=n_workers) as pool:
         return list(pool.map(fn, items))
+
+
+class TaskPool:
+    """A persistent submit-style worker pool under the same convention.
+
+    :func:`parallel_map` tears its pool down after one batch; a served
+    system (:class:`repro.service.CompileService`) wants workers that
+    outlive individual jobs.  ``TaskPool`` wraps a long-lived
+    :class:`~concurrent.futures.ThreadPoolExecutor` behind the repo's
+    ``workers`` convention — and in serial mode (``workers`` 0/1 when
+    only one job would run anyway) it runs the callable **inline on the
+    calling thread** and hands back an already-resolved
+    :class:`~concurrent.futures.Future`, so the debugging path has flat
+    tracebacks and zero threads, while callers keep one code shape.
+
+    Determinism note: the pool only decides *when and where* a job
+    runs, never what it computes — every job submitted by the compile
+    service is a pure function of its inputs, so results are identical
+    for any ``workers`` value (proven in ``tests/test_service.py``).
+
+    >>> with TaskPool(workers=0) as pool:
+    ...     pool.submit(lambda a, b: a + b, 2, 3).result()
+    5
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = max(0, int(workers))
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(max_workers=self.workers)
+            if self.workers > 1
+            else None
+        )
+
+    @property
+    def serial(self) -> bool:
+        """True when jobs run inline on the submitting thread."""
+        return self._pool is None
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        """Run ``fn(*args, **kwargs)``; returns its Future."""
+        if self._pool is not None:
+            return self._pool.submit(fn, *args, **kwargs)
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as e:  # noqa: BLE001 - futures carry any error
+            future.set_exception(e)
+        return future
+
+    def close(self) -> None:
+        """Finish outstanding jobs and release the worker threads."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> TaskPool:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

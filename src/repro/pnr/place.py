@@ -187,6 +187,7 @@ def initial_placement(
     design: MappedDesign,
     region: Region,
     rng: random.Random | None = None,
+    fixed: dict[str, tuple[int, int]] | None = None,
 ) -> Placement:
     """Greedy legal seeding: topological order, dominance-constrained.
 
@@ -205,6 +206,16 @@ def initial_placement(
     jams — the greedy is a heuristic; any fixed policy jams on *some*
     design — the seeding restarts with the next policy in a fixed
     ladder, so success and the resulting positions stay deterministic.
+
+    ``fixed`` pins gates to known-good positions before the greedy scan
+    runs — the warm-start hook behind cross-compile incremental
+    recompiles (:func:`repro.pnr.incremental.compile_incremental`):
+    surviving gates keep their cached placement and only the delta is
+    seeded around them.  Fixed positions are claimed first (overlap or
+    out-of-region raises :class:`PlacementError`), and the greedy
+    candidates for the remaining gates are additionally bounded by
+    their already-placed *fan-outs*, so the combined placement stays
+    dominance-legal by construction.
     """
     capacity = region.cells
     if design.n_cells > capacity:
@@ -216,14 +227,18 @@ def initial_placement(
     last: PlacementError | None = None
     for variant in (1, 0, 2, 3):
         try:
-            return _seed_once(design, region, variant, salt_base)
+            return _seed_once(design, region, variant, salt_base, fixed)
         except PlacementError as e:
             last = e
     raise last
 
 
 def _seed_once(
-    design: MappedDesign, region: Region, variant: int, salt_base: int = 0
+    design: MappedDesign,
+    region: Region,
+    variant: int,
+    salt_base: int = 0,
+    fixed: dict[str, tuple[int, int]] | None = None,
 ) -> Placement:
     """One deterministic greedy seeding pass under tie-break ``variant``.
 
@@ -231,10 +246,15 @@ def _seed_once(
     default, tried first); variant 0 prefers the smaller column on cost
     ties (conserving the columns deep chains march east through) with
     hash-spread rows; variants 2 and 3 fall back to plain lexicographic
-    packing (low-column-first, then low-row-first).
+    packing (low-column-first, then low-row-first).  Gates named in
+    ``fixed`` are claimed at their given positions before the scan.
     """
     levels = gate_levels(design)
-    order = sorted(design.gates, key=lambda n: (levels[n], n))
+    fixed = fixed or {}
+    order = sorted(
+        (n for n in design.gates if n not in fixed),
+        key=lambda n: (levels[n], n),
+    )
     placement = Placement(region=region)
     row0, col0 = region.row, region.col
     row_hi = region.row + region.n_rows - 1
@@ -250,6 +270,29 @@ def _seed_once(
     #: are repelled from them, since clustered fixed-pin macros starve
     #: the shared west/south delivery cells of rows and columns.
     pair_cells: list[tuple[int, int]] = []
+
+    for name, (fr, fc) in fixed.items():
+        gate = design.gates.get(name)
+        if gate is None:
+            raise PlacementError(f"fixed gate {name!r} is not in the design")
+        for k in range(gate.width):
+            if not (row0 <= fr <= row_hi and col0 <= fc + k <= col_hi):
+                raise PlacementError(
+                    f"fixed gate {name!r} at ({fr},{fc}) leaves region "
+                    f"{region.name!r}"
+                )
+            if not free[fr, fc + k]:
+                raise PlacementError(
+                    f"fixed gate {name!r} overlaps cell ({fr},{fc + k})"
+                )
+            free[fr, fc + k] = False
+        placement.positions[name] = (fr, fc)
+        if gate.width == 2:
+            pair_cells.append((fr, fc))
+            if fc - 1 >= col0:
+                soft_reserved[fr, fc - 1] = True
+            if fr - 1 >= row0:
+                soft_reserved[fr - 1, fc] = True
 
     for name in order:
         gate = design.gates[name]
@@ -273,6 +316,26 @@ def _seed_once(
         pin_weight = 3 if width == 2 else (1 if len(gate.inputs) >= 3 else 0)
         lo_r, hi_r = min_r, row_hi
         lo_c, hi_c = min_c, col_hi - (width - 1)
+        if fixed:
+            # Warm-started seeding places a gate whose fan-outs may
+            # already sit on the grid (they kept their cached cells):
+            # the candidate window is bounded above by those sinks, so
+            # every edge to a pre-placed consumer stays
+            # dominance-compatible.  The cold path never hits this —
+            # topological order places fan-outs later.
+            for sname, _pin in design.sinks_of.get(gate.output, ()):
+                pos = placement.positions.get(sname)
+                if pos is None or sname == name:
+                    continue
+                if pos[0] < hi_r:
+                    hi_r = pos[0]
+                if pos[1] - (width - 1) < hi_c:
+                    hi_c = pos[1] - (width - 1)
+            if hi_r < lo_r or hi_c < lo_c:
+                raise PlacementError(
+                    f"gate {name!r}: no dominance-legal window between its "
+                    "fan-ins and pre-placed fan-outs"
+                )
         # Stable per-gate salt for the tie-break mix (not Python's
         # salted str hash — this must agree across runs and platforms).
         salt = salt_base

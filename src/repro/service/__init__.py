@@ -1,0 +1,40 @@
+"""The compile service: the PnR flow served, cached, and incremental.
+
+The ROADMAP's "compiles for millions of users" step: instead of every
+client paying a full :func:`repro.pnr.compile_to_fabric`, a
+:class:`CompileService` owns a worker pool, a content-addressed LRU
+result cache (:class:`ResultCache`, keyed on
+:func:`repro.netlist.canonical_hash` + :class:`CompileOptions`), and a
+delta path (:func:`repro.pnr.incremental.compile_incremental`) that
+recompiles small edits against a cached base in a fraction of the cold
+time.
+
+Quickstart:
+
+>>> from repro.datapath.adder import ripple_carry_netlist
+>>> from repro.service import CompileOptions, CompileService
+>>> with CompileService(workers=0, cache_capacity=8) as svc:
+...     first = svc.compile(ripple_carry_netlist(2))
+...     again = svc.compile(ripple_carry_netlist(2))
+...     first.cached, again.cached
+...     first.bitstreams() == again.bitstreams()
+(False, True)
+True
+
+Correctness is proven, not asserted: ``tests/test_service.py`` shows
+byte-identity between served and cold-compiled bitstreams under
+concurrent duplicate submissions, exact coalescing/eviction
+accounting, and worker-count invariance; ``tests/test_pnr_incremental.py``
+holds the delta path to dual-backend equivalence and the cold flow's
+quality gate.  See ``docs/compile-service.md``.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.service import CompileOptions, CompileService, ServiceResult
+
+__all__ = [
+    "CompileOptions",
+    "CompileService",
+    "ResultCache",
+    "ServiceResult",
+]

@@ -1,0 +1,130 @@
+"""Thread-safe LRU result cache with exact accounting.
+
+The compile service's store of finished artifacts, keyed on
+``(canonical netlist hash, compile options)`` — see
+:mod:`repro.netlist.canonical` for what the key is invariant under.
+Nothing here knows about compiles: it is a plain capacity-bounded
+mapping with recency eviction and counters precise enough to assert on
+in tests (the accounting identity ``lookups == hits + misses`` and the
+LRU order itself are part of the contract, proven in
+``tests/test_service.py``).
+
+All operations take one lock, held only for dict bookkeeping — never
+while computing a value.  The service layer is responsible for
+single-flight deduplication of concurrent misses; the cache itself
+treats every ``get``/``put`` independently.
+
+>>> cache = ResultCache(capacity=2)
+>>> cache.put("a", 1) + cache.put("b", 2)   # put returns evicted keys
+[]
+>>> cache.get("a")          # bumps "a" to most-recent
+1
+>>> cache.put("c", 3)       # evicts "b", the least-recent
+['b']
+>>> cache.get("b") is None
+True
+>>> cache.keys()            # LRU -> MRU
+['a', 'c']
+>>> s = cache.stats()
+>>> (s["hits"], s["misses"], s["evictions"], s["insertions"])
+(1, 1, 1, 3)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["ResultCache"]
+
+#: Sentinel distinguishing "absent" from a cached ``None``.
+_MISSING = object()
+
+
+class ResultCache:
+    """A capacity-bounded mapping with LRU eviction and counters.
+
+    ``capacity`` is the maximum number of entries; 0 disables caching
+    entirely (every ``get`` misses, every ``put`` is dropped — useful
+    for measuring cold-path behaviour through unchanged service code).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Fetch and bump to most-recent; counts a hit or a miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Fetch without touching recency or counters (diagnostics)."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            return default if value is _MISSING else value
+
+    def put(self, key: Hashable, value: Any) -> list[Hashable]:
+        """Insert (or refresh) an entry as most-recent.
+
+        Returns the keys evicted to make room — at most one for a new
+        key under steady state, empty when refreshing an existing key.
+        """
+        with self._lock:
+            if self.capacity == 0:
+                return []
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            self.insertions += 1
+            evicted = []
+            while len(self._entries) > self.capacity:
+                old_key, _ = self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted.append(old_key)
+            return evicted
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[Hashable]:
+        """Current keys in recency order, least- to most-recent."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (counters keep accumulating)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """A counters snapshot; ``lookups == hits + misses`` always."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "lookups": self.hits + self.misses,
+                "evictions": self.evictions,
+                "insertions": self.insertions,
+            }

@@ -1,0 +1,413 @@
+"""The compile service: queue, worker pool, cache, delta recompiles.
+
+:class:`CompileService` turns the one-shot compile entry points
+(:func:`repro.pnr.compile_to_fabric` / the sharded flow it dispatches
+to) into a served system, the client/server split of circuit_training's
+placement server re-imagined for this fabric:
+
+* **content-addressed cache** — jobs are keyed on
+  ``(canonical_hash(netlist), options.key())``
+  (:mod:`repro.netlist.canonical`): two clients submitting the same
+  circuit under different spellings share one compiled artifact, with a
+  port map translated back to each client's own names;
+* **single-flight coalescing** — concurrent submissions of one key run
+  one compile; the duplicates wait on the same future and count as
+  coalesced, not as compiles;
+* **worker pool** — jobs fan out on a persistent
+  :class:`repro.pnr.parallel.TaskPool`; each job's compile runs
+  *serial inside* (``workers=0``), so results are a pure function of
+  (netlist, options) and byte-identical for any pool width;
+* **incremental recompiles** — :meth:`CompileService.recompile` routes
+  an edited netlist through
+  :func:`repro.pnr.incremental.compile_incremental` against a cached
+  base, falling back to a cold compile whenever the delta path
+  declines (:class:`repro.pnr.incremental.IncrementalFallback`).
+
+Determinism contract (proven in ``tests/test_service.py``): a cache
+*miss* compiles cold and is byte-identical to calling
+``compile_to_fabric`` yourself; a cache *hit* returns the bytes of the
+entry's original cold compile (if you hit with a renamed-but-isomorphic
+netlist, you get those bytes with your port names mapped on top — the
+circuit is the same, the spelling of its pins is yours); an
+*incremental* recompile is deterministic and dual-backend equivalent
+but placed from the cached base, so its bytes legitimately differ from
+a cold compile's.  See ``docs/compile-service.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro.netlist.canonical import CANONICAL_HASH_VERSION, canonical_hash
+from repro.netlist.ir import Netlist
+from repro.pnr.flow import PnrResult, compile_to_fabric
+from repro.pnr.incremental import IncrementalFallback, compile_incremental
+from repro.pnr.parallel import TaskPool
+from repro.service.cache import ResultCache
+
+__all__ = ["CompileOptions", "CompileService", "ServiceResult"]
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """The result-affecting knobs of a compile, as one hashable value.
+
+    Mirrors the :func:`repro.pnr.compile_to_fabric` keywords that
+    change *what gets built* (seed, anneal schedule, timing mode,
+    sharding).  Pool-shape knobs (``workers``) are deliberately absent:
+    by the repo's determinism contract they never change results, so
+    they must not split the cache.
+    """
+
+    seed: int = 0
+    anneal_steps: int | None = None
+    max_attempts: int = 6
+    timing_driven: bool = False
+    timing_weight: float = 2.0
+    target_period: int | None = None
+    shards: int | None = None
+    max_side: int | None = None
+    replicas: int = 1
+
+    def key(self) -> tuple:
+        """The options' contribution to the cache key."""
+        return (
+            "opts",
+            CANONICAL_HASH_VERSION,
+            self.seed,
+            self.anneal_steps,
+            self.max_attempts,
+            self.timing_driven,
+            self.timing_weight,
+            self.target_period,
+            self.shards,
+            self.max_side,
+            self.replicas,
+        )
+
+    def compile_kwargs(self) -> dict:
+        """Keyword arguments for :func:`compile_to_fabric`."""
+        return {
+            "seed": self.seed,
+            "anneal_steps": self.anneal_steps,
+            "max_attempts": self.max_attempts,
+            "timing_driven": self.timing_driven,
+            "timing_weight": self.timing_weight,
+            "target_period": self.target_period,
+            "shards": self.shards,
+            "max_side": self.max_side,
+            "replicas": self.replicas,
+            # Jobs parallelise across the service pool, never inside a
+            # compile: serial inner compiles keep tracebacks flat and
+            # make every artifact a pure function of (netlist, options).
+            "workers": 0,
+        }
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """What the cache stores: the artifact plus its netlist's port order."""
+
+    result: object  # PnrResult | ShardedPnrResult
+    input_ports: tuple[str, ...]
+    output_ports: tuple[str, ...]
+    incremental: bool = False
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One submission's view of a compiled artifact.
+
+    The underlying ``result`` may have been compiled from a *different
+    spelling* of the same circuit (content-addressing coalesces
+    isomorphic netlists); ``input_wires`` / ``output_wires`` are keyed
+    by **this submission's** port names, mapped positionally onto the
+    artifact's ports.  ``cached``/``coalesced``/``incremental`` say how
+    the artifact was obtained — ``bitstreams()`` is byte-identical for
+    every submission that shares the same cache key.
+    """
+
+    key: tuple
+    result: object  # PnrResult | ShardedPnrResult
+    input_wires: dict
+    output_wires: dict
+    cached: bool
+    coalesced: bool
+    incremental: bool
+
+    def bitstreams(self) -> list[bytes]:
+        """Configuration bitstream(s) as bytes: one per array, shard order.
+
+        The flow's ``to_bitstream`` returns the frame array; a served
+        artifact serialises to actual wire bytes, so clients (and the
+        byte-identity tests) compare with plain ``==``.
+        """
+        if isinstance(self.result, PnrResult):
+            streams = [self.result.to_bitstream()]
+        else:
+            streams = self.result.to_bitstreams()
+        return [s.tobytes() for s in streams]
+
+
+def _remap_ports(
+    entry: _CacheEntry, inputs: tuple[str, ...], outputs: tuple[str, ...]
+) -> tuple[dict, dict]:
+    """Translate the entry's pin maps to the requester's port names.
+
+    Content-addressing guarantees the requester's netlist has the same
+    port *structure* (count and position) as the entry's; names may
+    differ.  Wires for ports the flow never routed (dead inputs) are
+    absent from both sides.
+    """
+    res = entry.result
+    in_wires = {}
+    for i, req_name in enumerate(inputs):
+        wire = res.input_wires.get(entry.input_ports[i])
+        if wire is not None:
+            in_wires[req_name] = wire
+    out_wires = {}
+    for i, req_name in enumerate(outputs):
+        wire = res.output_wires.get(entry.output_ports[i])
+        if wire is not None:
+            out_wires[req_name] = wire
+    return in_wires, out_wires
+
+
+class CompileService:
+    """A concurrent compile server over a content-addressed cache.
+
+    Parameters
+    ----------
+    workers:
+        Pool width for concurrent jobs, under the repo convention
+        (``None`` auto, ``0``/``1`` serial-inline, ``N`` threads).
+    cache_capacity:
+        LRU entry budget of the result cache (0 disables caching).
+    max_delta_frac, release_budget_frac:
+        Passed through to :func:`compile_incremental`; see there.
+
+    Use as a context manager or call :meth:`close` to release workers.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        cache_capacity: int = 64,
+        max_delta_frac: float | None = None,
+        release_budget_frac: float | None = None,
+    ) -> None:
+        self.cache = ResultCache(cache_capacity)
+        self._pool = TaskPool(workers)
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, Future] = {}
+        self._delta_kwargs = {}
+        if max_delta_frac is not None:
+            self._delta_kwargs["max_delta_frac"] = max_delta_frac
+        if release_budget_frac is not None:
+            self._delta_kwargs["release_budget_frac"] = release_budget_frac
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "submissions": 0,
+            "compiles": 0,
+            "coalesced": 0,
+            "incremental_compiles": 0,
+            "incremental_fallbacks": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Drain outstanding jobs and stop the workers."""
+        self._pool.close()
+
+    def __enter__(self) -> CompileService:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- accounting -----------------------------------------------------
+    def _bump(self, counter: str, by: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[counter] += by
+
+    def stats(self) -> dict:
+        """Service + cache counters, one flat snapshot."""
+        with self._stats_lock:
+            out = dict(self._counters)
+        out["cache"] = self.cache.stats()
+        out["workers"] = self._pool.workers
+        return out
+
+    # -- the compile path -----------------------------------------------
+    def job_key(self, netlist: Netlist, options: CompileOptions) -> tuple:
+        """The content-addressed cache key of one submission."""
+        return (canonical_hash(netlist), options.key())
+
+    def submit(
+        self, netlist: Netlist, options: CompileOptions | None = None
+    ) -> Future:
+        """Enqueue one compile; returns a Future of a ServiceResult.
+
+        Cache hits resolve immediately; concurrent duplicate keys
+        coalesce onto the one in-flight compile.  The returned future
+        is *per-submission*: its ``ServiceResult`` carries pin maps in
+        this submission's port names even when the artifact was
+        compiled from an isomorphic sibling.
+        """
+        options = options or CompileOptions()
+        key = self.job_key(netlist, options)
+        self._bump("submissions")
+        # Snapshot the requester's port spelling now — the netlist is
+        # the caller's object and this future may resolve much later.
+        req_inputs = tuple(netlist.inputs)
+        req_outputs = tuple(netlist.outputs)
+
+        def view(entry: _CacheEntry, *, cached: bool, coalesced: bool):
+            in_wires, out_wires = _remap_ports(entry, req_inputs, req_outputs)
+            return ServiceResult(
+                key=key,
+                result=entry.result,
+                input_wires=in_wires,
+                output_wires=out_wires,
+                cached=cached,
+                coalesced=coalesced,
+                incremental=entry.incremental,
+            )
+
+        entry = self.cache.get(key)
+        if entry is not None:
+            future: Future = Future()
+            future.set_result(view(entry, cached=True, coalesced=False))
+            return future
+
+        with self._lock:
+            # Re-check under the lock: a racing compile may have
+            # finished (cache.put then inflight pop, in that order)
+            # between the lock-free cache probe above and here.  peek,
+            # not get — the entry is already most-recent and the probe
+            # above already charged this submission its miss.
+            entry = self.cache.peek(key)
+            if entry is not None:
+                future = Future()
+                future.set_result(view(entry, cached=True, coalesced=False))
+                return future
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self._bump("coalesced")
+                chained: Future = Future()
+
+                def _chain(done: Future, out: Future = chained) -> None:
+                    err = done.exception()
+                    if err is not None:
+                        out.set_exception(err)
+                    else:
+                        out.set_result(
+                            view(done.result(), cached=True, coalesced=True)
+                        )
+
+                inflight.add_done_callback(_chain)
+                return chained
+
+            compiled: Future = Future()
+            self._inflight[key] = compiled
+
+        def run() -> None:
+            try:
+                self._bump("compiles")
+                result = compile_to_fabric(netlist, **options.compile_kwargs())
+                entry = _CacheEntry(
+                    result=result,
+                    input_ports=req_inputs,
+                    output_ports=req_outputs,
+                )
+                self.cache.put(key, entry)
+                compiled.set_result(entry)
+            except BaseException as e:  # noqa: BLE001 - future carries it
+                compiled.set_exception(e)
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+
+        mine: Future = Future()
+
+        def _settle(done: Future, out: Future = mine) -> None:
+            err = done.exception()
+            if err is not None:
+                out.set_exception(err)
+            else:
+                out.set_result(view(done.result(), cached=False, coalesced=False))
+
+        compiled.add_done_callback(_settle)
+        self._pool.submit(run)
+        return mine
+
+    def compile(
+        self, netlist: Netlist, options: CompileOptions | None = None
+    ) -> ServiceResult:
+        """Blocking :meth:`submit`."""
+        return self.submit(netlist, options).result()
+
+    # -- incremental recompiles -----------------------------------------
+    def recompile(
+        self,
+        netlist: Netlist,
+        base: ServiceResult | PnrResult,
+        options: CompileOptions | None = None,
+    ) -> ServiceResult:
+        """Recompile an edited netlist, warm-starting from ``base``.
+
+        Takes the delta path (:func:`compile_incremental`) when the
+        edit is small enough; otherwise falls back to a full cold
+        compile through the normal cached/coalesced :meth:`submit`
+        machinery.  The result is cached under the *edited* netlist's
+        content key, so submitting the same edit again is a plain hit.
+        """
+        options = options or CompileOptions()
+        key = self.job_key(netlist, options)
+        self._bump("submissions")
+        entry = self.cache.get(key)
+        if entry is not None:
+            in_w, out_w = _remap_ports(
+                entry, tuple(netlist.inputs), tuple(netlist.outputs)
+            )
+            return ServiceResult(
+                key=key,
+                result=entry.result,
+                input_wires=in_w,
+                output_wires=out_w,
+                cached=True,
+                coalesced=False,
+                incremental=entry.incremental,
+            )
+        base_result = base.result if isinstance(base, ServiceResult) else base
+        try:
+            result = compile_incremental(
+                netlist,
+                base_result,
+                target_period=options.target_period,
+                seed=options.seed,
+                **self._delta_kwargs,
+            )
+        except IncrementalFallback:
+            self._bump("incremental_fallbacks")
+            return self.compile(netlist, options)
+        self._bump("incremental_compiles")
+        entry = _CacheEntry(
+            result=result,
+            input_ports=tuple(netlist.inputs),
+            output_ports=tuple(netlist.outputs),
+            incremental=True,
+        )
+        self.cache.put(key, entry)
+        return ServiceResult(
+            key=key,
+            result=result,
+            input_wires=dict(result.input_wires),
+            output_wires=dict(result.output_wires),
+            cached=False,
+            coalesced=False,
+            incremental=True,
+        )

@@ -79,6 +79,26 @@ def service_table(results: dict) -> dict:
     """The ``microbench.service`` rows of one trajectory (may be {})."""
     return results.get("microbench", {}).get("service", {}) or {}
 
+
+#: Defect-adaptive rows from ``microbench.defects`` shown (never
+#: gated): repair latency and speedup are machine-dependent, and the
+#: die yield is a property of the sampled lot, not of the code under
+#: test — ``tests/test_service_defects.py`` pins the 5x floor.
+DEFECTS_REPORT_METRICS: dict[str, tuple[str, ...]] = {
+    "repair": ("repair_speedup", "median_repair_ms", "median_cold_ms"),
+}
+
+
+def defects_table(results: dict) -> dict:
+    """The ``microbench.defects`` rows of one trajectory (may be {})."""
+    return results.get("microbench", {}).get("defects", {}) or {}
+
+
+def defect_yield_rows(results: dict) -> dict:
+    """The yield-vs-density rows, keyed by ``cell_fail_*`` (may be {})."""
+    curve = defects_table(results).get("yield_curve", {}) or {}
+    return {k: v for k, v in curve.items() if k.startswith("cell_fail_")}
+
 #: Allowed relative drift upward (worse) before the gate fails.
 TOLERANCE: float = 0.10
 
@@ -205,6 +225,35 @@ def main(argv: list[str] | None = None) -> int:
                 f"  service.{row:<12} {metric:<20} {b!s:>9} -> {f!s:>9}  "
                 f"{drift}  (recorded, not gated)"
             )
+    base_d, fresh_d = defects_table(baseline), defects_table(fresh)
+    for row, d_metrics in DEFECTS_REPORT_METRICS.items():
+        for metric in d_metrics:
+            b = base_d.get(row, {}).get(metric)
+            f = fresh_d.get(row, {}).get(metric)
+            if b is None and f is None:
+                continue
+            drift = (
+                f"{(f - b) / b:+.1%}" if b not in (None, 0) and f is not None
+                else "n/a"
+            )
+            print(
+                f"  defects.{row:<12} {metric:<20} {b!s:>9} -> {f!s:>9}  "
+                f"{drift}  (recorded, not gated)"
+            )
+    base_y, fresh_y = defect_yield_rows(baseline), defect_yield_rows(fresh)
+    for row in sorted(set(base_y) | set(fresh_y)):
+        b = base_y.get(row, {}).get("die_yield")
+        f = fresh_y.get(row, {}).get("die_yield")
+        if b is None and f is None:
+            continue
+        drift = (
+            f"{(f - b) / b:+.1%}" if b not in (None, 0) and f is not None
+            else "n/a"
+        )
+        print(
+            f"  defects.{row:<12} {'die_yield':<20} {b!s:>9} -> {f!s:>9}  "
+            f"{drift}  (recorded, not gated)"
+        )
     if violations:
         print("REGRESSIONS:")
         for v in violations:

@@ -166,6 +166,17 @@ def microbench_service() -> dict:
     }
 
 
+def microbench_defects() -> dict:
+    """Die yield vs defect density, and warm-repair vs cold latency."""
+    sys.path.insert(0, str(HERE))
+    from bench_defects import run_defect_yield_curve, run_repair_speed
+
+    return {
+        "yield_curve": run_defect_yield_curve(),
+        "repair": run_repair_speed(),
+    }
+
+
 def main() -> int:
     quick = "--quick" in sys.argv[1:]
     sys.path.insert(0, str(SRC))
@@ -179,6 +190,7 @@ def main() -> int:
         "pnr": microbench_pnr(),
         "pnr_speed": microbench_pnr_speed(),
         "service": microbench_service(),
+        "defects": microbench_defects(),
     }
     results["microbench"] = micro
     print(f"  event scheduler : {micro['event_sim']['events_per_s']:>12,} events/s")
@@ -216,6 +228,16 @@ def main() -> int:
         f"{svc['throughput']['distinct']} compiles "
         f"({svc['throughput']['speedup']}x over serial cold), incremental "
         f"rca8 edit {svc['incremental']['incremental_speedup']}x faster"
+    )
+    from bench_defects import DENSITIES
+
+    rep = micro["defects"]["repair"]
+    lightest = micro["defects"]["yield_curve"][f"cell_fail_{DENSITIES[0]}"]
+    print(
+        f"  die repair      : {rep['dies']} dies from one golden rca8 "
+        f"compile, {rep['median_repair_ms']} ms median repair "
+        f"({rep['repair_speedup']}x over cold), die yield "
+        f"{lightest['die_yield']} at the lightest density"
     )
     out = HERE / "BENCH_results.json"
     out.write_text(json.dumps(results, indent=2) + "\n")

@@ -35,6 +35,7 @@ from repro.arch.montecarlo import (
     cell_fail_probability,
     compare_device_options,
     functional_fabric_yield,
+    strict_margin_cell_yield,
 )
 from repro.arch.power import (
     clock_power_saving,
@@ -74,6 +75,7 @@ __all__ = [
     "cell_fail_probability",
     "compare_device_options",
     "functional_fabric_yield",
+    "strict_margin_cell_yield",
     "area_claims_report",
     "config_bits_report",
     "power_claim_report",

@@ -131,19 +131,43 @@ def analytic_cell_yield(
 
     All three criteria constrain the *same* threshold sample, so the good
     region is an interval in V_T; the yield is the Gaussian mass inside it.
+
+    ``sigma_vt = 0`` is the ideal-process limit: every cell sits exactly
+    at ``vt_nominal``, so the yield is 1.0 when the nominal threshold
+    lies inside the good interval and 0.0 otherwise (the previous
+    implementation divided by sigma and returned NaN).  Negative sigma
+    is a caller bug and raises.
     """
     from scipy.stats import norm
 
+    if sigma_vt < 0:
+        raise ValueError(f"sigma_vt must be >= 0, got {sigma_vt}")
     lo = max(swing + margin - gamma * bias, vt_nominal - active_window)
     hi = min(gamma * bias - margin, vt_nominal + active_window)
     if hi <= lo:
         return 0.0
+    if sigma_vt == 0:
+        return 1.0 if lo < vt_nominal < hi else 0.0
     return float(norm.cdf((hi - vt_nominal) / sigma_vt) - norm.cdf((lo - vt_nominal) / sigma_vt))
 
 
-def _unused_strict_yield(sigma_vt: float) -> float:
-    """Force-margin-only yield (kept for the sensitivity bench)."""
-    return config_margin_yield(sigma_vt)
+def strict_margin_cell_yield(sigma_vt: float) -> float:
+    """Config-margin-only cell yield — the stuck-bit survival rate.
+
+    The fraction of cells whose programmed crosspoints hold their
+    configured state under threshold variation ``sigma_vt`` — the force
+    margin criterion alone, without the on/off current and active-window
+    criteria :func:`analytic_cell_yield` adds.  Its complement is the
+    per-row *stuck configuration bit* probability
+    :func:`repro.pnr.defects.sample_die` draws defect maps from: a cell
+    that fails only this criterion still switches, but one of its rows
+    cannot be trusted to hold a programmed crosspoint.
+    """
+    if sigma_vt < 0:
+        raise ValueError(f"sigma_vt must be >= 0, got {sigma_vt}")
+    if sigma_vt == 0:
+        return 1.0
+    return float(config_margin_yield(sigma_vt))
 
 
 # ----------------------------------------------------------------------

@@ -31,6 +31,17 @@ proof against the source netlist on both backends).  See
 ``docs/compile-flow.md`` and ``docs/timing-model.md``.
 """
 
+from repro.pnr.defects import (
+    DefectMap,
+    DefectViolation,
+    RepairFallback,
+    assert_defect_clean,
+    defect_violations,
+    pair_blocked_cells,
+    repair_for_die,
+    sample_defect_map,
+    sample_die,
+)
 from repro.pnr.emit import EmitError, emit_design
 from repro.pnr.flow import (
     PnrError,
@@ -89,6 +100,15 @@ from repro.pnr.timing import (
 )
 
 __all__ = [
+    "DefectMap",
+    "DefectViolation",
+    "RepairFallback",
+    "assert_defect_clean",
+    "defect_violations",
+    "pair_blocked_cells",
+    "repair_for_die",
+    "sample_defect_map",
+    "sample_die",
     "EmitError",
     "emit_design",
     "PnrError",

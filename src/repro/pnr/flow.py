@@ -202,6 +202,7 @@ def compile_to_fabric(
     max_side: int | None = None,
     workers: int | None = None,
     replicas: int = 1,
+    defect_map=None,
 ) -> PnrResult | ShardedPnrResult:
     """Place and route a netlist onto a cell array.
 
@@ -257,6 +258,17 @@ def compile_to_fabric(
         sharding: each shard's compile anneals its own N-replica fleet
         (serially, inside the shard's pool slot).  ``replicas=1``
         (default) is the single-replica path.
+    defect_map:
+        A :class:`repro.pnr.defects.DefectMap` describing one die's
+        dead cells, dead wire segments and stuck configuration rows.
+        Placement hard-blocks the dead cells (seed exclusion, anneal
+        move rejection, pair-start veto), routing pre-claims the dead
+        wires and treats dead cells as impassable, and the emitted
+        configuration is proven clean against the map before the result
+        is returned (see ``docs/defect-tolerance.md``).  The map names
+        a concrete die, so it fixes the array shape: auto-sizing is
+        disabled (retries reseed only) and an explicit ``array`` must
+        match ``defect_map.shape``.  Incompatible with sharding.
 
     Returns a :class:`PnrResult` (with a routed
     :class:`repro.pnr.timing.TimingReport` under ``.timing``), or a
@@ -269,6 +281,11 @@ def compile_to_fabric(
             raise PnrError(
                 "sharded compiles size their own per-shard arrays; "
                 "drop the array/region arguments"
+            )
+        if defect_map is not None:
+            raise PnrError(
+                "a defect map names one concrete die; sharded compiles "
+                "span several arrays — compile each shard for its die"
             )
         from repro.pnr.partition import compile_sharded
 
@@ -289,6 +306,7 @@ def compile_to_fabric(
         anneal_steps=anneal_steps, max_attempts=max_attempts,
         timing_driven=timing_driven, timing_weight=timing_weight,
         target_period=target_period, replicas=replicas, workers=workers,
+        defect_map=defect_map,
     )
 
 
@@ -307,6 +325,7 @@ def _compile_mapped(
     max_side: int | None = None,
     replicas: int = 1,
     workers: int | None = 0,
+    defect_map=None,
 ) -> PnrResult:
     """The place/route/time/emit retry ladder over a mapped design.
 
@@ -316,24 +335,45 @@ def _compile_mapped(
     per-shard arrays).
     """
     auto_array = array is None
+    if defect_map is not None:
+        if array is not None and (array.n_rows, array.n_cols) != defect_map.shape:
+            raise PnrError(
+                f"defect map is for a {defect_map.shape[0]}x"
+                f"{defect_map.shape[1]} die but the array is "
+                f"{array.n_rows}x{array.n_cols}"
+            )
+        from repro.pnr.defects import pair_blocked_cells
+
+        blocked = defect_map.dead_cells
+        pair_blocked = pair_blocked_cells(defect_map)
+    else:
+        blocked = None
+        pair_blocked = None
     if auto_array:
         depth = max(gate_levels(design).values(), default=0) + 1
         stateful = design.has_stateful_gates()
     last_error: Exception | None = None
     for attempt in range(max_attempts):
         if auto_array:
-            # Size without building: a CellArray is only constructed
-            # once placement and routing succeed (failed attempts and
-            # sizing probes never pay for cell allocation).
-            side = suggest_side(
-                depth, design.n_cells, stateful, slack=2 + 2 * attempt
-            )
-            if max_side is not None and side > max_side:
-                # The cap wins: retries re-seed the annealer instead of
-                # growing the grid.
-                side = max_side
-            target = None
-            shape = (side, side)
+            if defect_map is not None:
+                # The defect map names a concrete die, so its shape IS
+                # the array shape — retries reseed the annealer instead
+                # of growing the grid.
+                shape = defect_map.shape
+                target = None
+            else:
+                # Size without building: a CellArray is only constructed
+                # once placement and routing succeed (failed attempts and
+                # sizing probes never pay for cell allocation).
+                side = suggest_side(
+                    depth, design.n_cells, stateful, slack=2 + 2 * attempt
+                )
+                if max_side is not None and side > max_side:
+                    # The cap wins: retries re-seed the annealer instead
+                    # of growing the grid.
+                    side = max_side
+                target = None
+                shape = (side, side)
         else:
             target = array
             shape = (array.n_rows, array.n_cols)
@@ -350,17 +390,20 @@ def _compile_mapped(
             )
         rng = random.Random(seed + 7919 * attempt)
         try:
-            placement = initial_placement(design, reg, rng)
+            placement = initial_placement(
+                design, reg, rng, blocked=blocked, pair_blocked=pair_blocked,
+            )
             # Annealing compacts for wirelength, which can cost
             # routability on congested designs — alternate attempts fall
             # back to the (sparser) greedy seed.
             if attempt % 2 == 0:
                 placement = anneal_placement(
                     design, placement, rng, steps=anneal_steps,
-                    replicas=replicas, workers=workers,
+                    replicas=replicas, workers=workers, blocked=blocked,
                 )
             router = Router(
                 design, placement, shape, reg, rng=rng, array=target,
+                defects=defect_map,
             )
             routes = router.route_design(strict=True)
         except (PlacementError, RoutingError) as e:
@@ -377,8 +420,16 @@ def _compile_mapped(
                 design, target, reg, placement, router, routes, report,
                 seed=seed + 7919 * attempt, anneal_steps=anneal_steps,
                 timing_weight=timing_weight, target_period=target_period,
+                defects=defect_map,
             )
         counts = emit_design(target, router.state)
+        if defect_map is not None:
+            # The construction above guarantees cleanliness; this check
+            # is the proof the contract demands (a DefectViolation here
+            # is a flow bug, not a retryable placement jam).
+            from repro.pnr.defects import assert_defect_clean
+
+            assert_defect_clean(target, defect_map)
         return _build_result(
             netlist, design, target, reg, placement, routes, counts,
             n_routable=len(router.routable_nets()),
@@ -399,7 +450,7 @@ _RUNG_T_ACCEPT = 0.2
 
 def _timing_driven_candidate(
     design, target, reg, placement, router, routes, report,
-    *, seed, anneal_steps, timing_weight, target_period,
+    *, seed, anneal_steps, timing_weight, target_period, defects=None,
 ):
     """Re-place/route under criticality weights; keep the fastest result.
 
@@ -447,6 +498,7 @@ def _timing_driven_candidate(
         t_placement = anneal_placement(
             design, b_placement, rng, steps=rung_steps,
             net_weights=weights, t_start_accept=_RUNG_T_ACCEPT,
+            blocked=defects.dead_cells if defects is not None else None,
         )
         moved = {
             name
@@ -462,7 +514,7 @@ def _timing_driven_candidate(
             t_router = Router(
                 design, t_placement, (target.n_rows, target.n_cols), reg,
                 rng=rng, array=target, net_criticality=b_report.criticality,
-                warm_routes=b_routes, warm_moved=moved,
+                warm_routes=b_routes, warm_moved=moved, defects=defects,
             )
             t_routes = t_router.route_design(strict=True)
         except (PlacementError, RoutingError):

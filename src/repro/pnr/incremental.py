@@ -63,6 +63,7 @@ __all__ = [
     "IncrementalFallback",
     "compile_incremental",
     "design_delta",
+    "ripple_release_placement",
 ]
 
 #: Largest fraction of the cached design's gates the delta may touch
@@ -167,6 +168,79 @@ def _connectivity_moved(
     return moved
 
 
+def ripple_release_placement(
+    design: MappedDesign,
+    region,
+    base_positions: dict[str, tuple[int, int]],
+    displaced: frozenset[str] | set[str],
+    *,
+    seed: int,
+    release_budget_frac: float = DEFAULT_RELEASE_BUDGET_FRAC,
+    n_edits: int | None = None,
+    n_base: int | None = None,
+    blocked: frozenset[tuple[int, int]] | None = None,
+    pair_blocked: frozenset[tuple[int, int]] | None = None,
+):
+    """Warm greedy placement with a budgeted dominance ripple release.
+
+    The shared engine behind :func:`compile_incremental` and
+    :func:`repro.pnr.defects.repair_for_die`: every surviving gate (in
+    ``base_positions`` but not ``displaced``) keeps its cached cell via
+    ``initial_placement(fixed=...)`` and only the displaced set is
+    greedily re-seeded.  An edit (or a defect) can leave a displaced
+    gate with *no* dominance-legal cell between its frozen fan-ins and
+    fan-outs — each release wave then unfixes the fan-out gates of
+    everything released so far and retries the (cheap) greedy seed, up
+    to ``release_budget_frac`` of the design — past that, the warm
+    placement would be mostly greedy anyway, so
+    :class:`IncrementalFallback` is raised and the caller compiles
+    cold.  ``blocked`` / ``pair_blocked`` thread straight into
+    :func:`initial_placement` (dead sites of a defect map).
+
+    ``n_edits`` / ``n_base`` parameterize the budget accounting (the
+    delta path counts removed gates too); they default to the displaced
+    count and the design's gate count.
+    """
+    displaced = set(displaced)
+    n_edits = len(displaced) if n_edits is None else n_edits
+    n_base = design.n_gates if n_base is None else n_base
+    released: set[str] = set(displaced)
+    last_jam: PlacementError | None = None
+    for _wave in range(8):
+        if len(released - displaced) + n_edits > max(
+            1, int(release_budget_frac * n_base)
+        ):
+            raise IncrementalFallback(
+                f"release ripple grew past {release_budget_frac:.0%} of the "
+                f"design ({len(released)} gates)"
+            ) from last_jam
+        fixed = {
+            name: base_positions[name]
+            for name in design.gates
+            if name in base_positions and name not in released
+        }
+        try:
+            return initial_placement(
+                design, region, random.Random(seed ^ 0x1C4E), fixed=fixed,
+                blocked=blocked, pair_blocked=pair_blocked,
+            )
+        except PlacementError as e:
+            last_jam = e
+            grow = set()
+            for gname in released:
+                g = design.gates.get(gname)
+                if g is None:
+                    continue
+                for sname, _pin in design.sinks_of.get(g.output, ()):
+                    grow.add(sname)
+            if grow <= released:
+                raise IncrementalFallback(f"delta placement jammed: {e}") from e
+            released |= grow
+    raise IncrementalFallback(
+        f"delta placement jammed: {last_jam}"
+    ) from last_jam
+
+
 def compile_incremental(
     netlist: Netlist,
     base: PnrResult,
@@ -228,47 +302,14 @@ def compile_incremental(
     # Ripple release: an edit can rewire a gate so that no cell is
     # dominance-compatible with *both* its new fan-ins and its frozen
     # fan-outs (the monotone east/north rule means an edit that pulls a
-    # gate east pushes its downstream cone east too).  Each wave unfixes
-    # the fan-out gates of everything released so far and retries the
-    # (cheap) greedy seed, up to a release budget — past that, the warm
-    # placement would be mostly greedy anyway, so fall back.
-    released: set[str] = set(delta.touched)
-    placement = None
-    last_jam: PlacementError | None = None
-    for _wave in range(8):
-        if len(released - delta.touched) + delta.n_edits > max(
-            1, int(release_budget_frac * delta.n_base)
-        ):
-            raise IncrementalFallback(
-                f"release ripple grew past {release_budget_frac:.0%} of the "
-                f"design ({len(released)} gates)"
-            ) from last_jam
-        fixed = {
-            name: base.placement.positions[name]
-            for name in base.design.gates
-            if name in design.gates and name not in released
-        }
-        try:
-            placement = initial_placement(
-                design, region, random.Random(seed ^ 0x1C4E), fixed=fixed
-            )
-            break
-        except PlacementError as e:
-            last_jam = e
-            grow = set()
-            for gname in released:
-                g = design.gates.get(gname)
-                if g is None:
-                    continue
-                for sname, _pin in design.sinks_of.get(g.output, ()):
-                    grow.add(sname)
-            if grow <= released:
-                raise IncrementalFallback(f"delta placement jammed: {e}") from e
-            released |= grow
-    if placement is None:
-        raise IncrementalFallback(
-            f"delta placement jammed: {last_jam}"
-        ) from last_jam
+    # gate east pushes its downstream cone east too).  The shared
+    # :func:`ripple_release_placement` engine unfixes the fan-out cone
+    # one wave at a time up to the release budget, or falls back.
+    placement = ripple_release_placement(
+        design, region, base.placement.positions, delta.touched,
+        seed=seed, release_budget_frac=release_budget_frac,
+        n_edits=delta.n_edits, n_base=delta.n_base,
+    )
     if dominance_violations(design, placement):
         raise IncrementalFallback("warm placement violates dominance")
 

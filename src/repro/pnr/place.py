@@ -188,6 +188,8 @@ def initial_placement(
     region: Region,
     rng: random.Random | None = None,
     fixed: dict[str, tuple[int, int]] | None = None,
+    blocked: frozenset[tuple[int, int]] | None = None,
+    pair_blocked: frozenset[tuple[int, int]] | None = None,
 ) -> Placement:
     """Greedy legal seeding: topological order, dominance-constrained.
 
@@ -216,8 +218,24 @@ def initial_placement(
     candidates for the remaining gates are additionally bounded by
     their already-placed *fan-outs*, so the combined placement stays
     dominance-legal by construction.
+
+    ``blocked`` cells (dead fabric sites — see
+    :mod:`repro.pnr.defects`) are removed from the free grid before
+    any gate is claimed, so no gate can seed onto one; ``pair_blocked``
+    additionally vetoes 2-cell pair macros *starting* at the named
+    cells (a pair's fixed pin columns and internal feedback wires make
+    it sensitive to defects a flexible single-cell gate could shrug
+    off).  Both are hard constraints: a design that no longer fits the
+    surviving cells raises :class:`PlacementError`.
     """
     capacity = region.cells
+    if blocked:
+        capacity -= sum(
+            1
+            for r, c in blocked
+            if region.row <= r < region.row + region.n_rows
+            and region.col <= c < region.col + region.n_cols
+        )
     if design.n_cells > capacity:
         raise PlacementError(
             f"design needs {design.n_cells} cells but region "
@@ -227,7 +245,10 @@ def initial_placement(
     last: PlacementError | None = None
     for variant in (1, 0, 2, 3):
         try:
-            return _seed_once(design, region, variant, salt_base, fixed)
+            return _seed_once(
+                design, region, variant, salt_base, fixed,
+                blocked=blocked, pair_blocked=pair_blocked,
+            )
         except PlacementError as e:
             last = e
     raise last
@@ -239,6 +260,8 @@ def _seed_once(
     variant: int,
     salt_base: int = 0,
     fixed: dict[str, tuple[int, int]] | None = None,
+    blocked: frozenset[tuple[int, int]] | None = None,
+    pair_blocked: frozenset[tuple[int, int]] | None = None,
 ) -> Placement:
     """One deterministic greedy seeding pass under tie-break ``variant``.
 
@@ -261,6 +284,11 @@ def _seed_once(
     col_hi = region.col + region.n_cols - 1
     free = np.zeros((row_hi + 1, col_hi + 1), dtype=bool)
     free[row0:, col0:] = True
+    if blocked:
+        for br, bc in blocked:
+            if 0 <= br <= row_hi and 0 <= bc <= col_hi:
+                free[br, bc] = False
+    pair_blocked = pair_blocked or frozenset()
     mid_row = region.row + region.n_rows // 2
     #: Cells fixed-pin macros depend on for pin delivery (their west and
     #: south neighbours): placing anything there, or making two macros
@@ -343,6 +371,8 @@ def _seed_once(
             salt = (salt * 131 + ord(ch)) & 0xFFFFFFFF
 
         def candidate_cost(r: int, c: int, base: int) -> int | None:
+            if width == 2 and (r, c) in pair_blocked:
+                return None
             for k in range(width):
                 if not free[r, c + k]:
                     return None
@@ -972,6 +1002,7 @@ class _AnnealContext:
         design: MappedDesign,
         placement: Placement,
         net_weights: dict[str, float] | None = None,
+        blocked: frozenset[tuple[int, int]] | None = None,
     ) -> None:
         region = placement.region
         self.region = region
@@ -983,6 +1014,16 @@ class _AnnealContext:
             (region.row + region.n_rows, region.col + region.n_cols),
             -1, dtype=np.int32,
         )
+        # Dead sites (defect maps) are marked with a -2 sentinel: the
+        # draw() validity mask and the commit screen both accept only
+        # empty (-1) or self-occupied targets, so every move onto a
+        # blocked cell is rejected for free — no extra mask lookups on
+        # the hot path.
+        if blocked:
+            nr, nc = self.occupied.shape
+            for br, bc in blocked:
+                if 0 <= br < nr and 0 <= bc < nc:
+                    self.occupied[br, bc] = -2
         for i in range(len(names)):
             self.occupied[rows[i], cols[i]:cols[i] + widths[i]] = i
 
@@ -1223,6 +1264,7 @@ def derive_t_start(
     accept_target: float = 0.5,
     samples: int = 256,
     seed: int = 0,
+    blocked: frozenset[tuple[int, int]] | None = None,
 ) -> float:
     """Sample-derived starting temperature for ``anneal_placement``.
 
@@ -1232,7 +1274,7 @@ def derive_t_start(
     the timing-driven ladder re-derive a fresh ``t_start`` per rung
     instead of reusing a constant tuned for rung 0.
     """
-    ctx = _AnnealContext(design, placement, net_weights)
+    ctx = _AnnealContext(design, placement, net_weights, blocked=blocked)
     return ctx.derive_t_start(accept_target, samples, seed)
 
 
@@ -1250,7 +1292,8 @@ def _replica_round(payload: dict) -> dict:
         region=payload["region"], positions=dict(payload["positions"])
     )
     ctx = _AnnealContext(
-        payload["design"], placement, payload["net_weights"]
+        payload["design"], placement, payload["net_weights"],
+        blocked=payload.get("blocked"),
     )
     gen = np.random.Generator(np.random.PCG64())
     gen.bit_generator.state = payload["rng_state"]
@@ -1282,6 +1325,7 @@ def _temper_fleet(
     exchange_rounds: int,
     stagger: float,
     stats: dict | None,
+    blocked: frozenset[tuple[int, int]] | None = None,
 ) -> Placement:
     """Parallel-tempering over ``replicas`` staggered-temperature copies.
 
@@ -1331,6 +1375,7 @@ def _temper_fleet(
                 "temps": ladders[i][seg[r]:seg[r + 1]],
                 "rng_state": rng_states[i],
                 "batch_moves": batch_moves,
+                "blocked": blocked,
             }
             for i in range(replicas)
         ]
@@ -1385,6 +1430,7 @@ def anneal_placement(
     t_start_accept: float | None = None,
     stats: dict | None = None,
     move_log: list | None = None,
+    blocked: frozenset[tuple[int, int]] | None = None,
 ) -> Placement:
     """Refine a legal placement by simulated annealing on (weighted) HPWL.
 
@@ -1452,7 +1498,7 @@ def anneal_placement(
             t_start = 0.5 * (region.n_rows + region.n_cols)
         return _anneal_scalar(
             design, placement, rng, steps, t_start, t_end, net_weights,
-            stats=stats,
+            stats=stats, blocked=blocked,
         )
 
     # One draw seeds every numpy generator of the batched/fleet paths,
@@ -1462,7 +1508,7 @@ def anneal_placement(
         if t_start_accept is not None:
             t_start = derive_t_start(
                 design, placement, net_weights,
-                accept_target=t_start_accept, seed=master,
+                accept_target=t_start_accept, seed=master, blocked=blocked,
             )
         else:
             t_start = 0.5 * (region.n_rows + region.n_cols)
@@ -1485,7 +1531,7 @@ def anneal_placement(
     else:
         n_batches = max(1, -(-steps // batch_moves))
     if replicas == 1:
-        ctx = _AnnealContext(design, placement, net_weights)
+        ctx = _AnnealContext(design, placement, net_weights, blocked=blocked)
         gen = np.random.Generator(
             np.random.PCG64(np.random.SeedSequence((master, 0)))
         )
@@ -1500,7 +1546,7 @@ def anneal_placement(
         master=master, n_batches=n_batches, batch_moves=batch_moves,
         t_start=t_start, t_end=t_end, replicas=replicas, workers=workers,
         exchange_rounds=exchange_rounds, stagger=temperature_stagger,
-        stats=stats,
+        stats=stats, blocked=blocked,
     )
 
 
@@ -1513,6 +1559,7 @@ def _anneal_scalar(
     t_end: float,
     net_weights: dict[str, float] | None,
     stats: dict | None = None,
+    blocked: frozenset[tuple[int, int]] | None = None,
 ) -> Placement:
     """The legacy one-move-per-rung annealer (``batch_moves=0``).
 
@@ -1528,6 +1575,11 @@ def _anneal_scalar(
         (region.row + region.n_rows, region.col + region.n_cols),
         -1, dtype=np.int32,
     )
+    if blocked:
+        nrr, ncc = occupied.shape
+        for br, bc in blocked:
+            if 0 <= br < nrr and 0 <= bc < ncc:
+                occupied[br, bc] = -2
     for i in range(len(names)):
         occupied[rows[i], cols[i]:cols[i] + widths[i]] = i
 

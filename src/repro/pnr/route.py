@@ -60,6 +60,12 @@ MACRO_OWNER = "__macro__"
 #: configuration on the target array (e.g. another floorplan region).
 EXISTING_OWNER = "__existing__"
 
+#: Wire owner marking dead wire segments of a per-die defect map
+#: (:class:`repro.pnr.defects.DefectMap`): pre-claimed before any net
+#: routes, so both fresh A* searches and warm journal replays treat
+#: them as permanently occupied.
+DEFECT_OWNER = "__defect__"
+
 #: Product rows a pair macro drives into its collector cell (cell B
 #: columns), by kind — these wires are consumed at placement time.
 PAIR_INTERNAL_ROWS: dict[str, int] = {
@@ -113,11 +119,13 @@ class RoutingState:
         shape: tuple[int, int],
         region: Region,
         array=None,
+        defects=None,
     ) -> None:
         self.design = design
         self.placement = placement
         self.n_rows, self.n_cols = shape
         self.region = region
+        self.defects = defects
         #: (r, c) -> gate name for cells a gate occupies.
         self.logic_cells: dict[tuple[int, int], str] = {}
         #: Pair-macro cells: fully committed, never shared with routing.
@@ -146,6 +154,24 @@ class RoutingState:
         #: Gate output cells that have not committed a fan-out row yet:
         #: one row stays reserved for them.
         self.pending_output: set[tuple[int, int]] = set()
+
+        # Defect pre-claims go in before any gate or existing-config
+        # claim: dead wires become permanently owned, dead cells opaque
+        # *and* row-committed (so neither drives nor feed-throughs can
+        # use them), stuck config rows are masked out of free_rows.
+        # Warm journal replays validate each op against this occupancy,
+        # so a journal crossing a defect fails its replay and the net
+        # re-searches — exactly the repair semantics of
+        # :func:`repro.pnr.defects.repair_for_die`.
+        if defects is not None:
+            for w in defects.dead_wires:
+                self.wire_net[w] = DEFECT_OWNER
+            for cell in defects.dead_cells:
+                self.opaque.add(cell)
+                self._pair_committed.add(cell)
+            for dr, dc, row in defects.stuck_rows:
+                cell = (dr, dc)
+                self._row_mask[cell] = self._row_mask.get(cell, 0) | 1 << row
 
         for gate in design.gates.values():
             for cell in placement.cells_of(gate):
@@ -362,11 +388,16 @@ class Router:
         net_criticality: dict[str, float] | None = None,
         warm_routes: dict[str, NetRoute] | None = None,
         warm_moved: set[str] | None = None,
+        defects=None,
     ) -> None:
         self.design = design
         self.placement = placement
         self.shape = shape
         self.region = region
+        #: Per-die defect map (see :mod:`repro.pnr.defects`): threaded
+        #: into every :class:`RoutingState` this router builds, so the
+        #: rip-up rebuilds keep the same blocked resources.
+        self.defects = defects
         #: Retained for API compatibility: rip-up retries used to
         #: shuffle the remaining net order with this rng; they now keep
         #: a stable order so journal replays stay consistent, and
@@ -379,8 +410,15 @@ class Router:
         #: toward uniform so A* returns the geometrically shortest
         #: (lowest-detour) tree instead of the congestion-cheapest one.
         self.net_criticality = net_criticality or {}
-        self.state = RoutingState(design, placement, shape, region, array=array)
+        self.state = RoutingState(
+            design, placement, shape, region, array=array, defects=defects
+        )
         self.routes: dict[str, NetRoute] = {}
+        #: Warm-start accounting for the current/last ``route_design``:
+        #: how many nets replayed their journal vs paid for an A* search
+        #: (repair benchmarks report the replay fraction from these).
+        self.n_replayed = 0
+        self.n_searched = 0
         #: Per-cell congestion history, grown between rip-up passes so
         #: later passes spread traffic away from contested cells
         #: (a light take on PathFinder's negotiated congestion) — a
@@ -495,10 +533,12 @@ class Router:
                         replayed = self._replay_net(warm)
                         if replayed is not None:
                             self.routes[net] = replayed
+                            self.n_replayed += 1
                             continue
                 self.state.begin_net()
                 try:
                     self.routes[net] = self._route_net(net)
+                    self.n_searched += 1
                     self.state.commit_net()
                 except RoutingError:
                     # Roll the partial tree back so the failure cannot
@@ -520,7 +560,7 @@ class Router:
             self._use_warm = True
             self.state = RoutingState(
                 self.design, self.placement, self.shape, self.region,
-                array=self.array,
+                array=self.array, defects=self.defects,
             )
             self.routes = {}
             # Keep the remaining order stable: journal replays then stay

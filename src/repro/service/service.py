@@ -21,7 +21,15 @@ placement server re-imagined for this fabric:
   an edited netlist through
   :func:`repro.pnr.incremental.compile_incremental` against a cached
   base, falling back to a cold compile whenever the delta path
-  declines (:class:`repro.pnr.incremental.IncrementalFallback`).
+  declines (:class:`repro.pnr.incremental.IncrementalFallback`);
+* **per-die repair** — :meth:`CompileService.submit_for_die` compiles
+  a design once (the **golden** artifact, shared through the normal
+  cache) and adapts it to each defective die with
+  :func:`repro.pnr.defects.repair_for_die`, falling back to a cold
+  defect-aware compile when the die is too broken
+  (:class:`repro.pnr.defects.RepairFallback`).  Die artifacts are
+  cached under ``(netlist, options, defect-map digest)``, so one
+  golden compile serves a whole wafer's worth of distinct dies.
 
 Determinism contract (proven in ``tests/test_service.py``): a cache
 *miss* compiles cold and is byte-identical to calling
@@ -42,6 +50,7 @@ from dataclasses import dataclass
 
 from repro.netlist.canonical import CANONICAL_HASH_VERSION, canonical_hash
 from repro.netlist.ir import Netlist
+from repro.pnr.defects import DefectMap, RepairFallback, repair_for_die
 from repro.pnr.flow import PnrResult, compile_to_fabric
 from repro.pnr.incremental import IncrementalFallback, compile_incremental
 from repro.pnr.parallel import TaskPool
@@ -114,6 +123,7 @@ class _CacheEntry:
     input_ports: tuple[str, ...]
     output_ports: tuple[str, ...]
     incremental: bool = False
+    repaired: bool = False
 
 
 @dataclass(frozen=True)
@@ -136,6 +146,9 @@ class ServiceResult:
     cached: bool
     coalesced: bool
     incremental: bool
+    #: True when the artifact was produced by warm per-die repair of a
+    #: golden compile rather than a from-scratch compile.
+    repaired: bool = False
 
     def bitstreams(self) -> list[bytes]:
         """Configuration bitstream(s) as bytes: one per array, shard order.
@@ -215,6 +228,8 @@ class CompileService:
             "coalesced": 0,
             "incremental_compiles": 0,
             "incremental_fallbacks": 0,
+            "repairs": 0,
+            "repair_fallbacks": 0,
         }
 
     # -- lifecycle ------------------------------------------------------
@@ -275,6 +290,7 @@ class CompileService:
                 cached=cached,
                 coalesced=coalesced,
                 incremental=entry.incremental,
+                repaired=entry.repaired,
             )
 
         entry = self.cache.get(key)
@@ -349,6 +365,177 @@ class CompileService:
     ) -> ServiceResult:
         """Blocking :meth:`submit`."""
         return self.submit(netlist, options).result()
+
+    # -- per-die repair ---------------------------------------------------
+    def die_key(
+        self,
+        netlist: Netlist,
+        options: CompileOptions,
+        defect_map: DefectMap,
+    ) -> tuple:
+        """Cache key of one die's artifact: the golden key + die digest.
+
+        Composes the content-addressed job key with the defect map's
+        digest, so two isomorphic netlists targeting the same die share
+        one repaired artifact while distinct dies never collide.
+        """
+        return (
+            canonical_hash(netlist),
+            options.key(),
+            ("die", defect_map.digest()),
+        )
+
+    def submit_for_die(
+        self,
+        netlist: Netlist,
+        defect_map: DefectMap,
+        options: CompileOptions | None = None,
+    ) -> Future:
+        """Enqueue a defect-adaptive compile for one die.
+
+        Compiles the design once (the **golden** artifact, obtained
+        through the normal cached :meth:`compile` path, so a fleet of
+        dies shares one cold compile) and then adapts it to this die's
+        defects with :func:`repro.pnr.defects.repair_for_die` on the
+        pool.  When the die is too broken for the warm path
+        (:class:`repro.pnr.defects.RepairFallback`), the job falls back
+        to a full defect-aware cold compile — an unroutable die
+        surfaces as the compile error on the returned future.
+
+        The golden compile resolves synchronously in the *calling*
+        thread (a cache hit after the first die), never inside the pool
+        job: a nested blocking submit from a pool slot could deadlock a
+        small pool.  Each die submission therefore also counts one
+        golden submission in :meth:`stats`.
+
+        Die artifacts cache under :meth:`die_key`; hits resolve
+        immediately and concurrent submissions of the same die
+        coalesce, exactly like :meth:`submit`.
+        """
+        options = options or CompileOptions()
+        if options.shards is not None or options.max_side is not None:
+            raise ValueError(
+                "per-die compiles are single-array; drop shards/max_side"
+            )
+        key = self.die_key(netlist, options, defect_map)
+        self._bump("submissions")
+        req_inputs = tuple(netlist.inputs)
+        req_outputs = tuple(netlist.outputs)
+
+        def view(entry: _CacheEntry, *, cached: bool, coalesced: bool):
+            in_wires, out_wires = _remap_ports(entry, req_inputs, req_outputs)
+            return ServiceResult(
+                key=key,
+                result=entry.result,
+                input_wires=in_wires,
+                output_wires=out_wires,
+                cached=cached,
+                coalesced=coalesced,
+                incremental=entry.incremental,
+                repaired=entry.repaired,
+            )
+
+        entry = self.cache.get(key)
+        if entry is not None:
+            future: Future = Future()
+            future.set_result(view(entry, cached=True, coalesced=False))
+            return future
+
+        with self._lock:
+            entry = self.cache.peek(key)
+            if entry is not None:
+                future = Future()
+                future.set_result(view(entry, cached=True, coalesced=False))
+                return future
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self._bump("coalesced")
+                chained: Future = Future()
+
+                def _chain(done: Future, out: Future = chained) -> None:
+                    err = done.exception()
+                    if err is not None:
+                        out.set_exception(err)
+                    else:
+                        out.set_result(
+                            view(done.result(), cached=True, coalesced=True)
+                        )
+
+                inflight.add_done_callback(_chain)
+                return chained
+
+            compiled: Future = Future()
+            self._inflight[key] = compiled
+
+        mine: Future = Future()
+
+        def _settle(done: Future, out: Future = mine) -> None:
+            err = done.exception()
+            if err is not None:
+                out.set_exception(err)
+            else:
+                out.set_result(view(done.result(), cached=False, coalesced=False))
+
+        compiled.add_done_callback(_settle)
+
+        try:
+            golden = self.compile(netlist, options)
+        except BaseException as e:  # noqa: BLE001 - future carries it
+            with self._lock:
+                self._inflight.pop(key, None)
+            compiled.set_exception(e)
+            return mine
+
+        def run() -> None:
+            try:
+                try:
+                    result = repair_for_die(
+                        golden.result,
+                        defect_map,
+                        target_period=options.target_period,
+                        seed=options.seed,
+                    )
+                    self._bump("repairs")
+                    repaired = True
+                except RepairFallback:
+                    self._bump("repair_fallbacks")
+                    self._bump("compiles")
+                    result = compile_to_fabric(
+                        netlist,
+                        defect_map=defect_map,
+                        **options.compile_kwargs(),
+                    )
+                    repaired = False
+                # The repaired artifact keeps the *golden* netlist's
+                # port spelling (repair reuses the golden source, which
+                # may be an isomorphic sibling of this submission), so
+                # the entry's port order must come from the artifact —
+                # the requester's spelling is remapped per view.
+                entry = _CacheEntry(
+                    result=result,
+                    input_ports=tuple(result.source.inputs),
+                    output_ports=tuple(result.source.outputs),
+                    repaired=repaired,
+                )
+                self.cache.put(key, entry)
+                compiled.set_result(entry)
+            except BaseException as e:  # noqa: BLE001 - future carries it
+                compiled.set_exception(e)
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+
+        self._pool.submit(run)
+        return mine
+
+    def compile_for_die(
+        self,
+        netlist: Netlist,
+        defect_map: DefectMap,
+        options: CompileOptions | None = None,
+    ) -> ServiceResult:
+        """Blocking :meth:`submit_for_die`."""
+        return self.submit_for_die(netlist, defect_map, options).result()
 
     # -- incremental recompiles -----------------------------------------
     def recompile(

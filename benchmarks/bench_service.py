@@ -2,13 +2,15 @@
 
 Records what serving adds on top of the raw flow: throughput of a
 concurrent job mix (duplicates + distinct designs) against the same mix
-compiled serially cold, the cache hit rate that mix achieves, and the
+compiled serially cold, the cache hit rate that mix achieves, the
 cold vs incremental recompile latency for a one-gate edit — the ISSUE 7
-acceptance number (``incremental_speedup``, required >= 5x).
-``run_all.py`` imports :func:`run_service_throughput` and
-:func:`run_service_incremental` and folds both into
-``BENCH_results.json``; ``check_regressions.py`` prints the rows
-(recorded, not gated).
+acceptance number (``incremental_speedup``, required >= 5x) — and, per
+ISSUE 9, the persisted tier (cold vs disk-hit vs memory-hit latency
+for one artifact) and the 5-edit session chain against its cold
+equivalent.  ``run_all.py`` imports :func:`run_service_throughput`,
+:func:`run_service_incremental`, :func:`run_service_store` and
+:func:`run_service_session` and folds them into ``BENCH_results.json``;
+``check_regressions.py`` prints the rows (recorded, not gated).
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from repro.datapath.adder import ripple_carry_netlist
 from repro.datapath.multiplier import array_multiplier_netlist
 from repro.netlist import Netlist
 from repro.pnr import compile_incremental, compile_to_fabric
-from repro.service import CompileService
+from repro.service import ArtifactStore, CompileService
 
 
 def _job_mix() -> list[Netlist]:
@@ -112,6 +114,100 @@ def run_service_incremental() -> dict:
     }
 
 
+def run_service_store() -> dict:
+    """Cold vs disk-hit vs memory-hit latency for one rca8 artifact.
+
+    The three tiers of the persisted service, measured end to end
+    through ``CompileService.compile``: a cold compile that publishes
+    to the store, a *fresh* service whose first lookup deserialises
+    from disk, and the same service's second lookup served from the
+    promoted in-memory entry (min of 3 for the hit paths).
+    """
+    import tempfile
+
+    nl = ripple_carry_netlist(8)
+    root = tempfile.mkdtemp(prefix="bench-store-")
+
+    with CompileService(workers=0, store=root) as svc:
+        t0 = time.perf_counter()
+        svc.compile(nl)
+        cold_s = time.perf_counter() - t0
+
+    disk_times, mem_times = [], []
+    for _ in range(3):
+        with CompileService(workers=0, store=root) as svc:
+            t0 = time.perf_counter()
+            served = svc.compile(nl)
+            disk_times.append(time.perf_counter() - t0)
+            assert served.from_store
+            t0 = time.perf_counter()
+            again = svc.compile(nl)
+            mem_times.append(time.perf_counter() - t0)
+            assert again.cached and not again.from_store
+    disk_s, mem_s = min(disk_times), min(mem_times)
+    store_stats = ArtifactStore(root).stats()
+    return {
+        "design": "rca8",
+        "cold_ms": round(cold_s * 1e3, 2),
+        "disk_hit_ms": round(disk_s * 1e3, 2),
+        "memory_hit_ms": round(mem_s * 1e3, 2),
+        "disk_hit_speedup": round(cold_s / disk_s, 1) if disk_s > 0 else None,
+        "blob_bytes": store_stats["bytes"],
+    }
+
+
+def run_service_session() -> dict:
+    """A 5-edit cumulative session vs the same five edits compiled cold.
+
+    Each session step warm-starts from the previous step's artifact;
+    the cold chain compiles every edited netlist from scratch.  A step
+    the delta path declines falls back (recorded, not hidden), so the
+    chain speedup is the honest end-to-end number.
+    """
+    base = ripple_carry_netlist(16)
+    gates = sorted(c.name for c in base.cells if c.kind == "and")
+
+    def edit(k: int):
+        flips = set(gates[:k])
+        out = Netlist(base.name)
+        for p in base.inputs:
+            out.add_input(p)
+        for p in base.outputs:
+            out.add_output(p)
+        for c in base.cells:
+            kind = "or" if c.name in flips else c.kind
+            out.add(kind, c.name, list(c.inputs), c.output,
+                    delay=c.delay, **dict(c.params))
+        return out
+
+    edits = [edit(k) for k in range(1, 6)]
+
+    t0 = time.perf_counter()
+    for nl in edits:
+        compile_to_fabric(nl, seed=0, workers=0)
+    cold_chain_s = time.perf_counter() - t0
+
+    with CompileService(workers=0) as svc:
+        session = svc.open_session(base)
+        t0 = time.perf_counter()
+        for nl in edits:
+            session.apply(nl)
+        session_chain_s = time.perf_counter() - t0
+        s = session.stats()
+
+    return {
+        "design": "rca16",
+        "edits": len(edits),
+        "cold_chain_s": round(cold_chain_s, 4),
+        "session_chain_s": round(session_chain_s, 4),
+        "chain_speedup": round(
+            cold_chain_s / session_chain_s, 1
+        ) if session_chain_s > 0 else None,
+        "incremental_steps": s["incremental"],
+        "fallback_steps": s["fallbacks"],
+    }
+
+
 def test_service_throughput_with_cache_beats_serial(capsys):
     """The served mix must win: 15 of 18 jobs are cache/coalesce wins."""
     r = run_service_throughput()
@@ -137,4 +233,32 @@ def test_incremental_recompile_meets_5x(capsys):
         print(
             f"\n  incremental rca8: cold {r['cold_s'] * 1e3:.1f} ms -> "
             f"{r['incremental_s'] * 1e3:.1f} ms ({r['incremental_speedup']}x)"
+        )
+
+
+def test_store_disk_hit_beats_cold_compile(capsys):
+    """A disk hit must beat recompiling, and lose to a memory hit."""
+    r = run_service_store()
+    assert r["disk_hit_ms"] < r["cold_ms"]
+    assert r["memory_hit_ms"] <= r["disk_hit_ms"]
+    with capsys.disabled():
+        print(
+            f"\n  store tiers rca8: cold {r['cold_ms']:.1f} ms -> disk "
+            f"{r['disk_hit_ms']:.1f} ms ({r['disk_hit_speedup']}x) -> "
+            f"memory {r['memory_hit_ms']:.2f} ms "
+            f"({r['blob_bytes'] / 1e3:.0f} kB blob)"
+        )
+
+
+def test_session_chain_beats_cold_chain(capsys):
+    """The 5-edit chain must beat five cold compiles end to end."""
+    r = run_service_session()
+    assert r["session_chain_s"] < r["cold_chain_s"]
+    assert r["incremental_steps"] + r["fallback_steps"] == r["edits"]
+    with capsys.disabled():
+        print(
+            f"\n  session chain rca16: {r['edits']} edits, cold "
+            f"{r['cold_chain_s']:.2f}s -> session {r['session_chain_s']:.2f}s "
+            f"({r['chain_speedup']}x; {r['incremental_steps']} delta, "
+            f"{r['fallback_steps']} fallback)"
         )

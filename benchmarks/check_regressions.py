@@ -72,6 +72,8 @@ def speed_table(results: dict) -> dict:
 SERVICE_REPORT_METRICS: dict[str, tuple[str, ...]] = {
     "throughput": ("speedup", "jobs_per_s", "cache_hit_rate"),
     "incremental": ("incremental_speedup", "cold_s", "incremental_s"),
+    "store": ("disk_hit_speedup", "cold_ms", "disk_hit_ms", "memory_hit_ms"),
+    "session": ("chain_speedup", "cold_chain_s", "session_chain_s"),
 }
 
 

@@ -156,13 +156,20 @@ def microbench_pnr_speed() -> dict:
 
 
 def microbench_service() -> dict:
-    """Compile-service throughput, hit rate, incremental latency."""
+    """Service throughput, incremental latency, store tiers, sessions."""
     sys.path.insert(0, str(HERE))
-    from bench_service import run_service_incremental, run_service_throughput
+    from bench_service import (
+        run_service_incremental,
+        run_service_session,
+        run_service_store,
+        run_service_throughput,
+    )
 
     return {
         "throughput": run_service_throughput(),
         "incremental": run_service_incremental(),
+        "store": run_service_store(),
+        "session": run_service_session(),
     }
 
 
@@ -228,6 +235,12 @@ def main() -> int:
         f"{svc['throughput']['distinct']} compiles "
         f"({svc['throughput']['speedup']}x over serial cold), incremental "
         f"rca8 edit {svc['incremental']['incremental_speedup']}x faster"
+    )
+    print(
+        f"  artifact store  : disk hit {svc['store']['disk_hit_ms']} ms "
+        f"({svc['store']['disk_hit_speedup']}x over cold), memory hit "
+        f"{svc['store']['memory_hit_ms']} ms; 5-edit session chain "
+        f"{svc['session']['chain_speedup']}x over cold"
     )
     from bench_defects import DENSITIES
 

@@ -1,0 +1,115 @@
+"""Artifacts that outlive the service: the persisted store + sessions.
+
+PR 9 gave the compile service a second cache tier
+(`repro.service.ArtifactStore`): a content-addressed, on-disk store
+under the same canonical keys as the in-memory cache.  Artifacts
+published there survive the service object — a restarted process, or a
+sibling process sharing the directory, serves them **byte-identically
+with zero recompiles**.  On top of it, `service.open_session(base)`
+chains a whole sequence of edits, each warm-starting from the previous
+step's artifact, with every intermediate persisted.
+
+This session walks the life cycle:
+
+1. a first service compiles rca8 (and repairs it for one defective
+   die) into a store directory, then is closed and dropped;
+2. a **fresh** service on the same directory serves both artifacts
+   from disk — byte-identical, ``compiles == 0``;
+3. a 5-edit incremental session runs against the served base; every
+   step is a delta compile (or a recorded fallback), every
+   intermediate is persisted;
+4. a blob is deliberately corrupted: the store quarantines it and the
+   service recompiles — a bad disk costs a recompile, never a crash;
+5. the books balance, on the service and on the store.
+
+Run:  python examples/persistent_service.py
+"""
+
+import tempfile
+
+from repro.datapath.adder import ripple_carry_netlist
+from repro.netlist import Netlist
+from repro.pnr import sample_defect_map
+from repro.service import ArtifactStore, CompileOptions, CompileService
+
+
+def one_gate_edit(nl: Netlist, k: int) -> Netlist:
+    """Flip the first ``k`` AND gates to OR — a cumulative k-cell edit."""
+    flips = {c.name for c in nl.cells if c.kind == "and"}
+    flips = set(sorted(flips)[:k])
+    out = Netlist(nl.name)
+    for p in nl.inputs:
+        out.add_input(p)
+    for p in nl.outputs:
+        out.add_output(p)
+    for c in nl.cells:
+        kind = "or" if c.name in flips else c.kind
+        out.add(kind, c.name, list(c.inputs), c.output,
+                delay=c.delay, **dict(c.params))
+    return out
+
+
+def main() -> None:
+    print("== persisted artifact store ==")
+    root = tempfile.mkdtemp(prefix="repro-store-")
+    die = sample_defect_map(31, 31, cell_fail=0.0015, wire_fail=0.0006,
+                            stuck_fail=0.0006, seed=3)
+
+    # 1. a first life: compile into the store, then die.
+    with CompileService(workers=0, store=root) as first:
+        golden = first.compile(ripple_carry_netlist(8))
+        repaired = first.compile_for_die(ripple_carry_netlist(8), die)
+        bits, die_bits = golden.bitstreams(), repaired.bitstreams()
+        n_compiles = first.stats()["compiles"]
+    print(f"  first life:       {n_compiles} compile + 1 repair "
+          f"-> {first.stats()['store']['insertions']} artifacts on disk")
+    del first  # the service object is gone; only the directory remains
+
+    # 2. a second life: same directory, fresh process state.
+    with CompileService(workers=0, store=root) as svc:
+        served = svc.compile(ripple_carry_netlist(8))
+        served_die = svc.compile_for_die(ripple_carry_netlist(8), die)
+        assert served.bitstreams() == bits
+        assert served_die.bitstreams() == die_bits
+        assert served.from_store and served_die.from_store
+        assert svc.stats()["compiles"] == 0
+        print(f"  second life:      rca8 + repaired die served from disk, "
+              f"byte-identical, {svc.stats()['compiles']} recompiles")
+
+        # 3. a 5-edit session against the served base.
+        session = svc.open_session(ripple_carry_netlist(8))
+        for k in range(1, 6):
+            session.apply(one_gate_edit(ripple_carry_netlist(8), k))
+        s = session.stats()
+        print(f"  5-edit session:   {s['incremental']} delta compiles, "
+              f"{s['fallbacks']} fallbacks, {s['cached']} cached "
+              f"({s['seconds']:.2f}s total), every step persisted")
+        assert s["steps"] == 5
+        assert s["incremental"] + s["fallbacks"] + s["cached"] == 5
+
+    # 4. corruption degrades to a miss + recompile, never a crash.
+    store = ArtifactStore(root)
+    with CompileService(workers=0, store=store) as svc:
+        key = svc.job_key(ripple_carry_netlist(8), CompileOptions())
+        path = store.path_of(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # truncate the blob
+        recompiled = svc.compile(ripple_carry_netlist(8))
+        assert recompiled.bitstreams() == bits  # determinism: same bytes
+        assert not recompiled.from_store
+        st = store.stats()
+        print(f"  corrupted blob:   quarantined ({st['quarantined']}), "
+              f"clean miss, recompiled to identical bytes")
+
+        # 5. the books balance on both ledgers.
+        st = store.stats()
+        assert st["lookups"] == st["hits"] + st["misses"]
+        print(f"  accounting:       store {st['entries']} entries / "
+              f"{st['bytes'] / 1e6:.1f} MB, {st['hits']} hits + "
+              f"{st['misses']} misses = {st['lookups']} lookups")
+    print("  persisted store:  artifacts outlive the service, "
+          "books balanced")
+
+
+if __name__ == "__main__":
+    main()

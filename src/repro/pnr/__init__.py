@@ -44,11 +44,14 @@ from repro.pnr.defects import (
 )
 from repro.pnr.emit import EmitError, emit_design
 from repro.pnr.flow import (
+    RESULT_BLOB_VERSION,
     PnrError,
     PnrResult,
     PnrStats,
     VerificationError,
     compile_to_fabric,
+    result_from_blob,
+    result_to_blob,
     suggest_array,
     suggest_side,
     verify_equivalence,
@@ -114,8 +117,11 @@ __all__ = [
     "PnrError",
     "PnrResult",
     "PnrStats",
+    "RESULT_BLOB_VERSION",
     "VerificationError",
     "compile_to_fabric",
+    "result_from_blob",
+    "result_to_blob",
     "suggest_array",
     "suggest_side",
     "verify_equivalence",

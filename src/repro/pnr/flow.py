@@ -25,6 +25,7 @@ micropipeline tests).
 from __future__ import annotations
 
 import math
+import pickle
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -52,6 +53,61 @@ from repro.pnr.place import (
 from repro.pnr.route import NetRoute, Router, RoutingError, RoutingState
 from repro.pnr.techmap import MappedDesign, TechMapError, map_netlist
 from repro.pnr.timing import TimingReport, analyze_timing
+
+
+#: Version of the serialised-result envelope produced by
+#: :meth:`PnrResult.to_blob` / ``ShardedPnrResult.to_blob``.  Bump it
+#: whenever a field of the result (or anything it transitively pickles)
+#: changes meaning — old blobs then fail :func:`result_from_blob`'s tag
+#: check instead of deserialising into nonsense.  The persisted
+#: artifact store keys on content hashes, not on this; the version only
+#: guards *decoding*.
+RESULT_BLOB_VERSION = 1
+
+_BLOB_TAG = "repro.pnr.result"
+
+
+def result_to_blob(result) -> bytes:
+    """Serialise a compiled result to a self-describing byte blob.
+
+    The payload is a versioned envelope around a pickle — pickling is
+    faithful here because every field of a result is plain data (arrays,
+    dicts, dataclasses; no sockets, locks or lambdas), and the repo's
+    determinism contract makes it byte-stable: one round-trip through
+    ``result_from_blob`` reproduces identical bitstreams, and
+    re-serialising the round-tripped result reproduces the identical
+    blob (pinned in ``tests/test_service_store.py``).
+    """
+    kind = type(result).__name__
+    return pickle.dumps(
+        (_BLOB_TAG, RESULT_BLOB_VERSION, kind, result),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def result_from_blob(blob: bytes):
+    """Decode :func:`result_to_blob` output; raises ``ValueError`` on
+    anything that is not a current-version result envelope."""
+    try:
+        payload = pickle.loads(blob)
+    except Exception as e:
+        raise ValueError(f"undecodable result blob: {e}") from e
+    if (
+        not isinstance(payload, tuple)
+        or len(payload) != 4
+        or payload[0] != _BLOB_TAG
+    ):
+        raise ValueError("not a repro.pnr result blob")
+    _, version, kind, result = payload
+    if version != RESULT_BLOB_VERSION:
+        raise ValueError(
+            f"result blob version {version} != {RESULT_BLOB_VERSION}"
+        )
+    if type(result).__name__ != kind:
+        raise ValueError(
+            f"result blob claims {kind} but holds {type(result).__name__}"
+        )
+    return result
 
 
 class PnrError(RuntimeError):
@@ -145,6 +201,20 @@ class PnrResult:
     def verify(self, **kwargs):
         """Random-vector equivalence sweep; see :func:`verify_equivalence`."""
         return verify_equivalence(self, **kwargs)
+
+    def to_blob(self) -> bytes:
+        """Versioned byte serialisation; see :func:`result_to_blob`."""
+        return result_to_blob(self)
+
+    @classmethod
+    def from_blob(cls, blob: bytes) -> PnrResult:
+        """Decode :meth:`to_blob` output (``ValueError`` on anything else)."""
+        result = result_from_blob(blob)
+        if not isinstance(result, cls):
+            raise ValueError(
+                f"blob holds {type(result).__name__}, not {cls.__name__}"
+            )
+        return result
 
 
 def suggest_side(depth: int, cells: int, stateful: bool, slack: int = 2) -> int:

@@ -86,8 +86,18 @@ class IncrementalFallback(PnrError):
     Raised *before* any work is wasted (delta too large, region too
     small, sharded base) or when the warm placement/routing jams — the
     message says which.  :meth:`repro.service.CompileService` catches
-    this and falls back to :func:`repro.pnr.flow.compile_to_fabric`.
+    this and falls back to :func:`repro.pnr.flow.compile_to_fabric`
+    (edit-session steps record the escalation, so a "too big" edit in
+    a chain is provable, never silent).  When the decline happened
+    *after* diffing, ``delta`` carries the :class:`DesignDelta` that
+    provoked it — the proof of *why* (e.g. ``delta.frac`` past the
+    budget); it is ``None`` for pre-diff declines (sharded or
+    unmappable base).
     """
+
+    def __init__(self, message: str, *, delta: DesignDelta | None = None):
+        super().__init__(message)
+        self.delta = delta
 
 
 @dataclass(frozen=True)
@@ -289,13 +299,15 @@ def compile_incremental(
     if delta.frac > max_delta_frac:
         raise IncrementalFallback(
             f"delta touches {delta.n_edits} of {delta.n_base} gates "
-            f"({delta.frac:.0%} > {max_delta_frac:.0%})"
+            f"({delta.frac:.0%} > {max_delta_frac:.0%})",
+            delta=delta,
         )
     region = base.region
     if design.n_cells > region.cells:
         raise IncrementalFallback(
             f"edited design needs {design.n_cells} cells but the cached "
-            f"region offers {region.cells}"
+            f"region offers {region.cells}",
+            delta=delta,
         )
     shape = (base.array.n_rows, base.array.n_cols)
 

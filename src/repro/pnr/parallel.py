@@ -1,11 +1,15 @@
 """Deterministic fan-out helpers shared by the PnR parallel paths.
 
-Two consumers, one contract: the sharded flow
+Three consumers, one contract: the sharded flow
 (:func:`repro.pnr.partition.compile_sharded`) fans independent
-per-shard compiles onto a *thread* pool, and the placer fleet
+per-shard compiles onto a *thread* pool, the placer fleet
 (:func:`repro.pnr.place.anneal_placement` with ``replicas > 1``) fans
-annealing-replica rounds onto a *process* pool.  Both demand the same
-property: **results must be byte-identical for any worker count**, so
+annealing-replica rounds onto a *process* pool, and the compile
+service (:class:`repro.service.CompileService`) runs whole jobs —
+including the persisted store's deserialise-on-hit IO, which must not
+block the submitting thread — on a long-lived :class:`TaskPool`.  All
+demand the same property: **results must be byte-identical for any
+worker count**, so
 the helpers here never let pool scheduling leak into results — tasks
 are mapped in submission order and returned in submission order
 (``Executor.map`` semantics), and the serial path is the plain list

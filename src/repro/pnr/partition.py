@@ -62,6 +62,8 @@ from repro.pnr.flow import (
     _compile_mapped,
     _settle_compare,
     _sweep_equivalence,
+    result_from_blob,
+    result_to_blob,
     suggest_side,
 )
 from repro.pnr.parallel import parallel_map
@@ -668,6 +670,21 @@ class ShardedPnrResult:
     def to_bitstreams(self) -> list:
         """Per-shard configuration bitstreams, shard order."""
         return [s.to_bitstream() for s in self.shards]
+
+    def to_blob(self) -> bytes:
+        """Versioned byte serialisation; see
+        :func:`repro.pnr.flow.result_to_blob`."""
+        return result_to_blob(self)
+
+    @classmethod
+    def from_blob(cls, blob: bytes) -> ShardedPnrResult:
+        """Decode :meth:`to_blob` output (``ValueError`` on anything else)."""
+        result = result_from_blob(blob)
+        if not isinstance(result, cls):
+            raise ValueError(
+                f"blob holds {type(result).__name__}, not {cls.__name__}"
+            )
+        return result
 
     # -- equivalence ----------------------------------------------------
     def verify(

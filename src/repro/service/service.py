@@ -10,6 +10,11 @@ placement server re-imagined for this fabric:
   (:mod:`repro.netlist.canonical`): two clients submitting the same
   circuit under different spellings share one compiled artifact, with a
   port map translated back to each client's own names;
+* **persisted artifact store** — with ``store=`` set, a second,
+  on-disk tier (:class:`repro.service.store.ArtifactStore`) under the
+  in-memory cache: lookups go memory → store → compile, every compiled
+  artifact is published to disk, and a restarted or sibling service on
+  the same directory serves it byte-identically with zero recompiles;
 * **single-flight coalescing** — concurrent submissions of one key run
   one compile; the duplicates wait on the same future and count as
   coalesced, not as compiles;
@@ -22,6 +27,9 @@ placement server re-imagined for this fabric:
   :func:`repro.pnr.incremental.compile_incremental` against a cached
   base, falling back to a cold compile whenever the delta path
   declines (:class:`repro.pnr.incremental.IncrementalFallback`);
+  :meth:`CompileService.open_session` chains this across a whole
+  *sequence* of edits, each step warm-starting from the previous
+  step's artifact (:class:`repro.service.session.EditSession`);
 * **per-die repair** — :meth:`CompileService.submit_for_die` compiles
   a design once (the **golden** artifact, shared through the normal
   cache) and adapts it to each defective die with
@@ -47,6 +55,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.netlist.canonical import CANONICAL_HASH_VERSION, canonical_hash
 from repro.netlist.ir import Netlist
@@ -55,6 +64,7 @@ from repro.pnr.flow import PnrResult, compile_to_fabric
 from repro.pnr.incremental import IncrementalFallback, compile_incremental
 from repro.pnr.parallel import TaskPool
 from repro.service.cache import ResultCache
+from repro.service.store import ArtifactStore
 
 __all__ = ["CompileOptions", "CompileService", "ServiceResult"]
 
@@ -149,6 +159,12 @@ class ServiceResult:
     #: True when the artifact was produced by warm per-die repair of a
     #: golden compile rather than a from-scratch compile.
     repaired: bool = False
+    #: True when the artifact was loaded from the persisted
+    #: :class:`repro.service.store.ArtifactStore` rather than compiled
+    #: (or memory-cached) in this process — typically a compile some
+    #: *other* service instance, or an earlier life of this one, paid
+    #: for.  The bytes are identical either way.
+    from_store: bool = False
 
     def bitstreams(self) -> list[bytes]:
         """Configuration bitstream(s) as bytes: one per array, shard order.
@@ -198,10 +214,19 @@ class CompileService:
         (``None`` auto, ``0``/``1`` serial-inline, ``N`` threads).
     cache_capacity:
         LRU entry budget of the result cache (0 disables caching).
+    store:
+        The persisted tier: an
+        :class:`repro.service.store.ArtifactStore`, or a directory path
+        to open one on (``None`` = in-memory only).  Lookups go memory
+        → store → compile; every compiled, repaired or incremental
+        artifact is published to the store, so a restarted or sibling
+        service on the same directory serves it byte-identically with
+        zero recompiles (see ``docs/artifact-store.md``).
     max_delta_frac, release_budget_frac:
         Passed through to :func:`compile_incremental`; see there.
 
-    Use as a context manager or call :meth:`close` to release workers.
+    Use as a context manager or call :meth:`close` to release workers
+    (the store needs no closing — its whole point is to outlive this).
     """
 
     def __init__(
@@ -209,10 +234,14 @@ class CompileService:
         workers: int | None = None,
         *,
         cache_capacity: int = 64,
+        store: ArtifactStore | str | Path | None = None,
         max_delta_frac: float | None = None,
         release_budget_frac: float | None = None,
     ) -> None:
         self.cache = ResultCache(cache_capacity)
+        self.store = (
+            ArtifactStore(store) if isinstance(store, (str, Path)) else store
+        )
         self._pool = TaskPool(workers)
         self._lock = threading.Lock()
         self._inflight: dict[tuple, Future] = {}
@@ -226,6 +255,8 @@ class CompileService:
             "submissions": 0,
             "compiles": 0,
             "coalesced": 0,
+            "store_hits": 0,
+            "store_errors": 0,
             "incremental_compiles": 0,
             "incremental_fallbacks": 0,
             "repairs": 0,
@@ -249,12 +280,42 @@ class CompileService:
             self._counters[counter] += by
 
     def stats(self) -> dict:
-        """Service + cache counters, one flat snapshot."""
+        """Service + cache (+ store, when attached) counters, one snapshot."""
         with self._stats_lock:
             out = dict(self._counters)
         out["cache"] = self.cache.stats()
+        out["store"] = self.store.stats() if self.store is not None else None
         out["workers"] = self._pool.workers
         return out
+
+    # -- the persisted tier ---------------------------------------------
+    def _store_get(self, key: tuple) -> _CacheEntry | None:
+        """Probe the persisted tier (miss when no store is attached).
+
+        A hit is promoted into the in-memory cache and counted under
+        ``store_hits``, so the next lookup of this key is a plain
+        memory hit.  Store-side integrity failures surface here as
+        misses by the store's own contract.
+        """
+        if self.store is None:
+            return None
+        entry = self.store.get(key)
+        if entry is not None:
+            self._bump("store_hits")
+            self.cache.put(key, entry)
+        return entry
+
+    def _store_put(self, key: tuple, entry: _CacheEntry) -> None:
+        """Publish an artifact; disk trouble must not fail the compile."""
+        if self.store is None:
+            return
+        try:
+            self.store.put(key, entry)
+        except OSError:
+            # A full or read-only disk degrades the store to a smaller
+            # (or empty) one — the compile that produced this artifact
+            # still succeeded, so serve it and keep honest books.
+            self._bump("store_errors")
 
     # -- the compile path -----------------------------------------------
     def job_key(self, netlist: Netlist, options: CompileOptions) -> tuple:
@@ -267,10 +328,13 @@ class CompileService:
         """Enqueue one compile; returns a Future of a ServiceResult.
 
         Cache hits resolve immediately; concurrent duplicate keys
-        coalesce onto the one in-flight compile.  The returned future
-        is *per-submission*: its ``ServiceResult`` carries pin maps in
-        this submission's port names even when the artifact was
-        compiled from an isomorphic sibling.
+        coalesce onto the one in-flight job.  A memory miss probes the
+        persisted store *inside* the job (single-flight is preserved
+        across tiers: duplicates coalesce whether the key resolves from
+        disk or from a compile) and only compiles on a store miss.  The
+        returned future is *per-submission*: its ``ServiceResult``
+        carries pin maps in this submission's port names even when the
+        artifact was compiled from an isomorphic sibling.
         """
         options = options or CompileOptions()
         key = self.job_key(netlist, options)
@@ -280,7 +344,10 @@ class CompileService:
         req_inputs = tuple(netlist.inputs)
         req_outputs = tuple(netlist.outputs)
 
-        def view(entry: _CacheEntry, *, cached: bool, coalesced: bool):
+        def view(
+            entry: _CacheEntry, *, cached: bool, coalesced: bool,
+            from_store: bool = False,
+        ):
             in_wires, out_wires = _remap_ports(entry, req_inputs, req_outputs)
             return ServiceResult(
                 key=key,
@@ -291,6 +358,7 @@ class CompileService:
                 coalesced=coalesced,
                 incremental=entry.incremental,
                 repaired=entry.repaired,
+                from_store=from_store,
             )
 
         entry = self.cache.get(key)
@@ -320,9 +388,11 @@ class CompileService:
                     if err is not None:
                         out.set_exception(err)
                     else:
-                        out.set_result(
-                            view(done.result(), cached=True, coalesced=True)
-                        )
+                        entry, from_store = done.result()
+                        out.set_result(view(
+                            entry, cached=True, coalesced=True,
+                            from_store=from_store,
+                        ))
 
                 inflight.add_done_callback(_chain)
                 return chained
@@ -332,6 +402,14 @@ class CompileService:
 
         def run() -> None:
             try:
+                # Tier 2: the persisted store.  Probed on the pool, not
+                # in submit() — deserialising a large artifact must not
+                # block the submitting thread, and the in-flight future
+                # already coalesces duplicates meanwhile.
+                entry = self._store_get(key)
+                if entry is not None:
+                    compiled.set_result((entry, True))
+                    return
                 self._bump("compiles")
                 result = compile_to_fabric(netlist, **options.compile_kwargs())
                 entry = _CacheEntry(
@@ -340,7 +418,8 @@ class CompileService:
                     output_ports=req_outputs,
                 )
                 self.cache.put(key, entry)
-                compiled.set_result(entry)
+                self._store_put(key, entry)
+                compiled.set_result((entry, False))
             except BaseException as e:  # noqa: BLE001 - future carries it
                 compiled.set_exception(e)
             finally:
@@ -354,7 +433,11 @@ class CompileService:
             if err is not None:
                 out.set_exception(err)
             else:
-                out.set_result(view(done.result(), cached=False, coalesced=False))
+                entry, from_store = done.result()
+                out.set_result(view(
+                    entry, cached=from_store, coalesced=False,
+                    from_store=from_store,
+                ))
 
         compiled.add_done_callback(_settle)
         self._pool.submit(run)
@@ -409,8 +492,10 @@ class CompileService:
         golden submission in :meth:`stats`.
 
         Die artifacts cache under :meth:`die_key`; hits resolve
-        immediately and concurrent submissions of the same die
-        coalesce, exactly like :meth:`submit`.
+        immediately (from memory or the persisted store — a die another
+        process repaired is served from disk without touching the
+        golden) and concurrent submissions of the same die coalesce,
+        exactly like :meth:`submit`.
         """
         options = options or CompileOptions()
         if options.shards is not None or options.max_side is not None:
@@ -422,7 +507,10 @@ class CompileService:
         req_inputs = tuple(netlist.inputs)
         req_outputs = tuple(netlist.outputs)
 
-        def view(entry: _CacheEntry, *, cached: bool, coalesced: bool):
+        def view(
+            entry: _CacheEntry, *, cached: bool, coalesced: bool,
+            from_store: bool = False,
+        ):
             in_wires, out_wires = _remap_ports(entry, req_inputs, req_outputs)
             return ServiceResult(
                 key=key,
@@ -433,6 +521,7 @@ class CompileService:
                 coalesced=coalesced,
                 incremental=entry.incremental,
                 repaired=entry.repaired,
+                from_store=from_store,
             )
 
         entry = self.cache.get(key)
@@ -457,9 +546,11 @@ class CompileService:
                     if err is not None:
                         out.set_exception(err)
                     else:
-                        out.set_result(
-                            view(done.result(), cached=True, coalesced=True)
-                        )
+                        entry, from_store = done.result()
+                        out.set_result(view(
+                            entry, cached=True, coalesced=True,
+                            from_store=from_store,
+                        ))
 
                 inflight.add_done_callback(_chain)
                 return chained
@@ -474,9 +565,30 @@ class CompileService:
             if err is not None:
                 out.set_exception(err)
             else:
-                out.set_result(view(done.result(), cached=False, coalesced=False))
+                entry, from_store = done.result()
+                out.set_result(view(
+                    entry, cached=from_store, coalesced=False,
+                    from_store=from_store,
+                ))
 
         compiled.add_done_callback(_settle)
+
+        # Tier 2 first: a die already repaired by another process (or
+        # an earlier life of this one) serves straight from the store —
+        # the golden artifact is not even loaded.  This probe runs in
+        # the calling thread because the golden resolve below does too.
+        try:
+            entry = self._store_get(key)
+        except BaseException as e:  # noqa: BLE001 - future carries it
+            with self._lock:
+                self._inflight.pop(key, None)
+            compiled.set_exception(e)
+            return mine
+        if entry is not None:
+            with self._lock:
+                self._inflight.pop(key, None)
+            compiled.set_result((entry, True))
+            return mine
 
         try:
             golden = self.compile(netlist, options)
@@ -518,7 +630,8 @@ class CompileService:
                     repaired=repaired,
                 )
                 self.cache.put(key, entry)
-                compiled.set_result(entry)
+                self._store_put(key, entry)
+                compiled.set_result((entry, False))
             except BaseException as e:  # noqa: BLE001 - future carries it
                 compiled.set_exception(e)
             finally:
@@ -550,13 +663,15 @@ class CompileService:
         edit is small enough; otherwise falls back to a full cold
         compile through the normal cached/coalesced :meth:`submit`
         machinery.  The result is cached under the *edited* netlist's
-        content key, so submitting the same edit again is a plain hit.
+        content key — in memory and in the persisted store — so
+        submitting the same edit again (from this service or a sibling
+        on the same store) is a plain hit.
         """
         options = options or CompileOptions()
         key = self.job_key(netlist, options)
         self._bump("submissions")
-        entry = self.cache.get(key)
-        if entry is not None:
+
+        def cached_view(entry: _CacheEntry, *, from_store: bool):
             in_w, out_w = _remap_ports(
                 entry, tuple(netlist.inputs), tuple(netlist.outputs)
             )
@@ -568,7 +683,19 @@ class CompileService:
                 cached=True,
                 coalesced=False,
                 incremental=entry.incremental,
+                repaired=entry.repaired,
+                from_store=from_store,
             )
+
+        entry = self.cache.get(key)
+        if entry is not None:
+            return cached_view(entry, from_store=False)
+        # recompile() is a blocking API, so the store probe runs right
+        # here — an edit some sibling service already compiled (or a
+        # replayed session step) never pays the delta path again.
+        entry = self._store_get(key)
+        if entry is not None:
+            return cached_view(entry, from_store=True)
         base_result = base.result if isinstance(base, ServiceResult) else base
         try:
             result = compile_incremental(
@@ -589,6 +716,7 @@ class CompileService:
             incremental=True,
         )
         self.cache.put(key, entry)
+        self._store_put(key, entry)
         return ServiceResult(
             key=key,
             result=result,
@@ -598,3 +726,21 @@ class CompileService:
             coalesced=False,
             incremental=True,
         )
+
+    def open_session(
+        self, netlist: Netlist, options: CompileOptions | None = None
+    ):
+        """Open a multi-edit incremental session against ``netlist``.
+
+        Compiles (or serves) the base through the normal tiered path,
+        then returns an :class:`repro.service.session.EditSession`
+        whose :meth:`~repro.service.session.EditSession.apply` chains
+        each edit's recompile off the **previous step's** artifact —
+        a whole edit chain without ever re-cold-compiling, every
+        intermediate cached and persisted under its own content key.
+        """
+        from repro.service.session import EditSession
+
+        options = options or CompileOptions()
+        base = self.compile(netlist, options)
+        return EditSession(self, base, options)

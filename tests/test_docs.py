@@ -14,6 +14,9 @@ import repro.netlist.backends
 import repro.netlist.ir
 import repro.pnr.partition
 import repro.pnr.timing
+import repro.service
+import repro.service.session
+import repro.service.store
 
 
 def _run(module) -> int:
@@ -42,3 +45,16 @@ def test_pnr_timing_quickstart():
 
 def test_pnr_partition_quickstart():
     assert _run(repro.pnr.partition) > 0  # shard a chain, verify it
+
+
+def test_service_package_quickstart():
+    # Both quickstarts: the cached hit and the persisted round-trip.
+    assert _run(repro.service) > 0
+
+
+def test_service_store_quickstart():
+    assert _run(repro.service.store) > 0  # put/get/evict on a tmpdir
+
+
+def test_service_session_quickstart():
+    assert _run(repro.service.session) > 0  # a two-edit incremental chain

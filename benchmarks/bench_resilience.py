@@ -1,0 +1,171 @@
+"""Bench: the compile service under injected faults (`repro.service`).
+
+Records what resilience costs and what it buys, per ISSUE 10:
+
+* **crash recovery** — cold compile wall time with a worker killed on
+  the first attempt (resubmitted exactly once, byte-identical) against
+  the fault-free compile: the recovery overhead ratio;
+* **degraded serving** — latency of handing out the marked golden
+  stand-in when a die's repair budget is exhausted, against a real
+  warm repair, plus the degraded fraction of a mixed-pressure burst;
+* **retry / fault-point overhead** — wall cost of a retried transient
+  around the backoff schedule, and nanoseconds per ``fault_point``
+  visit with **no plan active** — the zero-overhead claim the whole
+  harness rests on.
+
+``run_all.py`` imports :func:`run_crash_recovery`,
+:func:`run_degraded_serve` and :func:`run_retry_overhead` and folds
+them into ``BENCH_results.json``; ``check_regressions.py`` prints the
+rows (recorded, never gated — all machine-dependent).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datapath.adder import ripple_carry_netlist
+from repro.pnr import sample_defect_map
+from repro.pnr.parallel import fault_point
+from repro.service import (
+    CompileOptions,
+    CompileService,
+    FaultPlan,
+    RetryPolicy,
+)
+
+
+def run_crash_recovery() -> dict:
+    """Cold compile with the first worker killed vs fault-free."""
+    t0 = time.perf_counter()
+    with CompileService(workers=2) as svc:
+        reference = svc.compile(ripple_carry_netlist(4)).bitstreams()
+    clean_s = time.perf_counter() - t0
+
+    plan = FaultPlan.from_specs([("pool.worker", "die", {"token": "0"})])
+    t0 = time.perf_counter()
+    with CompileService(workers=2) as svc, plan.activate():
+        recovered = svc.compile(ripple_carry_netlist(4)).bitstreams()
+        stats = svc.stats()
+    crashed_s = time.perf_counter() - t0
+
+    return {
+        "clean_s": round(clean_s, 4),
+        "crashed_s": round(crashed_s, 4),
+        "recovery_overhead": round(crashed_s / max(clean_s, 1e-9), 3),
+        "worker_restarts": stats["worker_restarts"],
+        "identical": recovered == reference,
+    }
+
+
+def run_degraded_serve(n_dies: int = 6) -> dict:
+    """Marked golden stand-ins vs real repairs for a burst of dies.
+
+    Half the burst carries an impossible deadline (repair budget
+    exhausted on entry — the degradation trigger), half is unbounded;
+    the service must repair the calm half and degrade the pressured
+    half, and the stand-in must be near-free next to a real repair.
+    """
+    nl = ripple_carry_netlist(2)
+    dies = [
+        sample_defect_map(13, 13, cell_fail=0.01, wire_fail=0.004, seed=s)
+        for s in range(9, 9 + n_dies)
+    ]
+    with CompileService(workers=0) as svc:
+        svc.compile(nl)  # the golden, cached
+        repair_s = degraded_s = 0.0
+        for i, die in enumerate(dies):
+            pressured = i % 2 == 0
+            options = (
+                CompileOptions(deadline=1e-6) if pressured
+                else CompileOptions()
+            )
+            t0 = time.perf_counter()
+            result = svc.compile_for_die(nl, die, options)
+            wall = time.perf_counter() - t0
+            if result.degraded:
+                degraded_s += wall
+            else:
+                repair_s += wall
+        stats = svc.stats()
+
+    degraded = stats["degraded"]
+    served = n_dies
+    repaired = served - degraded
+    return {
+        "dies": served,
+        "degraded": degraded,
+        "degraded_rate": round(degraded / served, 3),
+        "repair_ms": round(1e3 * repair_s / max(repaired, 1), 3),
+        "degraded_ms": round(1e3 * degraded_s / max(degraded, 1), 3),
+    }
+
+
+def run_retry_overhead() -> dict:
+    """Backoff cost of a twice-transient call + bare fault-point cost."""
+    policy = RetryPolicy(max_attempts=3, base_delay=0.002, seed=0)
+
+    calls = [0]
+
+    def flaky() -> str:
+        calls[0] += 1
+        if calls[0] % 3:  # two transient failures per success
+            raise OSError("injected blip")
+        return "ok"
+
+    t0 = time.perf_counter()
+    rounds = 20
+    for _ in range(rounds):
+        policy.call(flaky, token="bench")
+    retried_s = time.perf_counter() - t0
+
+    # The zero-overhead claim: a fault point with no plan active is a
+    # dict lookup away from free.
+    visits = 100_000
+    t0 = time.perf_counter()
+    for _ in range(visits):
+        fault_point("service.run", token="bench")
+    no_plan_s = time.perf_counter() - t0
+
+    return {
+        "retried_call_ms": round(1e3 * retried_s / rounds, 4),
+        "retries_per_call": 2,
+        "fault_point_no_plan_ns": round(1e9 * no_plan_s / visits, 1),
+    }
+
+
+# -- pytest wrappers (bench files run standalone under pytest -q) ----------
+def test_crash_recovery_is_byte_identical(capsys):
+    row = run_crash_recovery()
+    with capsys.disabled():
+        print(
+            f"\n  crash recovery: clean {row['clean_s']}s -> crashed "
+            f"{row['crashed_s']}s ({row['recovery_overhead']}x), "
+            f"{row['worker_restarts']} restart"
+        )
+    assert row["identical"], "recovered compile must match fault-free bytes"
+    assert row["worker_restarts"] == 1
+
+
+def test_degraded_serve_is_marked_and_cheap(capsys):
+    row = run_degraded_serve()
+    with capsys.disabled():
+        print(
+            f"  degraded serve: {row['degraded']}/{row['dies']} dies "
+            f"degraded, stand-in {row['degraded_ms']} ms vs repair "
+            f"{row['repair_ms']} ms"
+        )
+    assert row["degraded"] == row["dies"] // 2
+    assert row["degraded_ms"] < row["repair_ms"]
+
+
+def test_fault_point_without_a_plan_is_cheap(capsys):
+    row = run_retry_overhead()
+    with capsys.disabled():
+        print(
+            f"  retry overhead: {row['retried_call_ms']} ms/call "
+            f"(2 backoffs), fault point (no plan) "
+            f"{row['fault_point_no_plan_ns']} ns"
+        )
+    # Generous ceiling: the no-plan path is two attribute loads and a
+    # None check — microseconds would mean the guard regressed.
+    assert row["fault_point_no_plan_ns"] < 5_000

@@ -96,6 +96,22 @@ def defects_table(results: dict) -> dict:
     return results.get("microbench", {}).get("defects", {}) or {}
 
 
+#: Resilience rows from ``microbench.resilience`` shown (never gated):
+#: recovery overhead and serve latencies are machine-dependent, and the
+#: degraded rate is a property of the bench's pressure mix —
+#: ``tests/test_resilience.py`` pins the functional contract.
+RESILIENCE_REPORT_METRICS: dict[str, tuple[str, ...]] = {
+    "crash": ("recovery_overhead", "clean_s", "crashed_s"),
+    "degraded": ("degraded_rate", "degraded_ms", "repair_ms"),
+    "retry": ("retried_call_ms", "fault_point_no_plan_ns"),
+}
+
+
+def resilience_table(results: dict) -> dict:
+    """The ``microbench.resilience`` rows of one trajectory (may be {})."""
+    return results.get("microbench", {}).get("resilience", {}) or {}
+
+
 def defect_yield_rows(results: dict) -> dict:
     """The yield-vs-density rows, keyed by ``cell_fail_*`` (may be {})."""
     curve = defects_table(results).get("yield_curve", {}) or {}
@@ -225,6 +241,21 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(
                 f"  service.{row:<12} {metric:<20} {b!s:>9} -> {f!s:>9}  "
+                f"{drift}  (recorded, not gated)"
+            )
+    base_r, fresh_r = resilience_table(baseline), resilience_table(fresh)
+    for row, r_metrics in RESILIENCE_REPORT_METRICS.items():
+        for metric in r_metrics:
+            b = base_r.get(row, {}).get(metric)
+            f = fresh_r.get(row, {}).get(metric)
+            if b is None and f is None:
+                continue
+            drift = (
+                f"{(f - b) / b:+.1%}" if b not in (None, 0) and f is not None
+                else "n/a"
+            )
+            print(
+                f"  resilience.{row:<9} {metric:<20} {b!s:>9} -> {f!s:>9}  "
                 f"{drift}  (recorded, not gated)"
             )
     base_d, fresh_d = defects_table(baseline), defects_table(fresh)

@@ -184,6 +184,22 @@ def microbench_defects() -> dict:
     }
 
 
+def microbench_resilience() -> dict:
+    """Crash recovery, degraded serving and retry/fault-point cost."""
+    sys.path.insert(0, str(HERE))
+    from bench_resilience import (
+        run_crash_recovery,
+        run_degraded_serve,
+        run_retry_overhead,
+    )
+
+    return {
+        "crash": run_crash_recovery(),
+        "degraded": run_degraded_serve(),
+        "retry": run_retry_overhead(),
+    }
+
+
 def main() -> int:
     quick = "--quick" in sys.argv[1:]
     sys.path.insert(0, str(SRC))
@@ -198,6 +214,7 @@ def main() -> int:
         "pnr_speed": microbench_pnr_speed(),
         "service": microbench_service(),
         "defects": microbench_defects(),
+        "resilience": microbench_resilience(),
     }
     results["microbench"] = micro
     print(f"  event scheduler : {micro['event_sim']['events_per_s']:>12,} events/s")
@@ -251,6 +268,14 @@ def main() -> int:
         f"compile, {rep['median_repair_ms']} ms median repair "
         f"({rep['repair_speedup']}x over cold), die yield "
         f"{lightest['die_yield']} at the lightest density"
+    )
+    res = micro["resilience"]
+    print(
+        f"  resilience      : worker-crash recovery "
+        f"{res['crash']['recovery_overhead']}x of clean, degraded serve "
+        f"{res['degraded']['degraded_ms']} ms vs repair "
+        f"{res['degraded']['repair_ms']} ms, fault point (no plan) "
+        f"{res['retry']['fault_point_no_plan_ns']} ns"
     )
     out = HERE / "BENCH_results.json"
     out.write_text(json.dumps(results, indent=2) + "\n")

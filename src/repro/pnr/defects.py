@@ -54,6 +54,7 @@ from repro.pnr.incremental import (
     IncrementalFallback,
     ripple_release_placement,
 )
+from repro.pnr.parallel import checkpoint, fault_point
 from repro.pnr.place import PlacementError, dominance_violations
 from repro.pnr.route import PAIR_INTERNAL_ROWS, Router, RoutingError
 from repro.pnr.techmap import PAIR_PIN_COLUMNS
@@ -441,6 +442,11 @@ def repair_for_die(
     # much of the design may move before falling back.
     failed: list[str] = []
     for wave in range(5):
+        # Cooperative cancellation between escalation waves, plus the
+        # repair path's fault point: a chaos plan can fail or stall any
+        # wave of any die (the token carries die digest + wave).
+        checkpoint()
+        fault_point("repair.wave", token=f"{defect_map.digest()[:12]}:{wave}")
         if not displaced:
             # Nothing to re-place: the golden placement IS the repaired
             # placement (and was already proven dominance-legal), so the

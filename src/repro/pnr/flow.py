@@ -41,6 +41,7 @@ from repro.fabric.floorplan import Region
 from repro.netlist.backends import BatchBackend, EventBackend
 from repro.netlist.ir import Netlist
 from repro.pnr.emit import emit_design
+from repro.pnr.parallel import checkpoint
 from repro.pnr.place import (
     Placement,
     PlacementError,
@@ -424,6 +425,9 @@ def _compile_mapped(
         stateful = design.has_stateful_gates()
     last_error: Exception | None = None
     for attempt in range(max_attempts):
+        # Cooperative cancellation: a service deadline cancels between
+        # attempts (and inside each attempt's anneal/route loops).
+        checkpoint()
         if auto_array:
             if defect_map is not None:
                 # The defect map names a concrete die, so its shape IS
@@ -554,6 +558,7 @@ def _timing_driven_candidate(
     for trial, w in enumerate((timing_weight, 2.0 * timing_weight)):
         if w <= 0:
             continue
+        checkpoint()
         b_placement, _, b_routes, b_report = best
         weights = {
             net: 1.0 + w * crit for net, crit in b_report.criticality.items()

@@ -48,6 +48,7 @@ from repro.fabric.array import CellArray
 from repro.netlist.ir import Netlist
 from repro.pnr.emit import emit_design
 from repro.pnr.flow import PnrError, PnrResult, _build_result
+from repro.pnr.parallel import checkpoint
 from repro.pnr.place import (
     PlacementError,
     dominance_violations,
@@ -217,6 +218,9 @@ def ripple_release_placement(
     released: set[str] = set(displaced)
     last_jam: PlacementError | None = None
     for _wave in range(8):
+        # Cooperative cancellation: a service deadline cancels between
+        # ripple waves.
+        checkpoint()
         if len(released - displaced) + n_edits > max(
             1, int(release_budget_frac * n_base)
         ):

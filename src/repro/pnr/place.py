@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.fabric.floorplan import Region
-from repro.pnr.parallel import parallel_map, resolve_workers
+from repro.pnr.parallel import checkpoint, parallel_map, resolve_workers
 from repro.pnr.techmap import MappedDesign, MappedGate
 
 
@@ -1131,6 +1131,9 @@ class _AnnealContext:
         names = cost.names
         touched = self._touched
         for temp in temps:
+            # Cooperative cancellation: a service deadline cancels
+            # between temperature rungs (one batch is bounded work).
+            checkpoint()
             self._batch_id += 1
             bid = self._batch_id
             pick, trs, tcs, valid = self.draw(gen, batch_moves)
@@ -1605,6 +1608,10 @@ def _anneal_scalar(
     evaluated = accepted = 0
     exp = math.exp
     for temp in anneal_temperatures(steps, t_start, t_end):
+        # Cooperative cancellation, amortised: one TLS read per 256
+        # moves keeps the scalar hot loop at its measured move rate.
+        if not evaluated & 0xFF:
+            checkpoint()
         evaluated += 1
         name = rng.choice(names)
         gi = cost.index[name]

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.fabric.floorplan import Region
 from repro.fabric.nandcell import N_INPUTS, N_ROWS, Direction
+from repro.pnr.parallel import checkpoint
 from repro.pnr.place import Placement
 from repro.pnr.techmap import (
     MappedDesign,
@@ -527,6 +528,9 @@ class Router:
                     + [n for n in nets if n not in taken]
                 )
             for net in ordered:
+                # Cooperative cancellation: a service deadline cancels
+                # between nets, never mid-search.
+                checkpoint()
                 if self._use_warm:
                     warm = self.warm_routes.get(net)
                     if warm is not None and self._warm_eligible(net):

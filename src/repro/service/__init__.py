@@ -11,7 +11,12 @@ process and are shared between sibling services), and a delta path
 (:func:`repro.pnr.incremental.compile_incremental`) that recompiles
 small edits against a cached base in a fraction of the cold time —
 chained across a whole edit sequence by :class:`EditSession`
-(:meth:`CompileService.open_session`).
+(:meth:`CompileService.open_session`).  The whole stack is hardened
+against failure — per-job deadlines, transient-fault retries,
+crash-isolated workers, bounded admission with load-shedding — and
+*proven* so by a deterministic fault-injection layer
+(:class:`FaultPlan`, :mod:`repro.service.resilience`; see
+``docs/resilience.md``).
 
 Quickstart:
 
@@ -52,6 +57,13 @@ quality gate.  See ``docs/compile-service.md`` and
 """
 
 from repro.service.cache import ResultCache
+from repro.service.resilience import (
+    CompileTimeout,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    ServiceOverloaded,
+)
 from repro.service.service import CompileOptions, CompileService, ServiceResult
 from repro.service.session import EditSession, SessionStep
 from repro.service.store import ArtifactStore, StoreKeyError
@@ -60,8 +72,13 @@ __all__ = [
     "ArtifactStore",
     "CompileOptions",
     "CompileService",
+    "CompileTimeout",
     "EditSession",
+    "FaultPlan",
+    "FaultSpec",
     "ResultCache",
+    "RetryPolicy",
+    "ServiceOverloaded",
     "ServiceResult",
     "SessionStep",
     "StoreKeyError",

@@ -111,6 +111,16 @@ class ResultCache:
         with self._lock:
             return list(self._entries)
 
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """A ``(key, value)`` snapshot, least- to most-recent.
+
+        Reads nothing *through* the LRU (recency and the hit/miss books
+        are untouched) — this is the audit hook the chaos suite uses to
+        compare every cached artifact against its fault-free reference.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
     def clear(self) -> None:
         """Drop all entries (counters keep accumulating)."""
         with self._lock:

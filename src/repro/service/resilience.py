@@ -1,0 +1,404 @@
+"""Deterministic fault injection + the service's resilience policies.
+
+The paper's whole premise is computing that keeps working when the
+substrate fails; this module holds the *software* stack to the same
+bar.  It has two halves (see ``docs/resilience.md``):
+
+* :class:`FaultPlan` — a content-addressed, seed-deterministic
+  description of injected faults, the software analogue of
+  :class:`repro.pnr.defects.DefectMap`: where a defect map says "cell
+  (3,4) is dead on this die", a fault plan says "the store's publish
+  path corrupts its bytes" or "the second pool worker dies mid-job".
+  Plans fire at the named fault points registered across the serving
+  stack (:data:`repro.pnr.parallel.FAULT_POINTS`), and every decision
+  is a pure function of ``(plan, point, token)`` — the same plan
+  replays the same faults whatever the thread interleaving, so chaos
+  tests are reproducible and shrinkable.  With no plan active the
+  points cost one global read each.
+
+* **Policies proven against it** — :class:`RetryPolicy` (bounded
+  attempts, exponential backoff, deterministic seeded jitter, applied
+  *only* to faults :func:`is_transient` classifies as retryable:
+  worker loss and store IO, never deterministic compile errors or
+  timeouts) and :class:`ServiceOverloaded` (what a bounded admission
+  queue sheds load with, carrying the queue depth and a retry-after
+  hint).  The deadline/cancellation primitives themselves live in
+  :mod:`repro.pnr.parallel` (the compile loops check them) and are
+  re-exported here.
+
+Quickstart — a plan that kills the first pool worker once, and the
+deterministic backoff a retry would use:
+
+>>> from repro.service.resilience import FaultPlan, FaultSpec, RetryPolicy
+>>> plan = FaultPlan((FaultSpec("pool.worker", "die", token="0"),))
+>>> plan.digest() == FaultPlan.from_specs([("pool.worker", "die", {"token": "0"})]).digest()
+True
+>>> policy = RetryPolicy(max_attempts=3, base_delay=0.01, seed=7)
+>>> policy.delay(0, "job") == policy.delay(0, "job")   # seeded jitter
+True
+>>> policy.is_transient(OSError("disk hiccup"))
+True
+>>> from repro.pnr.parallel import CompileTimeout
+>>> policy.is_transient(CompileTimeout("budget spent"))
+False
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.pnr.defects import RepairFallback
+from repro.pnr.flow import PnrError
+from repro.pnr.parallel import (
+    FAULT_POINTS,
+    CompileTimeout,
+    Deadline,
+    TransientFault,
+    WorkerCrash,
+    WorkerLost,
+    checkpoint,
+    current_deadline,
+    deadline_scope,
+    fault_point,
+    inject_faults,
+    sleep_checked,
+)
+
+__all__ = [
+    "FAULT_EXCEPTIONS",
+    "FAULT_KINDS",
+    "FAULT_POINTS",
+    "CompileTimeout",
+    "Deadline",
+    "DeterministicFault",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "ServiceOverloaded",
+    "StoreIOFault",
+    "TransientFault",
+    "WorkerCrash",
+    "WorkerLost",
+    "checkpoint",
+    "current_deadline",
+    "deadline_scope",
+    "fault_point",
+    "inject_faults",
+    "is_transient",
+    "sleep_checked",
+]
+
+
+class ServiceOverloaded(RuntimeError):
+    """The service's bounded admission queue shed this submission.
+
+    Load-shedding is graceful degradation, not failure: the artifact
+    was simply not attempted.  ``queue_depth`` says how many jobs were
+    already pending and ``retry_after`` (seconds) is the service's
+    estimate of when a resubmission would be admitted.
+    """
+
+    def __init__(self, queue_depth: int, max_pending: int, retry_after: float):
+        super().__init__(
+            f"service overloaded: {queue_depth} jobs pending "
+            f"(limit {max_pending}); retry after ~{retry_after:g}s"
+        )
+        self.queue_depth = queue_depth
+        self.max_pending = max_pending
+        self.retry_after = retry_after
+
+
+class StoreIOFault(OSError):
+    """Injected store IO trouble (a full disk, a flaky mount) — transient."""
+
+
+class DeterministicFault(RuntimeError):
+    """An injected *deterministic* failure — retrying only repeats it.
+
+    Stands in for the compile-error class of the taxonomy
+    (:class:`repro.pnr.flow.PnrError` and friends): the chaos suite
+    proves these are never retried and never cached.
+    """
+
+
+def is_transient(exc: BaseException) -> bool:
+    """The failure taxonomy: is this fault worth retrying?
+
+    Transient — the operation may succeed if repeated — covers worker
+    loss (:class:`repro.pnr.parallel.TransientFault` and subclasses)
+    and store IO (``OSError``).  Everything else is deterministic:
+    compile errors, :class:`CompileTimeout` (which *is* an ``OSError``
+    via ``TimeoutError``, hence the explicit carve-out), verification
+    failures.  Retrying a deterministic failure only repeats it.
+    """
+    if isinstance(exc, CompileTimeout):
+        return False
+    return isinstance(exc, (TransientFault, OSError))
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+# ---------------------------------------------------------------------------
+#: Injectable fault kinds (validated on FaultSpec construction).
+FAULT_KINDS = ("error", "stall", "corrupt", "die")
+
+#: Exception registry for ``kind="error"`` specs: the failure taxonomy
+#: a plan can inject, by name (names, not classes, keep specs
+#: JSON-serialisable and hence content-addressable).
+FAULT_EXCEPTIONS: dict[str, type[BaseException]] = {
+    "transient": TransientFault,
+    "io": StoreIOFault,
+    "crash": WorkerCrash,
+    "deterministic": DeterministicFault,
+    "pnr": PnrError,
+    "repair": RepairFallback,
+}
+
+
+def _hash01(*parts) -> float:
+    """A uniform [0, 1) draw, pure in its inputs (no RNG state)."""
+    text = ":".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: where, what, how often.
+
+    Attributes
+    ----------
+    point:
+        A registered fault point name
+        (:data:`repro.pnr.parallel.FAULT_POINTS`).
+    kind:
+        ``"error"`` raises ``FAULT_EXCEPTIONS[exc]``; ``"stall"``
+        sleeps ``delay`` seconds (deadline-aware — a stalled job still
+        times out on schedule); ``"corrupt"`` flips one deterministic
+        byte of the data passing through the point; ``"die"`` raises
+        :class:`WorkerCrash` (which a crash-isolated process worker
+        turns into a real ``os._exit`` — see
+        ``repro.service.service._isolated_compile``).
+    rate:
+        Firing probability per visit, decided by a pure hash of
+        ``(plan seed, spec index, point, token)`` — no counters, so the
+        decision is identical across threads, processes and reruns.
+    token:
+        When set, the spec only fires on visits whose token contains
+        this substring (e.g. ``"0"`` to kill only the first pool job,
+        or a key digest prefix to target one artifact).
+    exc, delay, message:
+        Kind-specific knobs (see ``kind``).
+    """
+
+    point: str
+    kind: str
+    rate: float = 1.0
+    token: str | None = None
+    exc: str = "transient"
+    delay: float = 0.05
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; "
+                f"registered: {sorted(FAULT_POINTS)}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}"
+            )
+        if self.kind == "error" and self.exc not in FAULT_EXCEPTIONS:
+            raise ValueError(
+                f"unknown fault exception {self.exc!r}; "
+                f"one of {sorted(FAULT_EXCEPTIONS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.delay < 0.0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+    def encode(self) -> list:
+        """The spec as a canonical JSON-ready list (for the digest)."""
+        return [
+            self.point, self.kind, self.rate, self.token,
+            self.exc, self.delay, self.message,
+        ]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, content-addressed set of injected faults.
+
+    Activate with :meth:`activate` (a context manager installing the
+    plan at the process-wide hook); every visit to a registered fault
+    point then consults the plan.  Decisions are pure functions of
+    ``(seed, spec index, point, token)``: the same plan against the
+    same workload injects the same faults, whatever the scheduling.
+
+    Plans are picklable and cheap, so the service ships the active
+    plan into its crash-isolated subprocess workers — an injected
+    worker death fires *inside* the worker, exercising the real
+    ``BrokenProcessPool`` recovery path.
+
+    >>> plan = FaultPlan((FaultSpec("store.load", "error", exc="io"),))
+    >>> len(plan.digest())
+    64
+    >>> from repro.pnr.parallel import fault_point
+    >>> with plan.activate():
+    ...     try:
+    ...         fault_point("store.load", token="anything")
+    ...     except OSError as e:
+    ...         print("injected:", e)
+    injected: injected io fault at store.load
+    >>> fault_point("store.load", token="anything") is None   # plan inactive
+    True
+    """
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @classmethod
+    def from_specs(cls, rows, seed: int = 0) -> FaultPlan:
+        """Build a plan from ``(point, kind[, kwargs])`` rows.
+
+        >>> FaultPlan.from_specs([
+        ...     ("pool.worker", "die", {"token": "0"}),
+        ...     ("store.publish", "corrupt",),
+        ... ]).specs[1].kind
+        'corrupt'
+        """
+        specs = []
+        for row in rows:
+            point, kind, *rest = row
+            kwargs = rest[0] if rest else {}
+            specs.append(FaultSpec(point, kind, **kwargs))
+        return cls(tuple(specs), seed=seed)
+
+    def digest(self) -> str:
+        """SHA-256 content address of (seed, ordered specs).
+
+        Equal plans hash equal whatever constructed them — the same
+        contract as :meth:`repro.pnr.defects.DefectMap.digest`, so a
+        chaos run is addressable by the plan that produced it.
+        """
+        text = json.dumps(
+            [self.seed, [s.encode() for s in self.specs]],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def activate(self):
+        """Install this plan at the process-wide fault hook (a CM)."""
+        return inject_faults(self)
+
+    # -- firing ---------------------------------------------------------
+    def fire(self, point: str, token: str = "", data=None):
+        """Apply every matching spec to one fault-point visit.
+
+        Called by :func:`repro.pnr.parallel.fault_point` while the plan
+        is active.  Specs apply in declaration order; ``corrupt``
+        transforms ``data`` (returned), ``stall`` sleeps, ``error`` and
+        ``die`` raise.
+        """
+        for i, spec in enumerate(self.specs):
+            if spec.point != point:
+                continue
+            if spec.token is not None and spec.token not in token:
+                continue
+            if spec.rate < 1.0 and _hash01(
+                self.seed, i, point, token
+            ) >= spec.rate:
+                continue
+            data = self._apply(i, spec, point, token, data)
+        return data
+
+    def _apply(self, i: int, spec: FaultSpec, point: str, token: str, data):
+        if spec.kind == "stall":
+            sleep_checked(spec.delay)
+            return data
+        if spec.kind == "corrupt":
+            if isinstance(data, (bytes, bytearray)) and len(data) > 0:
+                pos = int(_hash01(self.seed, "pos", i, token) * len(data))
+                flipped = bytearray(data)
+                flipped[pos] ^= 0xFF
+                return bytes(flipped)
+            return data
+        if spec.kind == "die":
+            raise WorkerCrash(
+                spec.message or f"injected worker death at {point}"
+            )
+        # kind == "error" (the only remaining kind, by validation)
+        raise FAULT_EXCEPTIONS[spec.exc](
+            spec.message or f"injected {spec.exc} fault at {point}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    Applied **only** to transient faults (:func:`is_transient`): store
+    IO and worker loss may succeed on a second try; deterministic
+    compile errors and deadline timeouts never do, and retrying them
+    would just multiply the load that caused the trouble.  Jitter is
+    derived from ``(seed, token, attempt)`` — deterministic, so two
+    runs of the same workload back off identically (no thundering-herd
+    *and* no flaky tests).
+
+    >>> p = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0)
+    >>> [round(p.delay(a, "t"), 2) for a in range(3)]
+    [0.1, 0.2, 0.4]
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    backoff: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    #: The taxonomy, exposed on the policy for callers' convenience.
+    is_transient = staticmethod(is_transient)
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered."""
+        base = min(self.max_delay, self.base_delay * self.backoff**attempt)
+        return base * (1.0 + self.jitter * _hash01(self.seed, token, attempt))
+
+    def call(self, fn, *, token: str = "", on_retry=None):
+        """Run ``fn()``, retrying transient faults up to the budget.
+
+        Non-transient exceptions propagate immediately; transient ones
+        propagate once ``max_attempts`` total attempts are spent.
+        Backoff sleeps are deadline-aware (:func:`sleep_checked`), so
+        retrying inside a deadline scope still times out on schedule.
+        ``on_retry`` (if given) is called once per retry — the service
+        counts its ``retries`` book through it.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except BaseException as e:  # noqa: BLE001 - classified below
+                if not is_transient(e) or attempt + 1 >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry()
+                sleep_checked(self.delay(attempt, token))
+                attempt += 1

@@ -71,6 +71,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.netlist.ir import Netlist
+from repro.pnr.parallel import CompileTimeout
+from repro.service.resilience import ServiceOverloaded
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.service.service import (
@@ -119,6 +121,11 @@ class EditSession:
     base: ServiceResult
     options: CompileOptions
     steps: list[SessionStep] = field(default_factory=list)
+    #: Edits that did *not* apply: ``(would-be step index, exception)``
+    #: for each recompile the service timed out or shed.  The chain
+    #: stays on the previous artifact — a failed edit is re-appliable,
+    #: and the session survives a resilient service saying "not now".
+    errors: list[tuple[int, BaseException]] = field(default_factory=list)
 
     @property
     def current(self) -> ServiceResult:
@@ -135,7 +142,16 @@ class EditSession:
         """
         before = self.service.stats()["incremental_fallbacks"]
         t0 = time.perf_counter()
-        result = self.service.recompile(netlist, self.current, self.options)
+        try:
+            result = self.service.recompile(
+                netlist, self.current, self.options
+            )
+        except (CompileTimeout, ServiceOverloaded) as e:
+            # The service declined this edit (deadline spent, queue
+            # full); record it and leave the chain on the previous
+            # artifact so the caller can re-apply when calmer.
+            self.errors.append((len(self.steps) + 1, e))
+            raise
         seconds = time.perf_counter() - t0
         # The session is serial, so the counter delta is exactly this
         # step's escalation (a cached hit never reaches the delta path).
@@ -158,5 +174,6 @@ class EditSession:
             "incremental": sum(1 for s in self.steps if s.incremental),
             "fallbacks": sum(1 for s in self.steps if s.fallback),
             "cached": sum(1 for s in self.steps if s.cached),
+            "errors": len(self.errors),
             "seconds": round(sum(s.seconds for s in self.steps), 4),
         }

@@ -70,6 +70,8 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.pnr.parallel import fault_point
+
 __all__ = [
     "ARTIFACT_STORE_VERSION",
     "ArtifactStore",
@@ -189,12 +191,34 @@ class ArtifactStore:
         self.evictions = 0
         self.quarantined = 0
         self.oversize = 0
+        self.dir_syncs = 0
 
     # -- paths ----------------------------------------------------------
     def path_of(self, key: Any) -> Path:
         """The blob path a key publishes to (whether or not it exists)."""
         digest = key_digest(key)
         return self._objects / digest[:2] / (digest + _SUFFIX)
+
+    def _fsync_dir(self, directory: Path) -> None:
+        """Flush a rename to the directory's metadata, best-effort.
+
+        ``os.replace`` makes publication atomic against *readers*; the
+        directory fsync makes it durable against *power loss* — without
+        it a crash after the rename can still lose the entry.  Counted
+        (``dir_syncs``); filesystems that refuse directory fds degrade
+        silently to the old (rename-only) behaviour.
+        """
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+            self.dir_syncs += 1
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def _touch(self, path: Path) -> None:
         """Stamp ``path`` as most-recently-used (monotonic mtime)."""
@@ -282,14 +306,22 @@ class ArtifactStore:
         check — magic, meta, size, payload digest, unpickling — is
         quarantined and reported as a miss: corruption degrades to a
         recompile, never to an exception or a wrong artifact.
+
+        The ``store.load`` fault point sits between the read and the
+        verification, so an injected corruption exercises the real
+        quarantine path and an injected IO error propagates as
+        ``OSError`` — which the service's retry policy classifies
+        transient and retries.
         """
-        path = self.path_of(key)
+        digest = key_digest(key)
+        path = self._objects / digest[:2] / (digest + _SUFFIX)
         with self._lock:
             try:
                 blob = path.read_bytes()
             except OSError:
                 self.misses += 1
                 return default
+            blob = fault_point("store.load", token=digest, data=blob)
             try:
                 _, value = self._decode_blob(blob)
             except Exception as e:  # noqa: BLE001 - any defect is a miss
@@ -332,16 +364,29 @@ class ArtifactStore:
         nothing new.  An entry alone exceeding ``max_bytes`` is refused
         (``oversize`` counter) — one huge artifact must not wipe the
         store.
+
+        Fault points (see ``docs/resilience.md``) bracket the critical
+        sequence: ``store.publish`` before staging (a corruption fault
+        here publishes bad bytes — which :meth:`get`'s verification
+        then quarantines into a miss), ``store.publish.stage`` between
+        staging and the rename (an interruption leaves only a cleaned
+        temp file: old state wins), and ``store.publish.commit`` after
+        the rename (an interruption leaves the complete new blob).
+        Every interruption therefore leaves the store in the old state
+        or the complete new one — never a torn write; the fault sweep
+        in ``tests/test_resilience.py`` pins all three.
         """
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         blob = self._encode_blob(key, payload)
+        digest = key_digest(key)
         with self._lock:
+            blob = fault_point("store.publish", token=digest, data=blob)
             if self.max_entries == 0 or (
                 self.max_bytes is not None and len(blob) > self.max_bytes
             ):
                 self.oversize += 1
                 return []
-            path = self.path_of(key)
+            path = self._objects / digest[:2] / (digest + _SUFFIX)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=self._objects, prefix="stage-", suffix=".tmp"
@@ -351,6 +396,7 @@ class ArtifactStore:
                     fh.write(blob)
                     fh.flush()
                     os.fsync(fh.fileno())
+                fault_point("store.publish.stage", token=digest)
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -358,6 +404,8 @@ class ArtifactStore:
                 except OSError:
                     pass
                 raise
+            fault_point("store.publish.commit", token=digest)
+            self._fsync_dir(path.parent)
             self._touch(path)
             self.insertions += 1
             return self._evict_over_budget(keep=path)
@@ -377,6 +425,7 @@ class ArtifactStore:
             or (self.max_bytes is not None and total > self.max_bytes)
         ):
             _, size, path = entries.pop(0)
+            fault_point("store.evict", token=path.name)
             try:
                 evicted.append(self._read_key(path))
             except Exception:  # noqa: BLE001 - evict unreadable blobs too
@@ -431,4 +480,5 @@ class ArtifactStore:
                 "evictions": self.evictions,
                 "quarantined": self.quarantined,
                 "oversize": self.oversize,
+                "dir_syncs": self.dir_syncs,
             }

@@ -152,7 +152,7 @@ def test_oversized_edit_escalates_and_chain_warm_starts_from_it():
     assert exc.value.delta.frac > 0.25
     assert session.stats() == {
         "steps": 2, "incremental": 1, "fallbacks": 1, "cached": 0,
-        "seconds": session.stats()["seconds"],
+        "errors": 0, "seconds": session.stats()["seconds"],
     }
 
 
